@@ -1,0 +1,612 @@
+// Benchmarks for the evaluation suite: one testing.B target per
+// experiment E1–E15 (see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results). The row-printing counterpart
+// lives in cmd/odpbench; TestExperimentsQuick runs every experiment
+// end to end at reduced scale.
+package odp_test
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"odp"
+	"odp/internal/bench"
+)
+
+// benchCell is the standard measurable servant.
+type benchCell struct {
+	mu    sync.Mutex
+	n     int64
+	items []string
+}
+
+func newBenchCell(items int) *benchCell {
+	c := &benchCell{items: make([]string, items)}
+	for i := range c.items {
+		c.items[i] = fmt.Sprintf("item-%04d", i)
+	}
+	return c
+}
+
+func (c *benchCell) Dispatch(_ context.Context, op string, args []odp.Value) (string, []odp.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch op {
+	case "add":
+		c.n += args[0].(int64)
+		return "ok", []odp.Value{c.n}, nil
+	case "get":
+		return "ok", []odp.Value{c.n}, nil
+	case "item":
+		return "ok", []odp.Value{c.items[args[0].(int64)]}, nil
+	case "items":
+		from, to := args[0].(int64), args[1].(int64)
+		out := make([]odp.Value, 0, to-from)
+		for i := from; i < to; i++ {
+			out = append(out, c.items[i])
+		}
+		return "ok", out, nil
+	case "note":
+		c.n++
+		return "", nil, nil
+	default:
+		return "", nil, fmt.Errorf("cell: no op %q", op)
+	}
+}
+
+func (c *benchCell) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, uint64(c.n))
+	return buf, nil
+}
+
+func (c *benchCell) Restore(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = int64(binary.BigEndian.Uint64(data))
+	return nil
+}
+
+// rig is a two-node benchmark rig.
+type rig struct {
+	fabric *odp.Fabric
+	server *odp.Platform
+	client *odp.Platform
+}
+
+func newRig(b *testing.B, profile odp.LinkProfile, opts ...odp.Option) *rig {
+	b.Helper()
+	f := odp.NewFabric(odp.WithSeed(1), odp.WithDefaultLink(profile))
+	sep, err := f.Endpoint("server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := odp.NewPlatform("server", sep, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := odp.NewPlatform("client", cep, odp.WithRelocator(server.RelocRef))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &rig{fabric: f, server: server, client: client}
+	b.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+		_ = f.Close()
+	})
+	return r
+}
+
+func (r *rig) publish(b *testing.B, id string, obj odp.Object) odp.Ref {
+	b.Helper()
+	ref, err := r.server.Publish(id, obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ref
+}
+
+func mustCall(b *testing.B, p *odp.Proxy, op string, args ...odp.Value) odp.Outcome {
+	b.Helper()
+	out, err := p.Call(context.Background(), op, args...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// ---- E1: access-transparency invocation ladder (§4.5) ----
+
+func BenchmarkE1DirectGoCall(b *testing.B) {
+	cell := newBenchCell(0)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cell.Dispatch(ctx, "add", []odp.Value{int64(1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1CoLocatedOptimised(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{})
+	ref := r.publish(b, "cell", odp.Object{Servant: newBenchCell(0)})
+	proxy := r.server.Bind(ref)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+func BenchmarkE1RemoteLoopback(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{})
+	ref := r.publish(b, "cell", odp.Object{Servant: newBenchCell(0)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+func BenchmarkE1RemoteLAN(b *testing.B) {
+	r := newRig(b, odp.LAN)
+	ref := r.publish(b, "cell", odp.Object{Servant: newBenchCell(0)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+func BenchmarkE1RemoteWAN(b *testing.B) {
+	r := newRig(b, odp.WAN)
+	ref := r.publish(b, "cell", odp.Object{Servant: newBenchCell(0)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+// ---- E2: constant-object copying (§4.5) ----
+
+func BenchmarkE2ByReferenceRead(b *testing.B) {
+	r := newRig(b, odp.LAN)
+	ref := r.publish(b, "cat", odp.Object{Servant: newBenchCell(64)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "item", int64(i%64))
+	}
+}
+
+func BenchmarkE2ByCopyRead(b *testing.B) {
+	r := newRig(b, odp.LAN)
+	ref := r.publish(b, "cat", odp.Object{Servant: newBenchCell(64)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	out := mustCall(b, proxy, "items", int64(0), int64(64))
+	local := out.Results
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += len(local[i%64].(string))
+	}
+	_ = sink
+}
+
+// ---- E3: multiple results per outcome (§5.1) ----
+
+func BenchmarkE3SixteenCallsOfOne(b *testing.B) {
+	r := newRig(b, odp.WAN)
+	ref := r.publish(b, "store", odp.Object{Servant: newBenchCell(16)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for k := int64(0); k < 16; k++ {
+			mustCall(b, proxy, "item", k)
+		}
+	}
+}
+
+func BenchmarkE3OneCallOfSixteen(b *testing.B) {
+	r := newRig(b, odp.WAN)
+	ref := r.publish(b, "store", odp.Object{Servant: newBenchCell(16)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "items", int64(0), int64(16))
+	}
+}
+
+// ---- E4: interrogation vs announcement (§5.1) ----
+
+func BenchmarkE4Interrogation(b *testing.B) {
+	r := newRig(b, odp.LAN)
+	ref := r.publish(b, "sink", odp.Object{Servant: newBenchCell(0)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+func BenchmarkE4Announcement(b *testing.B) {
+	r := newRig(b, odp.LAN)
+	ref := r.publish(b, "sink", odp.Object{Servant: newBenchCell(0)})
+	proxy := r.client.Bind(ref)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proxy.Announce("note"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E5: transactions (§5.2) ----
+
+func benchTxn(b *testing.B, pool int) {
+	r := newRig(b, odp.LinkProfile{}, odp.WithLockWait(2*time.Second))
+	refs := make([]odp.Ref, pool)
+	for i := range refs {
+		refs[i] = r.publish(b, fmt.Sprintf("acct-%d", i), odp.Object{
+			Servant: newBenchCell(0),
+			Env: odp.Env{Atomic: &odp.AtomicSpec{
+				Separation: odp.Separation{ReadOnly: map[string]bool{"get": true}},
+			}},
+		})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from, to := i%pool, (i+1)%pool
+		tx := r.client.Coordinator.Begin()
+		if _, _, err := tx.Invoke(ctx, refs[from], "add", []odp.Value{int64(-1)}); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := tx.Invoke(ctx, refs[to], "add", []odp.Value{int64(1)}); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE5TxnLowContention(b *testing.B)  { benchTxn(b, 16) }
+func BenchmarkE5TxnHighContention(b *testing.B) { benchTxn(b, 2) }
+
+// ---- E6: replica groups (§5.3) ----
+
+func BenchmarkE6Group3Invoke(b *testing.B) {
+	f := odp.NewFabric(odp.WithSeed(2), odp.WithDefaultLink(odp.LAN))
+	var platforms []*odp.Platform
+	for i := 0; i < 3; i++ {
+		ep, err := f.Endpoint(fmt.Sprintf("m%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := odp.NewPlatform(fmt.Sprintf("m%d", i), ep)
+		if err != nil {
+			b.Fatal(err)
+		}
+		platforms = append(platforms, p)
+	}
+	rep, err := odp.PublishReplicated(platforms, odp.ReplicaSpec{
+		GroupID: "bench", Mode: odp.ModeActive,
+		HeartbeatInterval: 20 * time.Millisecond, FailureTimeout: 200 * time.Millisecond,
+	}, func() odp.Servant { return newBenchCell(0) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := odp.NewPlatform("client", cep, odp.WithRelocator(platforms[0].RelocRef))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		rep.Stop()
+		_ = client.Close()
+		for _, p := range platforms {
+			_ = p.Close()
+		}
+		_ = f.Close()
+	})
+	proxy := client.Bind(rep.Ref()).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+// ---- E7: relocation (§5.4) ----
+
+func BenchmarkE7RelocatorLookup(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{})
+	for i := 0; i < 100; i++ {
+		r.server.RelocTable.Register(odp.Ref{ID: fmt.Sprintf("m-%d", i), Endpoints: []string{"x"}, Epoch: 1})
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.client.Capsule.Invoke(ctx, r.server.RelocRef, "lookup",
+			[]odp.Value{fmt.Sprintf("m-%d", i%100)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE7StationaryInvokeNoRelocatorTraffic(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{})
+	ref := r.publish(b, "stationary", odp.Object{Servant: newBenchCell(0)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "get")
+	}
+	b.StopTimer()
+	if st := r.client.BinderStats(); st.Relocations != 0 {
+		b.Fatalf("stationary interface consulted the relocator %d times", st.Relocations)
+	}
+}
+
+// ---- E8: passivation and recovery (§5.5) ----
+
+func BenchmarkE8PassivateReactivate(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{})
+	odp.RegisterFactory(r.server, "Cell", func() odp.MovableServant { return newBenchCell(0) })
+	cellType := odp.Type{Name: "Cell", Ops: map[string]odp.Operation{
+		"get": {Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+		"add": {Args: []odp.Desc{odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+	}}
+	ref := r.publish(b, "sleeper", odp.Object{
+		Servant: newBenchCell(0), Type: cellType, Env: odp.Env{Movable: true},
+	})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.server.Mover.Passivate("sleeper"); err != nil {
+			b.Fatal(err)
+		}
+		mustCall(b, proxy, "get") // transparent reactivation
+	}
+}
+
+// ---- E9: federation interception (§5.6) ----
+
+func BenchmarkE9ThroughGateway(b *testing.B) {
+	fabA := odp.NewFabric(odp.WithSeed(3))
+	fabB := odp.NewFabric(odp.WithSeed(4))
+	mk := func(f *odp.Fabric, name string, opts ...odp.Option) *odp.Platform {
+		ep, err := f.Endpoint(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := odp.NewPlatform(name, ep, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	clientA := mk(fabA, "client-a")
+	serverB := mk(fabB, "server-b", odp.WithCodec(odp.TextCodec{}))
+	gwA := mk(fabA, "gw-a")
+	gwB := mk(fabB, "gw-b", odp.WithCodec(odp.TextCodec{}))
+	b.Cleanup(func() {
+		_ = clientA.Close()
+		_ = serverB.Close()
+		_ = gwA.Close()
+		_ = gwB.Close()
+		_ = fabA.Close()
+		_ = fabB.Close()
+	})
+	refB, err := serverB.Publish("svc", odp.Object{Servant: newBenchCell(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw := odp.NewGateway("gw", gwA, gwB, nil)
+	proxyRef, err := gw.Export(refB, odp.SideB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proxy := clientA.Bind(proxyRef).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+// ---- E10: trading (§6) ----
+
+func BenchmarkE10Import1000Offers(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{}, odp.WithTrader("bench"))
+	matching := odp.Type{Name: "Cell", Ops: map[string]odp.Operation{
+		"get": {Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+	}}
+	other := odp.Type{Name: "Other", Ops: map[string]odp.Operation{
+		"frob": {Outcomes: map[string][]odp.Desc{"ok": {}}},
+	}}
+	for i := 0; i < 1000; i++ {
+		t := other
+		if i%10 == 0 {
+			t = matching
+		}
+		if _, err := r.server.Trader.Advertise(t,
+			odp.Ref{ID: fmt.Sprintf("o-%d", i), Endpoints: []string{"x"}}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tc := odp.NewTraderClient(r.client, r.server.Trader.Ref())
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tc.Import(ctx, odp.ImportSpec{Requirement: matching, MaxMatches: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E11: security guards (§7.1) ----
+
+func benchGuard(b *testing.B, seal bool) {
+	r := newRig(b, odp.LinkProfile{})
+	r.server.Keys.Share("alice", []byte("bench-secret"))
+	ref := r.publish(b, "guarded", odp.Object{
+		Servant: newBenchCell(0),
+		Env: odp.Env{Secured: &odp.SecureSpec{Policy: odp.Policy{Rules: []odp.Rule{
+			{Principal: "alice", Op: "*", Allow: true},
+		}}}},
+	})
+	signer := odp.NewSigner("alice", []byte("bench-secret"))
+	signer.Seal = seal
+	proxy := r.client.Bind(ref).WithSigner(signer).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+func BenchmarkE11PlainInvoke(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{})
+	ref := r.publish(b, "plain", odp.Object{Servant: newBenchCell(0)})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+func BenchmarkE11Authenticated(b *testing.B)       { benchGuard(b, false) }
+func BenchmarkE11AuthenticatedSealed(b *testing.B) { benchGuard(b, true) }
+
+// ---- E12: streams (§7.2) ----
+
+func BenchmarkE12FrameSend(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{})
+	rx, err := odp.NewStreamReceiver(r.client, func(odp.StreamSpec) (odp.Sink, error) {
+		return odp.SinkFunc(func(odp.Frame) {}), nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bind, err := odp.BindStream(r.server, rx.Ref(), odp.StreamSpec{Media: "data"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bind.Send(int64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E13: garbage collection (§7.3) ----
+
+func BenchmarkE13Sweep1000(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{}, odp.WithGCGrace(time.Nanosecond))
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for j := 0; j < 1000; j++ {
+			if _, err := r.server.Publish(fmt.Sprintf("o-%d-%d", i, j), odp.Object{
+				Servant: newBenchCell(0), Env: odp.Env{Leased: &odp.LeaseSpec{}},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		time.Sleep(time.Millisecond)
+		b.StartTimer()
+		if got := len(r.server.Collector.Sweep()); got != 1000 {
+			b.Fatalf("swept %d", got)
+		}
+	}
+}
+
+// ---- E14: at-most-once under loss (§5.1) ----
+
+func BenchmarkE14InvokeUnder10PctLoss(b *testing.B) {
+	r := newRig(b, odp.LinkProfile{Latency: 200 * time.Microsecond, Loss: 0.1})
+	target := newBenchCell(0)
+	ref := r.publish(b, "counter", odp.Object{Servant: target})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{
+		Timeout: 30 * time.Second, Retransmit: 2 * time.Millisecond,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+	b.StopTimer()
+	target.mu.Lock()
+	executed := target.n
+	target.mu.Unlock()
+	if executed != int64(b.N) {
+		b.Fatalf("at-most-once violated: %d executions for %d calls", executed, b.N)
+	}
+}
+
+// ---- E15: selective transparency (§3, §4.5) ----
+
+func benchEnvStack(b *testing.B, env odp.Env, signer *odp.Signer) {
+	r := newRig(b, odp.LinkProfile{})
+	r.server.Keys.Share("alice", []byte("k"))
+	ref := r.publish(b, "obj", odp.Object{Servant: newBenchCell(0), Env: env})
+	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	if signer != nil {
+		proxy = proxy.WithSigner(signer)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "get")
+	}
+}
+
+func BenchmarkE15EnvNone(b *testing.B) { benchEnvStack(b, odp.Env{}, nil) }
+
+func BenchmarkE15EnvManaged(b *testing.B) {
+	benchEnvStack(b, odp.Env{Managed: &odp.ManagedSpec{}}, nil)
+}
+
+func BenchmarkE15EnvFull(b *testing.B) {
+	benchEnvStack(b, odp.Env{
+		Managed:     &odp.ManagedSpec{},
+		Leased:      &odp.LeaseSpec{},
+		Recoverable: &odp.RecoverSpec{ReadOnly: map[string]bool{"get": true}},
+		Secured: &odp.SecureSpec{Policy: odp.Policy{Rules: []odp.Rule{
+			{Principal: "alice", Op: "*", Allow: true},
+		}}},
+	}, odp.NewSigner("alice", []byte("k")))
+}
+
+// TestExperimentsQuick runs every registered experiment at reduced scale:
+// the end-to-end health check of the whole evaluation harness.
+func TestExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiments still take a few seconds")
+	}
+	for _, exp := range bench.All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			rows, err := exp.Run(true)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", exp.ID, exp.Title, err)
+			}
+			if len(rows) == 0 {
+				t.Fatalf("%s produced no rows", exp.ID)
+			}
+		})
+	}
+}

@@ -1,0 +1,88 @@
+// Command odpcall performs one interrogation against a TCP-reachable
+// interface — the smallest possible ODP client.
+//
+// Arguments are parsed as int64 when they look numeric, as booleans for
+// true/false, and as strings otherwise.
+//
+// Example:
+//
+//	odpcall -ref <encoded ref> -op echo -arg hello
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"odp"
+)
+
+type argList []odp.Value
+
+func (a *argList) String() string { return fmt.Sprint([]odp.Value(*a)) }
+
+func (a *argList) Set(s string) error {
+	switch {
+	case s == "true":
+		*a = append(*a, true)
+	case s == "false":
+		*a = append(*a, false)
+	default:
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			*a = append(*a, n)
+		} else {
+			*a = append(*a, s)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var (
+		refStr  = flag.String("ref", "", "encoded interface reference (required)")
+		op      = flag.String("op", "", "operation name (required)")
+		timeout = flag.Duration("timeout", 5*time.Second, "invocation deadline")
+		args    argList
+	)
+	flag.Var(&args, "arg", "operation argument (repeatable)")
+	flag.Parse()
+	if *refStr == "" || *op == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*refStr, *op, *timeout, args); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(refStr, op string, timeout time.Duration, args argList) error {
+	ref, err := odp.DecodeRef(refStr)
+	if err != nil {
+		return err
+	}
+	ep, err := odp.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	client, err := odp.NewPlatform("odpcall", ep)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	out, err := client.Bind(ref).WithQoS(odp.QoS{Timeout: timeout}).Call(ctx, op, args...)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("outcome: %s\n", out.Name)
+	for i, r := range out.Results {
+		fmt.Printf("result[%d]: %v\n", i, r)
+	}
+	return nil
+}

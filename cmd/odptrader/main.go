@@ -1,0 +1,79 @@
+// Command odptrader runs a standalone trading service over TCP: the §6
+// "trader" as its own daemon. Nodes advertise into it remotely and
+// clients import from it; peers federate by linking traders to each
+// other with the link subcommand semantics of the trader interface.
+//
+// Example:
+//
+//	odptrader -context org-a -listen 127.0.0.1:7100
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"odp"
+)
+
+func main() {
+	var (
+		contextName = flag.String("context", "trader", "federation context name")
+		listen      = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		link        = flag.String("link", "", "encoded reference of a peer trader to federate with (name=ref)")
+	)
+	flag.Parse()
+	if err := run(*contextName, *listen, *link); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(contextName, listen, link string) error {
+	ep, err := odp.ListenTCP(listen)
+	if err != nil {
+		return err
+	}
+	node, err := odp.NewPlatform(contextName, ep, odp.WithTrader(contextName))
+	if err != nil {
+		return err
+	}
+	defer node.Close()
+
+	if link != "" {
+		var linkName, encoded string
+		if n, err := fmt.Sscanf(link, "%s", &encoded); n != 1 || err != nil {
+			return fmt.Errorf("bad -link")
+		}
+		// "name=ref" form; bare ref gets a default name.
+		linkName = "peer"
+		for i := range link {
+			if link[i] == '=' {
+				linkName, encoded = link[:i], link[i+1:]
+				break
+			}
+		}
+		ref, err := odp.DecodeRef(encoded)
+		if err != nil {
+			return fmt.Errorf("bad -link reference: %w", err)
+		}
+		node.Trader.LinkTo(linkName, ref)
+		fmt.Printf("federated to %s\n", linkName)
+	}
+
+	enc, err := odp.EncodeRef(node.Trader.Ref())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trader %q listening on %s\n", contextName, ep.Addr())
+	fmt.Printf("  trader ref: %s\n", enc)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Println("serving; interrupt to stop")
+	<-ctx.Done()
+	return nil
+}

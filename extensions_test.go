@@ -1,0 +1,285 @@
+package odp_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"odp"
+)
+
+// TestNodeManagerThroughFacade bootstraps a node's default servers via
+// the public API, advertises them through the trader, and manages them
+// remotely.
+func TestNodeManagerThroughFacade(t *testing.T) {
+	ctx := context.Background()
+	fabric := odp.NewFabric()
+	t.Cleanup(func() { _ = fabric.Close() })
+	nep, err := fabric.Endpoint("node")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := odp.NewPlatform("node", nep, odp.WithTrader("site"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = node.Close() })
+
+	echoType := odp.Type{
+		Name: "Echo",
+		Ops: map[string]odp.Operation{
+			"echo": {Args: []odp.Desc{odp.String}, Outcomes: map[string][]odp.Desc{"ok": {odp.String}}},
+		},
+	}
+	if err := node.Types.Register(echoType); err != nil {
+		t.Fatal(err)
+	}
+	nm, err := odp.NewNodeManager(node, []odp.ServerSpec{{
+		Name: "echo-svc",
+		Type: echoType,
+		New: func() (odp.Servant, error) {
+			return odp.ServantFunc(func(_ context.Context, _ string, args []odp.Value) (string, []odp.Value, error) {
+				return "ok", []odp.Value{args[0]}, nil
+			}), nil
+		},
+		Properties: map[string]odp.Value{"tier": "default"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nm.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	// The default server is now discoverable through the trader.
+	cep, err := fabric.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := odp.NewPlatform("client", cep, odp.WithRelocator(node.RelocRef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	tc := odp.NewTraderClient(client, node.Trader.Ref())
+	offer, err := tc.ImportOne(ctx, odp.ImportSpec{Requirement: echoType})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := client.Bind(offer.Ref).Call(ctx, "echo", "ping")
+	if err != nil || !out.Is("ok") {
+		t.Fatalf("echo: %+v %v", out, err)
+	}
+	// Remote management: stop the server; the offer is withdrawn.
+	out, err = client.Bind(nm.Ref()).Call(ctx, "stop", "echo-svc")
+	if err != nil || !out.Is("ok") {
+		t.Fatalf("remote stop: %+v %v", out, err)
+	}
+	if _, err := tc.ImportOne(ctx, odp.ImportSpec{Requirement: echoType}); err == nil {
+		t.Fatal("offer survived remote stop")
+	}
+}
+
+// TestEnterprisePolicyCompilesToLiveGuard crosses the enterprise and
+// engineering viewpoints: a community's declarative statements compile
+// into the security.Policy an actual woven guard enforces — §8's point
+// that the enterprise language is "the design rationale for placing
+// security requirements on the components".
+func TestEnterprisePolicyCompilesToLiveGuard(t *testing.T) {
+	community := odp.Community{
+		Name:      "records-office",
+		Objective: "keep records legible and unforged",
+		Roles:     []string{"clerk", "reader"},
+		Statements: []odp.PolicyStatement{
+			{Kind: odp.Permission, Role: "clerk", Action: "put"},
+			{Kind: odp.Permission, Role: "*", Action: "get"},
+			{Kind: odp.Prohibition, Role: "reader", Action: "put"},
+		},
+	}
+	assignment := odp.Assignment{
+		"carla": {"clerk"},
+		"rita":  {"reader"},
+	}
+	policy, err := community.CompileGuardPolicy(assignment, []string{"put", "get"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	fabric := odp.NewFabric()
+	t.Cleanup(func() { _ = fabric.Close() })
+	sep, err := fabric.Endpoint("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := odp.NewPlatform("server", sep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = server.Close() })
+	server.Keys.Share("carla", []byte("carla-key"))
+	server.Keys.Share("rita", []byte("rita-key"))
+
+	ref, err := server.Publish("records", odp.Object{
+		Servant: newVault(),
+		Type:    vaultType,
+		Env:     odp.Env{Secured: &odp.SecureSpec{Policy: policy}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cep, err := fabric.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := odp.NewPlatform("client", cep, odp.WithRelocator(server.RelocRef))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+
+	carla := odp.NewSigner("carla", []byte("carla-key"))
+	rita := odp.NewSigner("rita", []byte("rita-key"))
+
+	// The clerk writes; the reader reads but cannot write.
+	if out, err := client.Bind(ref).WithSigner(carla).Call(ctx, "put", "deed-1", int64(7)); err != nil || !out.Is("ok") {
+		t.Fatalf("clerk put: %+v %v", out, err)
+	}
+	if out, err := client.Bind(ref).WithSigner(rita).Call(ctx, "get", "deed-1"); err != nil || !out.Is("ok") {
+		t.Fatalf("reader get: %+v %v", out, err)
+	}
+	if _, err := client.Bind(ref).WithSigner(rita).Call(ctx, "put", "deed-2", int64(9)); err == nil {
+		t.Fatal("reader write admitted despite prohibition")
+	}
+	// Audit: clerks are not obligated here, but the audit API works
+	// end to end with the community the guard was compiled from.
+	if err := community.CheckObligations(assignment, nil); err != nil {
+		t.Fatalf("no obligations declared, audit should pass: %v", err)
+	}
+}
+
+// ---- Ablation benchmarks: the cost of the design choices DESIGN.md
+// calls out, each toggled off against the default. ----
+
+// BenchmarkAblationTypeCheckingOn/Off: the price of §4.3's early
+// signature checking on the dispatch path.
+func benchTypeChecking(b *testing.B, checking bool) {
+	fabric := odp.NewFabric()
+	b.Cleanup(func() { _ = fabric.Close() })
+	sep, err := fabric.Endpoint("server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := odp.NewPlatform("server", sep,
+		odp.WithCapsuleOptions(odp.CapsuleTypeChecking(checking)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = server.Close() })
+	cellType := odp.Type{Name: "Cell", Ops: map[string]odp.Operation{
+		"add": {Args: []odp.Desc{odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+	}}
+	ref, err := server.Publish("cell", odp.Object{Servant: newBenchCell(0), Type: cellType})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cep, err := fabric.Endpoint("client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := odp.NewPlatform("client", cep, odp.WithRelocator(server.RelocRef))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = client.Close() })
+	proxy := client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+func BenchmarkAblationTypeCheckingOn(b *testing.B)  { benchTypeChecking(b, true) }
+func BenchmarkAblationTypeCheckingOff(b *testing.B) { benchTypeChecking(b, false) }
+
+// BenchmarkAblationBinaryCodec/TextCodec compares the two network
+// representations on the same invocation — the translation cost a
+// federation gateway pays per leg.
+func BenchmarkAblationBinaryCodec(b *testing.B) { benchCodecSimple(b, odp.BinaryCodec{}) }
+func BenchmarkAblationTextCodec(b *testing.B)   { benchCodecSimple(b, odp.TextCodec{}) }
+
+func benchCodecSimple(b *testing.B, codec odp.Codec) {
+	fabric := odp.NewFabric()
+	b.Cleanup(func() { _ = fabric.Close() })
+	sep, err := fabric.Endpoint("server")
+	if err != nil {
+		b.Fatal(err)
+	}
+	server, err := odp.NewPlatform("server", sep, odp.WithCodec(codec))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = server.Close() })
+	ref, err := server.Publish("cell", odp.Object{Servant: newBenchCell(0)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cep, err := fabric.Endpoint("client")
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := odp.NewPlatform("client", cep,
+		odp.WithCodec(codec), odp.WithRelocator(server.RelocRef))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = client.Close() })
+	proxy := client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mustCall(b, proxy, "add", int64(1))
+	}
+}
+
+// BenchmarkAblationRetransmitInterval sweeps the QoS retransmission
+// interval under 10% loss: too eager wastes bandwidth, too lazy wastes
+// latency — the trade-off behind §5.1's "quality of service constraints
+// must be specified".
+func BenchmarkAblationRetransmitInterval(b *testing.B) {
+	for _, interval := range []time.Duration{2 * time.Millisecond, 10 * time.Millisecond, 50 * time.Millisecond} {
+		interval := interval
+		b.Run(fmt.Sprintf("retransmit=%s", interval), func(b *testing.B) {
+			fabric := odp.NewFabric(odp.WithSeed(7), odp.WithDefaultLink(odp.LinkProfile{
+				Latency: 200 * time.Microsecond, Loss: 0.1,
+			}))
+			b.Cleanup(func() { _ = fabric.Close() })
+			sep, err := fabric.Endpoint("server")
+			if err != nil {
+				b.Fatal(err)
+			}
+			server, err := odp.NewPlatform("server", sep)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = server.Close() })
+			ref, err := server.Publish("cell", odp.Object{Servant: newBenchCell(0)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cep, err := fabric.Endpoint("client")
+			if err != nil {
+				b.Fatal(err)
+			}
+			client, err := odp.NewPlatform("client", cep, odp.WithRelocator(server.RelocRef))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = client.Close() })
+			proxy := client.Bind(ref).WithQoS(odp.QoS{Timeout: 60 * time.Second, Retransmit: interval})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mustCall(b, proxy, "add", int64(1))
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module odp
+
+go 1.22

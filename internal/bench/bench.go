@@ -1,0 +1,178 @@
+// Package bench is the evaluation harness: it regenerates the
+// constructed experiment tables E1–E15 of EXPERIMENTS.md, each keyed to a
+// claim of "The Challenge of ODP" (see DESIGN.md for the index).
+//
+// The paper itself has no tables or figures — it is a position paper —
+// so these experiments check the *shapes* its claims predict: who wins,
+// by roughly what factor, and where behaviour changes. Absolute numbers
+// depend on the host; the harness prints what it measures.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"odp"
+)
+
+// Row is one measurement.
+type Row struct {
+	// Case names the configuration measured.
+	Case string
+	// Param is the swept parameter ("n=16"), empty when none.
+	Param string
+	// Metric names what was measured.
+	Metric string
+	// Value is the measurement.
+	Value float64
+	// Unit is the measurement unit.
+	Unit string
+}
+
+// Experiment is one registered experiment.
+type Experiment struct {
+	// ID is the experiment identifier ("E1").
+	ID string
+	// Title is a short description.
+	Title string
+	// Claim cites the paper section whose prediction the experiment
+	// checks.
+	Claim string
+	// Run executes the experiment. quick shrinks iteration counts for
+	// smoke runs.
+	Run func(quick bool) ([]Row, error)
+}
+
+// All returns every experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Access-transparency invocation ladder", Claim: "§4.5: naive indirection is costly; engineering optimisations recover performance", Run: E1AccessLadder},
+		{ID: "E2", Title: "Constant-object copying", Claim: "§4.5: objects with constant state can be copied in place of references", Run: E2ConstantCopy},
+		{ID: "E3", Title: "Multiple results per outcome", Claim: "§5.1: multiple results per outcome minimise latency", Run: E3MultiResult},
+		{ID: "E4", Title: "Interrogation vs announcement", Claim: "§5.1: announcements spawn activity without reply cost", Run: E4Announcement},
+		{ID: "E5", Title: "Transactions under contention", Claim: "§5.2: generated concurrency control; deadlock detector prevents hangs", Run: E5Transactions},
+		{ID: "E6", Title: "Replica groups and fail-over", Claim: "§5.3: ordered groups mask failure; active replication has no fail-over gap", Run: E6Groups},
+		{ID: "E7", Title: "Relocation scaling", Claim: "§5.4: registering only changes scales; movers are found again", Run: E7Relocation},
+		{ID: "E8", Title: "Passivation and recovery", Claim: "§5.5: passivation frees resources; checkpoint+log recovery restores exact state", Run: E8Passivation},
+		{ID: "E9", Title: "Federation interception overhead", Claim: "§5.6: boundary translation and policing have bounded per-call cost", Run: E9Federation},
+		{ID: "E10", Title: "Trading scalability", Claim: "§6: self-describing trading scales; federated import crosses links", Run: E10Trading},
+		{ID: "E11", Title: "Security guard overhead", Claim: "§7.1: declaratively generated guards at modest cost", Run: E11Guards},
+		{ID: "E12", Title: "Stream synchronisation", Claim: "§7.2: explicit binding with sync control bounds inter-stream skew", Run: E12Streams},
+		{ID: "E13", Title: "Distributed garbage collection", Claim: "§7.3: lease-based GC reclaims exactly the unreferenced passive objects", Run: E13GC},
+		{ID: "E14", Title: "At-most-once under loss", Claim: "§5.1: invocation survives loss without duplicate execution", Run: E14Loss},
+		{ID: "E15", Title: "Selective transparency", Claim: "§3/§4.5: unused transparencies cost nothing; each is pay-as-you-go", Run: E15Selective},
+	}
+}
+
+// Format renders rows as an aligned table.
+func Format(rows []Row) string {
+	headers := []string{"case", "param", "metric", "value", "unit"}
+	cells := make([][]string, 0, len(rows)+1)
+	cells = append(cells, headers)
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Case, r.Param, r.Metric, formatValue(r.Value), r.Unit,
+		})
+	}
+	widths := make([]int, len(headers))
+	for _, row := range cells {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	for rowIdx, row := range cells {
+		for i, c := range row {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, c)
+		}
+		b.WriteByte('\n')
+		if rowIdx == 0 {
+			for i := range row {
+				b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// pair is a two-node test rig.
+type pair struct {
+	fabric *odp.Fabric
+	server *odp.Platform
+	client *odp.Platform
+}
+
+func newPair(profile odp.LinkProfile, opts ...odp.Option) (*pair, error) {
+	f := odp.NewFabric(odp.WithSeed(1), odp.WithDefaultLink(profile))
+	sep, err := f.Endpoint("server")
+	if err != nil {
+		return nil, err
+	}
+	server, err := odp.NewPlatform("server", sep, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		return nil, err
+	}
+	client, err := odp.NewPlatform("client", cep, odp.WithRelocator(server.RelocRef))
+	if err != nil {
+		return nil, err
+	}
+	return &pair{fabric: f, server: server, client: client}, nil
+}
+
+func (p *pair) close() {
+	_ = p.client.Close()
+	_ = p.server.Close()
+	_ = p.fabric.Close()
+}
+
+// timeOp measures the mean duration of n sequential executions of fn.
+func timeOp(n int, fn func(i int) error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return 0, fmt.Errorf("iteration %d: %w", i, err)
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// percentile returns the p-quantile (0..1) of ds.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func iters(quick bool, full int) int {
+	if quick {
+		if full > 50 {
+			return full / 10
+		}
+		return full
+	}
+	return full
+}

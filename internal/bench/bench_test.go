@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAllRegistered(t *testing.T) {
+	exps := All()
+	if len(exps) != 15 {
+		t.Fatalf("registered %d experiments, want 15", len(exps))
+	}
+	seen := make(map[string]bool)
+	for i, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if !strings.Contains(e.Claim, "§") {
+			t.Fatalf("%s claim lacks a paper section citation: %q", e.ID, e.Claim)
+		}
+	}
+}
+
+func TestFormatAligned(t *testing.T) {
+	rows := []Row{
+		{Case: "a", Param: "n=1", Metric: "latency", Value: 12345, Unit: "ns/op"},
+		{Case: "much-longer-case", Metric: "throughput", Value: 1.5, Unit: "ops/s"},
+	}
+	out := Format(rows)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, rule, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "case") || !strings.Contains(lines[0], "unit") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "12345") || !strings.Contains(out, "1.500") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	tests := []struct {
+		give float64
+		want string
+	}{
+		{12345, "12345"},
+		{1.5, "1.500"},
+		{123.45, "123.5"},
+		{0, "0"},
+	}
+	for _, tt := range tests {
+		if got := formatValue(tt.give); got != tt.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{5, 1, 3, 2, 4}
+	if got := percentile(ds, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := percentile(ds, 1); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := percentile(ds, 0.5); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v", got)
+	}
+	// Input must not be mutated.
+	if ds[0] != 5 {
+		t.Fatal("percentile sorted the caller's slice")
+	}
+}
+
+func TestIters(t *testing.T) {
+	if got := iters(false, 1000); got != 1000 {
+		t.Fatalf("full = %d", got)
+	}
+	if got := iters(true, 1000); got != 100 {
+		t.Fatalf("quick = %d", got)
+	}
+	if got := iters(true, 20); got != 20 {
+		t.Fatalf("quick small = %d", got)
+	}
+}

@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"odp"
+	"odp/internal/capsule"
+)
+
+// E1AccessLadder measures the invocation cost ladder of §4.5: from a
+// direct Go call, through the optimised co-located path, to the full
+// protocol stack over LAN- and WAN-like links. The claim's shape: the
+// naive full-stack path costs orders of magnitude more than a direct
+// call; the direct-local-access optimisation recovers almost all of it
+// for co-located interfaces; and once the network is real, its latency
+// dominates everything the platform adds.
+func E1AccessLadder(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	n := iters(quick, 2000)
+	nWAN := iters(quick, 200)
+	var rows []Row
+
+	// (a) direct Go call on the servant, no platform at all.
+	servant := newCell(0)
+	d, err := timeOp(n, func(i int) error {
+		_, _, err := servant.Dispatch(ctx, "add", []odp.Value{int64(1)})
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Case: "direct-go-call", Metric: "latency", Value: float64(d.Nanoseconds()), Unit: "ns/op"})
+
+	// (b) co-located ADT invocation with the optimisation on.
+	p, err := newPair(odp.LinkProfile{})
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	ref, err := p.server.Publish("cell", odp.Object{Servant: newCell(0)})
+	if err != nil {
+		return nil, err
+	}
+	proxyLocal := p.server.Bind(ref)
+	d, err = timeOp(n, func(i int) error {
+		_, err := proxyLocal.Call(ctx, "add", int64(1))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Case: "co-located-optimised", Metric: "latency", Value: float64(d.Nanoseconds()), Unit: "ns/op"})
+
+	// (c) co-located but forced through the full protocol stack — the
+	// "simplistic implementation" the paper warns about.
+	d, err = timeOp(n, func(i int) error {
+		_, _, err := p.server.Capsule.Invoke(ctx, ref, "add", []odp.Value{int64(1)}, capsule.ForceRemote())
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Case: "co-located-full-stack", Metric: "latency", Value: float64(d.Nanoseconds()), Unit: "ns/op"})
+
+	// (d,e,f) remote over loopback / LAN / WAN profiles.
+	for _, tc := range []struct {
+		name    string
+		profile odp.LinkProfile
+		iters   int
+	}{
+		{"remote-loopback", odp.LinkProfile{}, n},
+		{"remote-lan", odp.LAN, iters(quick, 500)},
+		{"remote-wan", odp.WAN, nWAN},
+	} {
+		rp, err := newPair(tc.profile)
+		if err != nil {
+			return nil, err
+		}
+		rref, err := rp.server.Publish("cell", odp.Object{Servant: newCell(0)})
+		if err != nil {
+			rp.close()
+			return nil, err
+		}
+		proxy := rp.client.Bind(rref).WithQoS(odp.QoS{Timeout: 10 * time.Second})
+		d, err := timeOp(tc.iters, func(i int) error {
+			_, err := proxy.Call(ctx, "add", int64(1))
+			return err
+		})
+		rp.close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{Case: tc.name, Metric: "latency", Value: float64(d.Nanoseconds()), Unit: "ns/op"})
+	}
+	return rows, nil
+}
+
+// E2ConstantCopy measures the §4.5 constant-object optimisation: a 100-
+// element immutable catalogue read k times, either through by-reference
+// remote access on every read, or copied once and read locally
+// thereafter ("the copy will behave identically to the original").
+func E2ConstantCopy(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	p, err := newPair(odp.LAN)
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	const items = 100
+	ref, err := p.server.Publish("catalogue", odp.Object{Servant: newCell(items)})
+	if err != nil {
+		return nil, err
+	}
+	proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 10 * time.Second})
+	reads := iters(quick, 500)
+
+	// By reference: every read crosses the network.
+	start := time.Now()
+	for i := 0; i < reads; i++ {
+		if _, err := proxy.Call(ctx, "item", int64(i%items)); err != nil {
+			return nil, err
+		}
+	}
+	byRef := time.Since(start)
+
+	// By copy: one bulk fetch, then local access — legal because the
+	// catalogue's state is constant.
+	start = time.Now()
+	out, err := proxy.Call(ctx, "items", int64(0), int64(items))
+	if err != nil {
+		return nil, err
+	}
+	local := out.Results
+	var sink int
+	for i := 0; i < reads; i++ {
+		sink += len(local[i%items].(string))
+	}
+	byCopy := time.Since(start)
+	_ = sink
+
+	return []Row{
+		{Case: "by-reference", Param: fmt.Sprintf("reads=%d", reads), Metric: "total", Value: float64(byRef.Microseconds()), Unit: "us"},
+		{Case: "by-copy", Param: fmt.Sprintf("reads=%d", reads), Metric: "total", Value: float64(byCopy.Microseconds()), Unit: "us"},
+		{Case: "speedup", Param: "", Metric: "by-ref / by-copy", Value: float64(byRef) / float64(byCopy), Unit: "x"},
+	}, nil
+}
+
+// E3MultiResult measures §5.1's rationale for multi-result outcomes:
+// fetching k items as one call with k results versus k calls of one
+// result each, over a WAN-like 5 ms path. "Without this facility the
+// client would have to call the server over and over again."
+func E3MultiResult(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	p, err := newPair(odp.WAN)
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	const items = 64
+	ref, err := p.server.Publish("store", odp.Object{Servant: newCell(items)})
+	if err != nil {
+		return nil, err
+	}
+	proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 10 * time.Second})
+
+	ks := []int{1, 4, 16, 64}
+	if quick {
+		ks = []int{1, 16}
+	}
+	var rows []Row
+	for _, k := range ks {
+		// k calls, one result each.
+		start := time.Now()
+		for i := 0; i < k; i++ {
+			if _, err := proxy.Call(ctx, "item", int64(i)); err != nil {
+				return nil, err
+			}
+		}
+		many := time.Since(start)
+		// one call, k results.
+		start = time.Now()
+		if _, err := proxy.Call(ctx, "items", int64(0), int64(k)); err != nil {
+			return nil, err
+		}
+		one := time.Since(start)
+		rows = append(rows,
+			Row{Case: "k-calls-of-1", Param: fmt.Sprintf("k=%d", k), Metric: "total", Value: float64(many.Milliseconds()), Unit: "ms"},
+			Row{Case: "1-call-of-k", Param: fmt.Sprintf("k=%d", k), Metric: "total", Value: float64(one.Milliseconds()), Unit: "ms"},
+		)
+	}
+	return rows, nil
+}
+
+// E4Announcement compares interrogation and announcement throughput
+// (§5.1): the request-only structure has no reply to wait for.
+func E4Announcement(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	p, err := newPair(odp.LAN)
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	target := newCell(0)
+	ref, err := p.server.Publish("sink", odp.Object{Servant: target})
+	if err != nil {
+		return nil, err
+	}
+	n := iters(quick, 500)
+	proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 10 * time.Second})
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			return nil, err
+		}
+	}
+	interrogations := time.Since(start)
+
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if err := proxy.Announce("note"); err != nil {
+			return nil, err
+		}
+	}
+	issued := time.Since(start)
+	// Wait for delivery so the comparison is fair end to end.
+	deadline := time.Now().Add(10 * time.Second)
+	for target.count() < int64(2*n) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	delivered := time.Since(start)
+
+	return []Row{
+		{Case: "interrogation", Param: fmt.Sprintf("n=%d", n), Metric: "throughput", Value: float64(n) / interrogations.Seconds(), Unit: "ops/s"},
+		{Case: "announcement-issue", Param: fmt.Sprintf("n=%d", n), Metric: "throughput", Value: float64(n) / issued.Seconds(), Unit: "ops/s"},
+		{Case: "announcement-delivered", Param: fmt.Sprintf("n=%d", n), Metric: "throughput", Value: float64(n) / delivered.Seconds(), Unit: "ops/s"},
+	}, nil
+}

@@ -1,0 +1,359 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"odp"
+)
+
+// E9Federation measures the cost of a federation interceptor (§5.6): the
+// same service invoked natively inside its own domain versus from the
+// foreign domain through the gateway, which polices the crossing and
+// re-marshals between the binary and textual representations. The claim's
+// shape: the crossing costs roughly one extra invocation hop plus
+// translation — bounded, not prohibitive.
+func E9Federation(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	fabA := odp.NewFabric(odp.WithSeed(3), odp.WithDefaultLink(odp.LAN))
+	fabB := odp.NewFabric(odp.WithSeed(4), odp.WithDefaultLink(odp.LAN))
+	defer fabA.Close()
+	defer fabB.Close()
+
+	mk := func(f *odp.Fabric, name string, opts ...odp.Option) (*odp.Platform, error) {
+		ep, err := f.Endpoint(name)
+		if err != nil {
+			return nil, err
+		}
+		return odp.NewPlatform(name, ep, opts...)
+	}
+	clientA, err := mk(fabA, "client-a")
+	if err != nil {
+		return nil, err
+	}
+	defer clientA.Close()
+	serverB, err := mk(fabB, "server-b", odp.WithCodec(odp.TextCodec{}))
+	if err != nil {
+		return nil, err
+	}
+	defer serverB.Close()
+	clientB, err := mk(fabB, "client-b", odp.WithCodec(odp.TextCodec{}), odp.WithRelocator(serverB.RelocRef))
+	if err != nil {
+		return nil, err
+	}
+	defer clientB.Close()
+	gwA, err := mk(fabA, "gw-a")
+	if err != nil {
+		return nil, err
+	}
+	defer gwA.Close()
+	gwB, err := mk(fabB, "gw-b", odp.WithCodec(odp.TextCodec{}))
+	if err != nil {
+		return nil, err
+	}
+	defer gwB.Close()
+
+	refB, err := serverB.Publish("svc", odp.Object{Servant: newCell(0)})
+	if err != nil {
+		return nil, err
+	}
+	gw := odp.NewGateway("gw", gwA, gwB, nil)
+	proxy, err := gw.Export(refB, odp.SideB)
+	if err != nil {
+		return nil, err
+	}
+
+	n := iters(quick, 500)
+	native, err := timeOp(n, func(i int) error {
+		_, err := clientB.Bind(refB).WithQoS(odp.QoS{Timeout: 10 * time.Second}).Call(ctx, "add", int64(1))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	crossed, err := timeOp(n, func(i int) error {
+		_, err := clientA.Bind(proxy).WithQoS(odp.QoS{Timeout: 10 * time.Second}).Call(ctx, "add", int64(1))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Row{
+		{Case: "native-in-domain", Metric: "latency", Value: float64(native.Microseconds()), Unit: "us/op"},
+		{Case: "through-gateway", Metric: "latency", Value: float64(crossed.Microseconds()), Unit: "us/op"},
+		{Case: "interception-overhead", Metric: "crossed / native", Value: float64(crossed) / float64(native), Unit: "x"},
+	}, nil
+}
+
+// E10Trading measures the trading service (§6): import latency as the
+// offer population grows, and federated imports across a chain of linked
+// traders with context-relative qualification.
+func E10Trading(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	var rows []Row
+
+	requirement := cellTypeOnly("get")
+
+	populations := []int{100, 1000, 10000}
+	if quick {
+		populations = []int{100, 1000}
+	}
+	for _, pop := range populations {
+		p, err := newPair(odp.LinkProfile{}, odp.WithTrader("bench"))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < pop; i++ {
+			// Offers of a different type pad the population; one in ten
+			// matches.
+			t := cellTypeOnly("get")
+			if i%10 != 0 {
+				t = odp.Type{Name: "Other", Ops: map[string]odp.Operation{
+					"frob": {Outcomes: map[string][]odp.Desc{"ok": {}}},
+				}}
+			}
+			if _, err := p.server.Trader.Advertise(t,
+				odp.Ref{ID: fmt.Sprintf("o-%d", i), Endpoints: []string{"x"}},
+				map[string]odp.Value{"i": int64(i)}); err != nil {
+				p.close()
+				return nil, err
+			}
+		}
+		tc := odp.NewTraderClient(p.client, p.server.Trader.Ref())
+		d, err := timeOp(iters(quick, 20), func(i int) error {
+			_, err := tc.Import(ctx, odp.ImportSpec{Requirement: requirement, MaxMatches: 5})
+			return err
+		})
+		p.close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Case: "import", Param: fmt.Sprintf("offers=%d", pop),
+			Metric: "latency", Value: float64(d.Microseconds()), Unit: "us/op",
+		})
+	}
+
+	// Federated chain: the offer sits k hops away.
+	hops := []int{1, 2, 3}
+	if quick {
+		hops = []int{1, 2}
+	}
+	for _, k := range hops {
+		f := odp.NewFabric(odp.WithSeed(5), odp.WithDefaultLink(odp.LAN))
+		platforms := make([]*odp.Platform, k+1)
+		ok := true
+		for i := range platforms {
+			ep, err := f.Endpoint(fmt.Sprintf("t%d", i))
+			if err != nil {
+				ok = false
+				break
+			}
+			platforms[i], err = odp.NewPlatform(fmt.Sprintf("t%d", i), ep, odp.WithTrader(fmt.Sprintf("ctx%d", i)))
+			if err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			_ = f.Close()
+			return nil, fmt.Errorf("federated trader setup failed")
+		}
+		for i := 0; i < k; i++ {
+			platforms[i].Trader.LinkTo(fmt.Sprintf("next%d", i+1), platforms[i+1].Trader.Ref())
+		}
+		if _, err := platforms[k].Trader.Advertise(cellTypeOnly("get"),
+			odp.Ref{ID: "deep", Endpoints: []string{"x"}}, nil); err != nil {
+			_ = f.Close()
+			return nil, err
+		}
+		d, err := timeOp(iters(quick, 20), func(i int) error {
+			offers, err := platforms[0].Trader.Import(ctx, odp.ImportSpec{Requirement: requirement, MaxHops: k})
+			if err != nil {
+				return err
+			}
+			if len(offers) != 1 {
+				return fmt.Errorf("hop=%d found %d offers", k, len(offers))
+			}
+			return nil
+		})
+		for _, p := range platforms {
+			_ = p.Close()
+		}
+		_ = f.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Case: "federated-import", Param: fmt.Sprintf("hops=%d", k),
+			Metric: "latency", Value: float64(d.Microseconds()), Unit: "us/op",
+		})
+	}
+	return rows, nil
+}
+
+// E11Guards measures the generated security guard (§7.1): plain,
+// authenticated (HMAC + policy + replay window) and sealed
+// (confidentiality via AES-GCM) invocations of the same interface.
+func E11Guards(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	n := iters(quick, 1000)
+	var rows []Row
+
+	p, err := newPair(odp.LinkProfile{})
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	plainRef, err := p.server.Publish("plain", odp.Object{Servant: newCell(0)})
+	if err != nil {
+		return nil, err
+	}
+	p.server.Keys.Share("alice", []byte("bench-secret"))
+	guardedRef, err := p.server.Publish("guarded", odp.Object{
+		Servant: newCell(0),
+		Env: odp.Env{Secured: &odp.SecureSpec{Policy: odp.Policy{Rules: []odp.Rule{
+			{Principal: "alice", Op: "*", Allow: true},
+		}}}},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	d, err := timeOp(n, func(i int) error {
+		_, err := p.client.Bind(plainRef).Call(ctx, "add", int64(1))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Case: "plain", Metric: "latency", Value: float64(d.Nanoseconds()), Unit: "ns/op"})
+
+	alice := odp.NewSigner("alice", []byte("bench-secret"))
+	d, err = timeOp(n, func(i int) error {
+		_, err := p.client.Bind(guardedRef).WithSigner(alice).Call(ctx, "add", int64(1))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Case: "authenticated", Metric: "latency", Value: float64(d.Nanoseconds()), Unit: "ns/op"})
+
+	sealed := odp.NewSigner("alice", []byte("bench-secret"))
+	sealed.Seal = true
+	d, err = timeOp(n, func(i int) error {
+		_, err := p.client.Bind(guardedRef).WithSigner(sealed).Call(ctx, "add", int64(1))
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, Row{Case: "authenticated+sealed", Metric: "latency", Value: float64(d.Nanoseconds()), Unit: "ns/op"})
+	return rows, nil
+}
+
+// E12Streams measures stream interfaces (§7.2): frame throughput of an
+// explicitly bound flow, and the inter-flow skew of two jittery flows
+// with and without a sync group.
+func E12Streams(quick bool) ([]Row, error) {
+	frames := iters(quick, 2000)
+	var rows []Row
+
+	// Throughput of a single flow over a loopback link.
+	{
+		p, err := newPair(odp.LinkProfile{})
+		if err != nil {
+			return nil, err
+		}
+		received := make(chan struct{}, frames)
+		rx, err := odp.NewStreamReceiver(p.client, func(odp.StreamSpec) (odp.Sink, error) {
+			return odp.SinkFunc(func(odp.Frame) { received <- struct{}{} }), nil
+		})
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		b, err := odp.BindStream(p.server, rx.Ref(), odp.StreamSpec{Media: "data"})
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		payload := make([]byte, 256)
+		start := time.Now()
+		for i := 0; i < frames; i++ {
+			if err := b.Send(int64(i), payload); err != nil {
+				p.close()
+				return nil, err
+			}
+		}
+		got := 0
+		timeout := time.After(30 * time.Second)
+	recvLoop:
+		for got < frames {
+			select {
+			case <-received:
+				got++
+			case <-timeout:
+				break recvLoop
+			}
+		}
+		elapsed := time.Since(start)
+		p.close()
+		rows = append(rows,
+			Row{Case: "flow-throughput", Param: fmt.Sprintf("frames=%d payload=256B", frames), Metric: "rate", Value: float64(got) / elapsed.Seconds(), Unit: "frames/s"},
+			Row{Case: "flow-delivery", Param: fmt.Sprintf("frames=%d", frames), Metric: "delivered", Value: float64(got), Unit: "frames"},
+		)
+	}
+
+	// Inter-flow skew with and without the sync controller, feeding the
+	// group directly with a deterministic bursty arrival pattern.
+	for _, sync := range []bool{false, true} {
+		var skew int64
+		if sync {
+			g := odp.NewSyncGroup(20, func(string, odp.Frame) {})
+			audio := g.AddFlow("audio")
+			video := g.AddFlow("video")
+			feedBursty(audio, video)
+			skew = g.MaxObservedSkewMs()
+		} else {
+			var l = map[string]int64{}
+			var w int64
+			out := func(flow string, f odp.Frame) {
+				l[flow] = f.TimestampMs
+				if len(l) == 2 {
+					d := l["audio"] - l["video"]
+					if d < 0 {
+						d = -d
+					}
+					if d > w {
+						w = d
+					}
+				}
+			}
+			feedBursty(
+				odp.SinkFunc(func(f odp.Frame) { out("audio", f) }),
+				odp.SinkFunc(func(f odp.Frame) { out("video", f) }),
+			)
+			skew = w
+		}
+		name := "unsynchronised"
+		if sync {
+			name = "sync-group(20ms)"
+		}
+		rows = append(rows, Row{Case: name, Metric: "worst-skew", Value: float64(skew), Unit: "ms"})
+	}
+	return rows, nil
+}
+
+// feedBursty delivers audio promptly and video in 80ms bursts.
+func feedBursty(audio, video odp.Sink) {
+	for ts := int64(0); ts < 800; ts += 10 {
+		audio.OnFrame(odp.Frame{TimestampMs: ts})
+		if ts%80 == 70 {
+			for v := ts - 70; v <= ts; v += 10 {
+				video.OnFrame(odp.Frame{TimestampMs: v})
+			}
+		}
+	}
+}

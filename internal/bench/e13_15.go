@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"odp"
+)
+
+// E13GC measures lease-based distributed garbage collection (§7.3): a
+// population of tracked objects with a varying live (leased) fraction.
+// The claim's shape: a sweep reclaims exactly the unreferenced passive
+// complement — never a leased or recently-active object — and sweep time
+// grows linearly with the population.
+func E13GC(quick bool) ([]Row, error) {
+	var rows []Row
+	population := iters(quick, 2000)
+	for _, livePct := range []int{0, 25, 75} {
+		p, err := newPair(odp.LinkProfile{}, odp.WithGCGrace(10*time.Millisecond))
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < population; i++ {
+			id := fmt.Sprintf("obj-%05d", i)
+			if _, err := p.server.Publish(id, odp.Object{
+				Servant: newCell(0),
+				Env:     odp.Env{Leased: &odp.LeaseSpec{}},
+			}); err != nil {
+				p.close()
+				return nil, err
+			}
+			if i%100 < livePct {
+				if err := p.server.Collector.Renew(id, "holder", time.Minute); err != nil {
+					p.close()
+					return nil, err
+				}
+			}
+		}
+		time.Sleep(30 * time.Millisecond) // pass the activity grace window
+		start := time.Now()
+		victims := p.server.Collector.Sweep()
+		sweep := time.Since(start)
+		p.close()
+		wantDead := population - population*livePct/100
+		if len(victims) != wantDead {
+			return nil, fmt.Errorf("live=%d%%: swept %d, want %d", livePct, len(victims), wantDead)
+		}
+		param := fmt.Sprintf("objects=%d live=%d%%", population, livePct)
+		rows = append(rows,
+			Row{Case: "reclaimed", Param: param, Metric: "count", Value: float64(len(victims)), Unit: "objects"},
+			Row{Case: "sweep", Param: param, Metric: "time", Value: float64(sweep.Microseconds()), Unit: "us"},
+			Row{Case: "live-objects-reclaimed", Param: param, Metric: "count", Value: 0, Unit: "(safety)"},
+		)
+	}
+	return rows, nil
+}
+
+// E14Loss measures the invocation protocol under message loss (§5.1):
+// success rate, duplicate executions (must stay zero — at-most-once) and
+// mean latency as loss rises. The claim's shape: retransmission turns
+// loss into latency, never into duplicated effects.
+func E14Loss(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	calls := iters(quick, 300)
+	var rows []Row
+	for _, lossPct := range []int{0, 10, 30} {
+		profile := odp.LinkProfile{Latency: 500 * time.Microsecond, Loss: float64(lossPct) / 100}
+		p, err := newPair(profile)
+		if err != nil {
+			return nil, err
+		}
+		target := newCell(0)
+		ref, err := p.server.Publish("counter", odp.Object{Servant: target})
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		proxy := p.client.Bind(ref).WithQoS(odp.QoS{
+			Timeout:    20 * time.Second,
+			Retransmit: 5 * time.Millisecond,
+		})
+		var durations []time.Duration
+		succeeded := 0
+		start := time.Now()
+		for i := 0; i < calls; i++ {
+			s := time.Now()
+			if _, err := proxy.Call(ctx, "add", int64(1)); err == nil {
+				succeeded++
+				durations = append(durations, time.Since(s))
+			}
+		}
+		elapsed := time.Since(start)
+		executions := target.count()
+		p.close()
+		param := fmt.Sprintf("loss=%d%%", lossPct)
+		duplicates := int(executions) - succeeded
+		rows = append(rows,
+			Row{Case: "success-rate", Param: param, Metric: "fraction", Value: float64(succeeded) / float64(calls), Unit: ""},
+			Row{Case: "duplicate-executions", Param: param, Metric: "count", Value: float64(duplicates), Unit: "(must be 0)"},
+			Row{Case: "mean-latency", Param: param, Metric: "latency", Value: float64(elapsed.Microseconds()) / float64(calls), Unit: "us/op"},
+			Row{Case: "p99-latency", Param: param, Metric: "latency", Value: float64(percentile(durations, 0.99).Microseconds()), Unit: "us"},
+		)
+		if duplicates != 0 {
+			return rows, fmt.Errorf("at-most-once violated at %d%% loss: %d duplicates", lossPct, duplicates)
+		}
+	}
+	return rows, nil
+}
+
+// E15Selective measures selective transparency (§3, §4.5): the cost of
+// an invocation as transparencies stack up. The claim's shape: an empty
+// Env costs what a bare invocation costs (unused transparencies are
+// free), and each added mechanism pays only for itself.
+func E15Selective(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	n := iters(quick, 1000)
+	p, err := newPair(odp.LinkProfile{})
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	p.server.Keys.Share("alice", []byte("k"))
+	alice := odp.NewSigner("alice", []byte("k"))
+	allow := odp.Policy{Rules: []odp.Rule{{Principal: "alice", Op: "*", Allow: true}}}
+
+	cases := []struct {
+		name   string
+		env    odp.Env
+		signed bool
+	}{
+		{name: "none", env: odp.Env{}},
+		{name: "+managed", env: odp.Env{Managed: &odp.ManagedSpec{}}},
+		{name: "+leased", env: odp.Env{Managed: &odp.ManagedSpec{}, Leased: &odp.LeaseSpec{}}},
+		{name: "+recoverable", env: odp.Env{Managed: &odp.ManagedSpec{}, Leased: &odp.LeaseSpec{},
+			Recoverable: &odp.RecoverSpec{ReadOnly: map[string]bool{"get": true}}}},
+		{name: "+secured", env: odp.Env{Managed: &odp.ManagedSpec{}, Leased: &odp.LeaseSpec{},
+			Recoverable: &odp.RecoverSpec{ReadOnly: map[string]bool{"get": true}},
+			Secured:     &odp.SecureSpec{Policy: allow}}, signed: true},
+	}
+	var rows []Row
+	for i, tc := range cases {
+		ref, err := p.server.Publish(fmt.Sprintf("stack-%d", i), odp.Object{
+			Servant: newCell(0),
+			Env:     tc.env,
+		})
+		if err != nil {
+			return nil, err
+		}
+		proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 10 * time.Second})
+		if tc.signed {
+			proxy = proxy.WithSigner(alice)
+		}
+		d, err := timeOp(n, func(int) error {
+			_, err := proxy.Call(ctx, "get")
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tc.name, err)
+		}
+		rows = append(rows, Row{
+			Case: tc.name, Metric: "read-latency",
+			Value: float64(d.Nanoseconds()), Unit: "ns/op",
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"sync"
+
+	"odp"
+)
+
+// cell is the standard measurable servant: a snapshot-capable int cell
+// with a batch read for E3.
+type cell struct {
+	mu    sync.Mutex
+	n     int64
+	items []string
+}
+
+func newCell(items int) *cell {
+	c := &cell{}
+	c.items = make([]string, items)
+	for i := range c.items {
+		c.items[i] = fmt.Sprintf("item-%04d-%s", i, strings.Repeat("x", 24))
+	}
+	return c
+}
+
+func (c *cell) Dispatch(_ context.Context, op string, args []odp.Value) (string, []odp.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch op {
+	case "add":
+		c.n += args[0].(int64)
+		return "ok", []odp.Value{c.n}, nil
+	case "get":
+		return "ok", []odp.Value{c.n}, nil
+	case "item":
+		i := args[0].(int64)
+		return "ok", []odp.Value{c.items[i]}, nil
+	case "items":
+		from, to := args[0].(int64), args[1].(int64)
+		out := make([]odp.Value, 0, to-from)
+		for i := from; i < to; i++ {
+			out = append(out, c.items[i])
+		}
+		return "ok", out, nil
+	case "note":
+		// announcement target
+		c.n++
+		return "", nil, nil
+	default:
+		return "", nil, fmt.Errorf("cell: no op %q", op)
+	}
+}
+
+func (c *cell) Snapshot() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, uint64(c.n))
+	return buf, nil
+}
+
+func (c *cell) Restore(data []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n = int64(binary.BigEndian.Uint64(data))
+	return nil
+}
+
+func (c *cell) count() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+var cellType = odp.Type{
+	Name: "Cell",
+	Ops: map[string]odp.Operation{
+		"add":   {Args: []odp.Desc{odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+		"get":   {Outcomes: map[string][]odp.Desc{"ok": {odp.Int}}},
+		"item":  {Args: []odp.Desc{odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {odp.String}}},
+		"items": {Args: []odp.Desc{odp.Int, odp.Int}, Outcomes: map[string][]odp.Desc{"ok": {}}},
+		"note":  {Args: []odp.Desc{}, Announcement: true},
+	},
+}
+
+// cellTypeNoItems omits the variadic-result "items" op (whose outcome
+// arity varies and cannot be statically declared) for typed publishes.
+func cellTypeOnly(ops ...string) odp.Type {
+	t := odp.Type{Name: "Cell", Ops: map[string]odp.Operation{}}
+	for _, op := range ops {
+		t.Ops[op] = cellType.Ops[op]
+	}
+	return t
+}
+
+// bigState is a servant with a tunable amount of state, for E8.
+type bigState struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+func newBigState(size int) *bigState {
+	b := &bigState{data: make([]byte, size)}
+	for i := range b.data {
+		b.data[i] = byte(i)
+	}
+	return b
+}
+
+func (b *bigState) Dispatch(_ context.Context, op string, args []odp.Value) (string, []odp.Value, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch op {
+	case "size":
+		return "ok", []odp.Value{int64(len(b.data))}, nil
+	case "poke":
+		b.data[0]++
+		return "ok", nil, nil
+	default:
+		return "", nil, fmt.Errorf("bigState: no op %q", op)
+	}
+}
+
+func (b *bigState) Snapshot() ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cp := make([]byte, len(b.data))
+	copy(cp, b.data)
+	return cp, nil
+}
+
+func (b *bigState) Restore(data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.data = append([]byte(nil), data...)
+	return nil
+}

@@ -1,0 +1,443 @@
+// Package capsule implements the engineering-model execution node.
+//
+// A capsule is an address space hosting ADT implementations (servants)
+// behind interface references. It provides:
+//
+//   - the binder/dispatcher of §5.1: inbound invocations are routed to the
+//     servant named by the reference, with early signature checking
+//     ("early type checking reduces the risks of unpredictable behaviour",
+//     §4.3);
+//   - server-side interceptor chains, the hook by which transparency
+//     mechanisms are "linked into the access path to an interface so that
+//     effects due to distribution are filtered" (§4.5);
+//   - the client-side invocation path with the §4.5 engineering
+//     optimisation of direct local access for co-located interfaces;
+//   - forwarding state for relocated interfaces (§5.4) and an activation
+//     hook by which passive objects are transparently reinstated (§5.5);
+//   - the node manager of §6, which recreates a node's default servers
+//     after restart and advertises them.
+package capsule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"odp/internal/rpc"
+	"odp/internal/transport"
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+// Servant is the executable body of an ADT implementation: "the
+// procedures provided by the server give access to a data structure"
+// (§4.1). Dispatch must be safe for concurrent use — "concurrency is the
+// norm in a distributed system" (§4.1).
+type Servant interface {
+	Dispatch(ctx context.Context, op string, args []wire.Value) (outcome string, results []wire.Value, err error)
+}
+
+// ServantFunc adapts a function to the Servant interface.
+type ServantFunc func(ctx context.Context, op string, args []wire.Value) (string, []wire.Value, error)
+
+// Dispatch implements Servant.
+func (f ServantFunc) Dispatch(ctx context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
+	return f(ctx, op, args)
+}
+
+// Interceptor wraps a servant's dispatch path. Interceptors compose; the
+// first installed is outermost.
+type Interceptor func(next Servant) Servant
+
+// Activator reinstates a passive object on demand (resource transparency,
+// §5.5). On success it must Export the object (typically with its own
+// interceptors) under objID on this capsule and return found=true; the
+// dispatcher then re-reads its registry and proceeds. found=false means
+// the object is unknown to this activator.
+type Activator func(objID string) (found bool, err error)
+
+// Errors returned by capsules.
+var (
+	// ErrNotLocal reports that an object is not hosted by this capsule.
+	ErrNotLocal = errors.New("capsule: object not hosted here")
+	// ErrNoEndpoint reports a reference with no reachable endpoint.
+	ErrNoEndpoint = errors.New("capsule: no reachable endpoint in reference")
+	// ErrClosed reports use of a closed capsule.
+	ErrClosed = errors.New("capsule: closed")
+)
+
+// registration is one exported interface.
+type registration struct {
+	servant Servant
+	typ     types.Type
+	hasType bool
+	chain   Servant // servant wrapped in its interceptors
+}
+
+// Capsule hosts servants on one endpoint.
+type Capsule struct {
+	name  string
+	ep    transport.Endpoint
+	codec wire.Codec
+	peer  *rpc.Peer
+
+	mu        sync.RWMutex
+	objects   map[string]*registration
+	forwards  map[string]wire.Ref
+	activator Activator
+	closed    bool
+
+	nextID atomic.Uint64
+
+	// checkTypes enables early signature checking on dispatch.
+	checkTypes bool
+	// localOptimisation short-circuits invocations of co-located
+	// interfaces (§4.5 "direct local access ... for co-located data").
+	localOptimisation bool
+}
+
+// Option configures a capsule.
+type Option func(*Capsule)
+
+// WithTypeChecking toggles dispatch-time signature checking (default on).
+func WithTypeChecking(on bool) Option {
+	return func(c *Capsule) { c.checkTypes = on }
+}
+
+// WithLocalOptimisation toggles the direct-local-access engineering
+// optimisation (default on). Disabling it forces every invocation through
+// the full protocol stack, which is how E1 measures the cost of naive
+// indirection.
+func WithLocalOptimisation(on bool) Option {
+	return func(c *Capsule) { c.localOptimisation = on }
+}
+
+// New creates a capsule on ep. name scopes generated object identifiers.
+func New(name string, ep transport.Endpoint, codec wire.Codec, opts ...Option) *Capsule {
+	c := &Capsule{
+		name:              name,
+		ep:                ep,
+		codec:             codec,
+		objects:           make(map[string]*registration),
+		forwards:          make(map[string]wire.Ref),
+		checkTypes:        true,
+		localOptimisation: true,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.peer = rpc.NewPeer(ep, codec, c.handle)
+	return c
+}
+
+// Name returns the capsule's name.
+func (c *Capsule) Name() string { return c.name }
+
+// Addr returns the capsule's transport address.
+func (c *Capsule) Addr() string { return c.ep.Addr() }
+
+// Codec returns the capsule's codec.
+func (c *Capsule) Codec() wire.Codec { return c.codec }
+
+// Client exposes the underlying protocol client for infrastructure that
+// needs raw access (groups, interceptors).
+func (c *Capsule) Client() *rpc.Client { return c.peer.Client }
+
+// ServerStats exposes protocol server counters.
+func (c *Capsule) ServerStats() rpc.ServerStats { return c.peer.Server.Stats() }
+
+// Close shuts the capsule down.
+func (c *Capsule) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	return c.peer.Close()
+}
+
+// ExportOption configures one export.
+type ExportOption func(*exportConfig)
+
+type exportConfig struct {
+	id           string
+	typ          types.Type
+	hasType      bool
+	interceptors []Interceptor
+}
+
+// WithID fixes the exported object's identifier instead of generating
+// one. Used when re-activating or re-hosting an existing interface so its
+// references stay valid.
+func WithID(id string) ExportOption {
+	return func(cfg *exportConfig) { cfg.id = id }
+}
+
+// WithType attaches an interface type, enabling signature checking and
+// carrying the type name in the reference.
+func WithType(t types.Type) ExportOption {
+	return func(cfg *exportConfig) { cfg.typ = t; cfg.hasType = true }
+}
+
+// WithInterceptors installs transparency interceptors around the servant.
+// The first is outermost.
+func WithInterceptors(is ...Interceptor) ExportOption {
+	return func(cfg *exportConfig) { cfg.interceptors = append(cfg.interceptors, is...) }
+}
+
+// Export publishes a servant, returning its interface reference.
+func (c *Capsule) Export(s Servant, opts ...ExportOption) (wire.Ref, error) {
+	var cfg exportConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.id == "" {
+		cfg.id = c.name + "/obj-" + strconv.FormatUint(c.nextID.Add(1), 10)
+	}
+	chain := s
+	// Signature checking sits at the servant boundary, inside every
+	// interceptor: transparency mechanisms (guards stripping credentials,
+	// transaction wrappers carrying control operations) legitimately see
+	// a different argument shape than the application signature.
+	if c.checkTypes && cfg.hasType {
+		chain = typeChecked(cfg.id, cfg.typ, chain)
+	}
+	for i := len(cfg.interceptors) - 1; i >= 0; i-- {
+		chain = cfg.interceptors[i](chain)
+	}
+	reg := &registration{servant: s, typ: cfg.typ, hasType: cfg.hasType, chain: chain}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return wire.Ref{}, ErrClosed
+	}
+	if _, exists := c.objects[cfg.id]; exists {
+		return wire.Ref{}, fmt.Errorf("capsule: object %q already exported", cfg.id)
+	}
+	delete(c.forwards, cfg.id) // re-hosting clears any stale forward
+	c.objects[cfg.id] = reg
+	return wire.Ref{
+		ID:        cfg.id,
+		TypeName:  cfg.typ.Name,
+		Endpoints: []string{c.ep.Addr()},
+	}, nil
+}
+
+// Unexport withdraws an interface. Subsequent invocations yield
+// rpc.ErrNoObject at the caller.
+func (c *Capsule) Unexport(id string) {
+	c.mu.Lock()
+	delete(c.objects, id)
+	c.mu.Unlock()
+}
+
+// SetForward installs a forwarding reference for a departed interface
+// (migration, §5.5): invokers receive the new location and rebind.
+func (c *Capsule) SetForward(id string, to wire.Ref) {
+	c.mu.Lock()
+	delete(c.objects, id)
+	c.forwards[id] = to
+	c.mu.Unlock()
+}
+
+// SetActivator installs the passive-object activation hook.
+func (c *Capsule) SetActivator(a Activator) {
+	c.mu.Lock()
+	c.activator = a
+	c.mu.Unlock()
+}
+
+// Lookup returns the servant registered under id, for infrastructure that
+// must reach the implementation directly (e.g. snapshotting for
+// migration).
+func (c *Capsule) Lookup(id string) (Servant, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	reg, ok := c.objects[id]
+	if !ok {
+		return nil, false
+	}
+	return reg.servant, true
+}
+
+// Hosts reports whether id is currently exported here.
+func (c *Capsule) Hosts(id string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.objects[id]
+	return ok
+}
+
+// Objects returns the ids of all exported interfaces.
+func (c *Capsule) Objects() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := make([]string, 0, len(c.objects))
+	for id := range c.objects {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// handle is the rpc server handler: the dispatcher of §5.1.
+func (c *Capsule) handle(ctx context.Context, in *rpc.Incoming) (string, []wire.Value, error) {
+	return c.dispatchLocal(ctx, in.ObjID, in.Op, in.Args)
+}
+
+// dispatchLocal runs an invocation against a hosted object.
+func (c *Capsule) dispatchLocal(ctx context.Context, objID, op string, args []wire.Value) (string, []wire.Value, error) {
+	c.mu.RLock()
+	reg, ok := c.objects[objID]
+	fwd, fok := c.forwards[objID]
+	activator := c.activator
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return "", nil, ErrClosed
+	}
+	if !ok && fok {
+		return "", nil, &rpc.MovedError{Forward: fwd}
+	}
+	if !ok && activator != nil {
+		found, err := activator(objID)
+		if err != nil {
+			return "", nil, err
+		}
+		if found {
+			c.mu.RLock()
+			reg, ok = c.objects[objID]
+			c.mu.RUnlock()
+		}
+	}
+	if !ok {
+		return "", nil, rpc.ErrNoObject
+	}
+	return reg.chain.Dispatch(ctx, op, args)
+}
+
+// typeChecked wraps a servant with early signature checking (§4.3): the
+// argument vector is verified before the behaviour runs, the outcome and
+// its result package on the way out. Operation names containing "!" are
+// the reserved infrastructure namespace (transaction control "t!...",
+// group ordering "g!...", migration "m!...") and pass through unchecked —
+// they are envelopes of the engineering model, not operations of the
+// application signature.
+func typeChecked(objID string, typ types.Type, next Servant) Servant {
+	return ServantFunc(func(ctx context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
+		if strings.ContainsRune(op, '!') {
+			return next.Dispatch(ctx, op, args)
+		}
+		opSig, found := typ.Ops[op]
+		if !found {
+			return "", nil, fmt.Errorf("capsule: interface %q has no operation %q", objID, op)
+		}
+		if err := types.CheckArgs(opSig, args); err != nil {
+			return "", nil, fmt.Errorf("capsule: %s.%s: %w", objID, op, err)
+		}
+		outcome, results, err := next.Dispatch(ctx, op, args)
+		if err != nil {
+			return "", nil, err
+		}
+		if !opSig.Announcement {
+			if cerr := types.CheckOutcome(opSig, outcome, results); cerr != nil {
+				return "", nil, fmt.Errorf("capsule: %s.%s: %w", objID, op, cerr)
+			}
+		}
+		return outcome, results, nil
+	})
+}
+
+// InvokeOption configures one client-side invocation.
+type InvokeOption func(*invokeConfig)
+
+type invokeConfig struct {
+	qos         rpc.QoS
+	forceRemote bool
+	maxForwards int
+}
+
+// WithQoS sets the communications quality-of-service constraint.
+func WithQoS(q rpc.QoS) InvokeOption {
+	return func(cfg *invokeConfig) { cfg.qos = q }
+}
+
+// ForceRemote disables the direct-local-access optimisation for this
+// invocation, pushing it through the full protocol stack.
+func ForceRemote() InvokeOption {
+	return func(cfg *invokeConfig) { cfg.forceRemote = true }
+}
+
+// Invoke performs an interrogation on ref. Co-located interfaces are
+// dispatched directly (unless disabled); remote ones go through the
+// invocation protocol, trying each endpoint in preference order and
+// following up to three forwarding hops.
+func (c *Capsule) Invoke(ctx context.Context, ref wire.Ref, op string, args []wire.Value, opts ...InvokeOption) (string, []wire.Value, error) {
+	cfg := invokeConfig{maxForwards: 3}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return c.invoke(ctx, ref, op, args, cfg)
+}
+
+func (c *Capsule) invoke(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg invokeConfig) (string, []wire.Value, error) {
+	if c.localOptimisation && !cfg.forceRemote && c.Hosts(ref.ID) {
+		return c.dispatchLocal(ctx, ref.ID, op, args)
+	}
+	if len(ref.Endpoints) == 0 {
+		if c.Hosts(ref.ID) { // local even though optimisation is off
+			return c.dispatchLocal(ctx, ref.ID, op, args)
+		}
+		return "", nil, ErrNoEndpoint
+	}
+	var lastErr error
+	for _, ep := range ref.Endpoints {
+		var outcome string
+		var results []wire.Value
+		var err error
+		if ep == c.ep.Addr() && !cfg.forceRemote && c.localOptimisation {
+			outcome, results, err = c.dispatchLocal(ctx, ref.ID, op, args)
+		} else {
+			outcome, results, err = c.peer.Client.Call(ctx, ep, ref.ID, op, args, cfg.qos)
+		}
+		if err == nil {
+			return outcome, results, nil
+		}
+		var moved *rpc.MovedError
+		if errors.As(err, &moved) && cfg.maxForwards > 0 {
+			next := cfg
+			next.maxForwards--
+			return c.invoke(ctx, moved.Forward, op, args, next)
+		}
+		lastErr = err
+		if errors.Is(err, rpc.ErrDenied) || ctx.Err() != nil {
+			break // no point trying other endpoints
+		}
+	}
+	return "", nil, lastErr
+}
+
+// Announce performs a request-only invocation on ref (§5.1).
+func (c *Capsule) Announce(ref wire.Ref, op string, args []wire.Value, opts ...InvokeOption) error {
+	var cfg invokeConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if c.localOptimisation && !cfg.forceRemote && c.Hosts(ref.ID) {
+		// Spawn a new activity, as announcement semantics require.
+		go func() {
+			_, _, _ = c.dispatchLocal(context.Background(), ref.ID, op, args)
+		}()
+		return nil
+	}
+	if len(ref.Endpoints) == 0 {
+		return ErrNoEndpoint
+	}
+	return c.peer.Client.Announce(ref.Endpoints[0], ref.ID, op, args, cfg.qos)
+}

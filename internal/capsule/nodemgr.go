@@ -1,0 +1,210 @@
+package capsule
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+// Advertiser abstracts the trading service for the node manager, avoiding
+// a dependency from the engineering substrate onto trading. The trader
+// package satisfies it.
+type Advertiser interface {
+	// AdvertiseOffer registers a service offer and returns its offer id.
+	AdvertiseOffer(serviceType string, ref wire.Ref, properties map[string]wire.Value) (string, error)
+	// WithdrawOffer removes a previously advertised offer.
+	WithdrawOffer(offerID string) error
+}
+
+// ServerSpec describes one default server a node must (re)create after a
+// restart (§6: the node manager "links the computer into the system after
+// a restart, creating any servers on that machine which are required by
+// default and advertising them via the trading system").
+type ServerSpec struct {
+	// Name identifies the server within the node.
+	Name string
+	// Type is its interface type.
+	Type types.Type
+	// New constructs a fresh servant instance.
+	New func() (Servant, error)
+	// Properties qualify the trading offer.
+	Properties map[string]wire.Value
+}
+
+// NodeManagerType is the management interface every node manager exports,
+// "a management service, accessible from other computers, for starting
+// and stopping servers on its own node" (§6).
+var NodeManagerType = types.Type{
+	Name: "odp.NodeManager",
+	Ops: map[string]types.Operation{
+		"list": {
+			Outcomes: map[string][]types.Desc{"ok": {types.List(types.String)}},
+		},
+		"start": {
+			Args:     []types.Desc{types.String},
+			Outcomes: map[string][]types.Desc{"ok": {types.RefTo("")}, "error": {types.String}},
+		},
+		"stop": {
+			Args:     []types.Desc{types.String},
+			Outcomes: map[string][]types.Desc{"ok": {}, "error": {types.String}},
+		},
+	},
+}
+
+// NodeManager starts a capsule's default servers and exposes remote
+// start/stop management.
+type NodeManager struct {
+	capsule    *Capsule
+	advertiser Advertiser
+
+	mu      sync.Mutex
+	specs   map[string]ServerSpec
+	order   []string
+	running map[string]runningServer
+	ref     wire.Ref
+}
+
+type runningServer struct {
+	ref     wire.Ref
+	offerID string
+}
+
+// NewNodeManager creates a manager for c. advertiser may be nil (no
+// trading).
+func NewNodeManager(c *Capsule, advertiser Advertiser, specs []ServerSpec) (*NodeManager, error) {
+	nm := &NodeManager{
+		capsule:    c,
+		advertiser: advertiser,
+		specs:      make(map[string]ServerSpec, len(specs)),
+		running:    make(map[string]runningServer),
+	}
+	for _, s := range specs {
+		if _, dup := nm.specs[s.Name]; dup {
+			return nil, fmt.Errorf("capsule: duplicate server spec %q", s.Name)
+		}
+		nm.specs[s.Name] = s
+		nm.order = append(nm.order, s.Name)
+	}
+	ref, err := c.Export(ServantFunc(nm.dispatch),
+		WithID(c.Name()+"/node-manager"),
+		WithType(NodeManagerType))
+	if err != nil {
+		return nil, err
+	}
+	nm.ref = ref
+	return nm, nil
+}
+
+// Ref returns the manager's own interface reference.
+func (nm *NodeManager) Ref() wire.Ref { return nm.ref }
+
+// Bootstrap starts every default server, as after a node restart.
+func (nm *NodeManager) Bootstrap() error {
+	nm.mu.Lock()
+	order := append([]string(nil), nm.order...)
+	nm.mu.Unlock()
+	for _, name := range order {
+		if _, err := nm.Start(name); err != nil {
+			return fmt.Errorf("capsule: bootstrap %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Start launches the named server and advertises it.
+func (nm *NodeManager) Start(name string) (wire.Ref, error) {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	spec, ok := nm.specs[name]
+	if !ok {
+		return wire.Ref{}, fmt.Errorf("capsule: unknown server %q", name)
+	}
+	if rs, up := nm.running[name]; up {
+		return rs.ref, nil
+	}
+	servant, err := spec.New()
+	if err != nil {
+		return wire.Ref{}, fmt.Errorf("capsule: create %q: %w", name, err)
+	}
+	opts := []ExportOption{WithID(nm.capsule.Name() + "/" + name)}
+	if spec.Type.Name != "" {
+		opts = append(opts, WithType(spec.Type))
+	}
+	ref, err := nm.capsule.Export(servant, opts...)
+	if err != nil {
+		return wire.Ref{}, err
+	}
+	rs := runningServer{ref: ref}
+	if nm.advertiser != nil {
+		offerID, err := nm.advertiser.AdvertiseOffer(spec.Type.Name, ref, spec.Properties)
+		if err != nil {
+			nm.capsule.Unexport(ref.ID)
+			return wire.Ref{}, fmt.Errorf("capsule: advertise %q: %w", name, err)
+		}
+		rs.offerID = offerID
+	}
+	nm.running[name] = rs
+	return ref, nil
+}
+
+// Stop withdraws and unexports the named server.
+func (nm *NodeManager) Stop(name string) error {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	rs, up := nm.running[name]
+	if !up {
+		return fmt.Errorf("capsule: server %q not running", name)
+	}
+	if nm.advertiser != nil && rs.offerID != "" {
+		if err := nm.advertiser.WithdrawOffer(rs.offerID); err != nil {
+			return fmt.Errorf("capsule: withdraw %q: %w", name, err)
+		}
+	}
+	nm.capsule.Unexport(rs.ref.ID)
+	delete(nm.running, name)
+	return nil
+}
+
+// Running returns the names of servers currently up.
+func (nm *NodeManager) Running() []string {
+	nm.mu.Lock()
+	defer nm.mu.Unlock()
+	var names []string
+	for _, n := range nm.order {
+		if _, up := nm.running[n]; up {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// dispatch implements the remote management interface.
+func (nm *NodeManager) dispatch(_ context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
+	switch op {
+	case "list":
+		names := nm.Running()
+		list := make(wire.List, len(names))
+		for i, n := range names {
+			list[i] = n
+		}
+		return "ok", []wire.Value{list}, nil
+	case "start":
+		name, _ := args[0].(string)
+		ref, err := nm.Start(name)
+		if err != nil {
+			return "error", []wire.Value{err.Error()}, nil
+		}
+		return "ok", []wire.Value{ref}, nil
+	case "stop":
+		name, _ := args[0].(string)
+		if err := nm.Stop(name); err != nil {
+			return "error", []wire.Value{err.Error()}, nil
+		}
+		return "ok", nil, nil
+	default:
+		return "", nil, fmt.Errorf("capsule: node manager has no operation %q", op)
+	}
+}

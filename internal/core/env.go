@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"odp/internal/capsule"
+	"odp/internal/group"
+	"odp/internal/mgmt"
+	"odp/internal/migrate"
+	"odp/internal/security"
+	"odp/internal/txn"
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+// Env is the declarative environment constraint set of an interface
+// (§4.4): "if the application does have specific environmental
+// constraints, such as dependability or performance guarantees, these can
+// be specified declaratively. The application does not have to be bound
+// to a specific transparency mechanism." Each non-nil field selects a
+// transparency; access and location transparency are always provided.
+type Env struct {
+	// Atomic requests concurrency transparency: the interface becomes a
+	// transactional resource under generated concurrency control (§5.2).
+	Atomic *AtomicSpec
+	// Secured requests a generated guard (§7.1).
+	Secured *SecureSpec
+	// Recoverable requests failure transparency: checkpoint plus
+	// interaction log (§5.5).
+	Recoverable *RecoverSpec
+	// Movable requests migration/resource transparency: the object can
+	// be migrated and passivated (§5.5). Implied by Recoverable.
+	Movable bool
+	// Leased requests distributed-garbage-collection tracking (§7.3).
+	Leased *LeaseSpec
+	// Managed requests management instrumentation (§7.4).
+	Managed *ManagedSpec
+}
+
+// AtomicSpec configures concurrency transparency.
+type AtomicSpec struct {
+	// Separation lists the read-only (shared-lock) operations; all
+	// others interfere (§5.2 separation constraints).
+	Separation txn.Separation
+	// Order is the optional consistency predicate (§5.2).
+	Order txn.OrderPredicate
+	// Durable persists prepared/committed state in the platform store.
+	Durable bool
+}
+
+// SecureSpec configures the generated guard.
+type SecureSpec struct {
+	// Policy is the declarative access policy.
+	Policy security.Policy
+	// MaxSkew bounds credential age (default 30s).
+	MaxSkew time.Duration
+}
+
+// RecoverSpec configures failure transparency.
+type RecoverSpec struct {
+	// ReadOnly lists operations the interaction log may skip.
+	ReadOnly map[string]bool
+}
+
+// LeaseSpec configures collection tracking.
+type LeaseSpec struct {
+	// OnCollect runs when the object is reclaimed (optional).
+	OnCollect func(id string)
+}
+
+// ManagedSpec configures instrumentation.
+type ManagedSpec struct {
+	// MetricPrefix names the object's metrics (default: the object id).
+	MetricPrefix string
+}
+
+// Object is a computational-model object: behaviour, signature and
+// environment constraints.
+type Object struct {
+	// Servant is the behaviour.
+	Servant capsule.Servant
+	// Type is the interface signature (optional but recommended: it
+	// enables early type checking and trading).
+	Type types.Type
+	// Env declares the required transparencies.
+	Env Env
+}
+
+// Publish weaves the object's environment constraints into an access
+// path and exports the interface under id. This is the §4.5 automated
+// transformation: "transparency requirements can be processed
+// automatically by editing the code generated when programs are compiled
+// to add the extra functionality needed to achieve transparency."
+func (p *Platform) Publish(id string, obj Object) (wire.Ref, error) {
+	env := obj.Env
+	if env.Atomic != nil && env.Recoverable != nil {
+		// The transactional resource already owns durability and
+		// versioning; stacking a second log would replay doubly.
+		return wire.Ref{}, fmt.Errorf("%w: Atomic already subsumes Recoverable durability (use AtomicSpec.Durable)", ErrEnvConflict)
+	}
+
+	// Innermost first: behaviour, then concurrency control.
+	servant := obj.Servant
+	if env.Atomic != nil {
+		var resOpts []txn.ResourceOption
+		resOpts = append(resOpts, txn.WithSeparation(env.Atomic.Separation))
+		if env.Atomic.Order != nil {
+			resOpts = append(resOpts, txn.WithOrderPredicate(env.Atomic.Order))
+		}
+		if env.Atomic.Durable {
+			resOpts = append(resOpts, txn.WithDurability(p.Store))
+		}
+		res, err := txn.NewResource(id, servant, p.Locks, resOpts...)
+		if err != nil {
+			return wire.Ref{}, fmt.Errorf("%w: %v", ErrNeedsSnapshot, err)
+		}
+		servant = res
+	}
+
+	// Interceptors, outermost first: instrumentation sees everything,
+	// the guard rejects before any mechanism runs, lease tracking counts
+	// only admitted traffic.
+	var chain []capsule.Interceptor
+	if env.Managed != nil {
+		prefix := env.Managed.MetricPrefix
+		if prefix == "" {
+			prefix = id
+		}
+		chain = append(chain, mgmt.Instrument(p.Registry, prefix))
+	}
+	if env.Secured != nil {
+		guard := security.NewGuard(p.Keys, env.Secured.Policy, env.Secured.MaxSkew)
+		chain = append(chain, guard.AsInterceptor())
+	}
+	if env.Leased != nil {
+		chain = append(chain, p.Collector.Track(id, env.Leased.OnCollect))
+	}
+
+	if obj.Type.Name != "" {
+		if err := p.Types.Register(obj.Type); err != nil {
+			return wire.Ref{}, err
+		}
+	}
+
+	// Movable/recoverable objects export through the migration host so
+	// the quiescing gate (and recovery log) sit on the access path.
+	if env.Recoverable != nil || env.Movable {
+		mov, ok := servant.(migrate.Servant)
+		if !ok {
+			return wire.Ref{}, fmt.Errorf("%w: movable/recoverable objects must snapshot", ErrNeedsSnapshot)
+		}
+		mopts := []migrate.ExportOption{migrate.WithExtraInterceptors(chain...)}
+		if obj.Type.Name != "" {
+			mopts = append(mopts, migrate.WithType(obj.Type))
+		}
+		if env.Recoverable != nil {
+			mopts = append(mopts, migrate.WithRecoveryLog(env.Recoverable.ReadOnly))
+		}
+		return p.Mover.Export(id, mov, mopts...)
+	}
+
+	copts := []capsule.ExportOption{capsule.WithID(id)}
+	if obj.Type.Name != "" {
+		copts = append(copts, capsule.WithType(obj.Type))
+	}
+	if len(chain) > 0 {
+		copts = append(copts, capsule.WithInterceptors(chain...))
+	}
+	return p.Capsule.Export(servant, copts...)
+}
+
+// ReplicaSpec configures replication transparency (§5.3).
+type ReplicaSpec struct {
+	// GroupID names the replica group.
+	GroupID string
+	// Mode selects active replication or hot standby.
+	Mode group.Mode
+	// HeartbeatInterval / FailureTimeout tune failure detection.
+	HeartbeatInterval time.Duration
+	FailureTimeout    time.Duration
+}
+
+// Replicated is a published replica group.
+type Replicated struct {
+	// Members are the per-platform group members, in platform order.
+	Members []*group.Member
+}
+
+// Ref returns the group reference — to clients, an ordinary singleton
+// interface reference with several access paths.
+func (r *Replicated) Ref() wire.Ref {
+	return r.Members[0].GroupRef()
+}
+
+// Stop halts all members.
+func (r *Replicated) Stop() {
+	for _, m := range r.Members {
+		m.Stop()
+	}
+}
+
+// PublishReplicated weaves replication transparency: one replica per
+// platform, joined into an ordered group. factory must produce an
+// independent servant per platform (replicas share no memory). The first
+// platform bootstraps; the rest join.
+func PublishReplicated(platforms []*Platform, spec ReplicaSpec, factory func() capsule.Servant) (*Replicated, error) {
+	if len(platforms) == 0 {
+		return nil, fmt.Errorf("core: no platforms for replica group")
+	}
+	cfg := group.Config{
+		GroupID:           spec.GroupID,
+		Mode:              spec.Mode,
+		HeartbeatInterval: spec.HeartbeatInterval,
+		FailureTimeout:    spec.FailureTimeout,
+	}
+	r := &Replicated{}
+	for i, p := range platforms {
+		m, err := group.NewMember(p.Capsule, factory(), cfg)
+		if err != nil {
+			r.Stop()
+			return nil, err
+		}
+		if i == 0 {
+			m.Bootstrap()
+		} else if err := m.Join(context.Background(), r.Members[0].GroupRef()); err != nil {
+			r.Stop()
+			return nil, err
+		}
+		r.Members = append(r.Members, m)
+	}
+	for _, m := range r.Members {
+		m.Start()
+	}
+	return r, nil
+}

@@ -1,0 +1,231 @@
+// Package core implements the paper's primary contribution: the ODP
+// computational model (§4.4) and the engineering-model transparency
+// weaver (§4.5).
+//
+// The computational model is deliberately minimal: state is reached only
+// through references to ADT interfaces; interaction is interrogation or
+// announcement; arguments and results are values or references. An
+// application declares the qualities it needs from its environment as an
+// Env — environment constraints, in the paper's words — "rather than
+// mixing application code with calls to low-level system procedures".
+//
+// The weaver (Publish) is the automated tool of §4.5: it reads the Env
+// and links the corresponding transparency mechanisms into the access
+// path of the exported interface — a guard for security, a generated
+// concurrency-control manager for atomicity, an interaction log for
+// recoverability, lease tracking for collection, instrumentation for
+// management — so that "transparency requirements can be processed
+// automatically". Transparency is selective: an empty Env weaves
+// nothing and costs nothing (experiment E15).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"odp/internal/capsule"
+	"odp/internal/gc"
+	"odp/internal/mgmt"
+	"odp/internal/migrate"
+	"odp/internal/naming"
+	"odp/internal/rpc"
+	"odp/internal/security"
+	"odp/internal/storage"
+	"odp/internal/trader"
+	"odp/internal/transport"
+	"odp/internal/txn"
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+// Platform bundles one capsule with every engineering-model service the
+// weaver may need: the node a programmer gets by joining an ODP system.
+type Platform struct {
+	// Capsule is the underlying execution capsule.
+	Capsule *capsule.Capsule
+	// Store is the node's stable storage.
+	Store storage.Store
+	// Locks is the node's shared concurrency-control manager.
+	Locks *txn.LockManager
+	// Registry gathers management metrics.
+	Registry *mgmt.Registry
+	// Agent is the node's management interface.
+	Agent *mgmt.Agent
+	// Collector is the node's garbage collector.
+	Collector *gc.Collector
+	// Mover is the node's migration/passivation/recovery host.
+	Mover *migrate.Host
+	// Keys holds the node's shared secrets.
+	Keys *security.Keyring
+	// Types is the node's type manager.
+	Types *types.Manager
+	// Trader is non-nil when this node hosts a trading service.
+	Trader *trader.Trader
+	// Coordinator begins distributed transactions from this node.
+	Coordinator *txn.Coordinator
+
+	// RelocTable is non-nil when this node hosts the relocation service.
+	RelocTable *naming.Table
+	// RelocRef locates the relocation service (local or remote).
+	RelocRef wire.Ref
+
+	binder *naming.Binder
+}
+
+// platformConfig collects construction options.
+type platformConfig struct {
+	codec         wire.Codec
+	store         storage.Store
+	lockWait      time.Duration
+	gcGrace       time.Duration
+	relocator     wire.Ref
+	hostRelocator bool
+	traderContext string
+	capsuleOpts   []capsule.Option
+}
+
+// Option configures NewPlatform.
+type Option func(*platformConfig)
+
+// WithCodec selects the node's network data representation (default
+// binary).
+func WithCodec(c wire.Codec) Option {
+	return func(cfg *platformConfig) { cfg.codec = c }
+}
+
+// WithStore supplies stable storage (default in-memory).
+func WithStore(s storage.Store) Option {
+	return func(cfg *platformConfig) { cfg.store = s }
+}
+
+// WithRelocator points the node at an existing relocation service. The
+// default hosts one locally.
+func WithRelocator(ref wire.Ref) Option {
+	return func(cfg *platformConfig) { cfg.relocator = ref; cfg.hostRelocator = false }
+}
+
+// WithTrader hosts a trading service on this node under the given
+// federation context name.
+func WithTrader(contextName string) Option {
+	return func(cfg *platformConfig) { cfg.traderContext = contextName }
+}
+
+// WithLockWait bounds transactional lock waits.
+func WithLockWait(d time.Duration) Option {
+	return func(cfg *platformConfig) { cfg.lockWait = d }
+}
+
+// WithGCGrace sets the collector's activity grace window.
+func WithGCGrace(d time.Duration) Option {
+	return func(cfg *platformConfig) { cfg.gcGrace = d }
+}
+
+// WithCapsuleOptions forwards options to the underlying capsule.
+func WithCapsuleOptions(opts ...capsule.Option) Option {
+	return func(cfg *platformConfig) { cfg.capsuleOpts = append(cfg.capsuleOpts, opts...) }
+}
+
+// NewPlatform assembles a node on ep.
+func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform, error) {
+	cfg := platformConfig{
+		codec:         wire.BinaryCodec{},
+		hostRelocator: true,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.store == nil {
+		cfg.store = storage.NewMemStore()
+	}
+
+	p := &Platform{
+		Store:    cfg.store,
+		Locks:    txn.NewLockManager(cfg.lockWait),
+		Registry: mgmt.NewRegistry(0),
+		Keys:     security.NewKeyring(),
+		Types:    types.NewManager(),
+	}
+	p.Capsule = capsule.New(name, ep, cfg.codec, cfg.capsuleOpts...)
+	p.Coordinator = txn.NewCoordinator(p.Capsule, cfg.store)
+
+	var err error
+	if p.Agent, err = mgmt.NewAgent(p.Capsule, p.Registry); err != nil {
+		return nil, fmt.Errorf("core: management agent: %w", err)
+	}
+	if p.Collector, err = gc.New(p.Capsule, cfg.gcGrace); err != nil {
+		return nil, fmt.Errorf("core: collector: %w", err)
+	}
+	if cfg.hostRelocator {
+		table, ref, err := naming.ExportRelocator(p.Capsule)
+		if err != nil {
+			return nil, fmt.Errorf("core: relocator: %w", err)
+		}
+		p.RelocTable = table
+		p.RelocRef = ref
+	} else {
+		p.RelocRef = cfg.relocator
+	}
+	var registrar migrate.Registrar
+	if p.RelocTable != nil {
+		registrar = p.RelocTable
+	} else {
+		registrar = &remoteRegistrar{p: p}
+	}
+	if p.Mover, err = migrate.NewHost(p.Capsule, cfg.store, registrar); err != nil {
+		return nil, fmt.Errorf("core: migration host: %w", err)
+	}
+	if cfg.traderContext != "" {
+		if p.Trader, err = trader.New(cfg.traderContext, p.Capsule, p.Types); err != nil {
+			return nil, fmt.Errorf("core: trader: %w", err)
+		}
+	}
+	p.binder = naming.NewBinder(p.Capsule, p.RelocRef)
+	return p, nil
+}
+
+// Close shuts the platform down.
+func (p *Platform) Close() error {
+	return p.Capsule.Close()
+}
+
+// Invoke performs an interrogation through the platform's binder:
+// location transparency (relocation recovery) is applied automatically.
+func (p *Platform) Invoke(ctx context.Context, ref wire.Ref, op string, args []wire.Value, opts ...capsule.InvokeOption) (string, []wire.Value, error) {
+	return p.binder.Invoke(ctx, ref, op, args, opts...)
+}
+
+// Announce performs a request-only invocation.
+func (p *Platform) Announce(ref wire.Ref, op string, args []wire.Value) error {
+	return p.Capsule.Announce(ref, op, args)
+}
+
+// BinderStats exposes binder counters (experiment E7).
+func (p *Platform) BinderStats() naming.BinderStats {
+	return p.binder.Stats()
+}
+
+// remoteRegistrar registers relocations at a remote relocation service.
+type remoteRegistrar struct {
+	p *Platform
+}
+
+// Register implements migrate.Registrar.
+func (r *remoteRegistrar) Register(ref wire.Ref) {
+	_, _, err := r.p.Capsule.Invoke(context.Background(), r.p.RelocRef, "register",
+		[]wire.Value{ref}, capsule.WithQoS(rpc.QoS{Timeout: rpc.DefaultTimeout}))
+	if err != nil {
+		r.p.Registry.Log("relocation registration failed: " + err.Error())
+	}
+}
+
+// Errors returned by the weaver.
+var (
+	// ErrEnvConflict reports an unsatisfiable environment constraint
+	// combination.
+	ErrEnvConflict = errors.New("core: conflicting environment constraints")
+	// ErrNeedsSnapshot reports a constraint requiring state capture on a
+	// servant that cannot snapshot.
+	ErrNeedsSnapshot = errors.New("core: constraint requires a snapshot-capable servant")
+)

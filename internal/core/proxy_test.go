@@ -1,0 +1,206 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"odp/internal/migrate"
+	"odp/internal/rpc"
+	"odp/internal/wire"
+)
+
+func TestProxyRefAndQoS(t *testing.T) {
+	e := newCoreEnv(t)
+	server := e.platform("server")
+	client := e.platform("client", WithRelocator(server.RelocRef))
+	ref, err := server.Publish("ledger", Object{Servant: &ledger{balance: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := client.Bind(ref)
+	if !wire.Equal(proxy.Ref(), ref) {
+		t.Fatal("proxy lost its reference")
+	}
+	// WithQoS returns a derived proxy; the original is untouched.
+	fast := proxy.WithQoS(rpc.QoS{Timeout: 2 * time.Second})
+	if fast == proxy {
+		t.Fatal("WithQoS mutated in place")
+	}
+	out, err := fast.Call(context.Background(), "balance")
+	if err != nil || !out.Is("ok") {
+		t.Fatalf("call via derived proxy: %+v %v", out, err)
+	}
+}
+
+func TestProxyAnnounce(t *testing.T) {
+	e := newCoreEnv(t)
+	server := e.platform("server")
+	client := e.platform("client", WithRelocator(server.RelocRef))
+	led := &ledger{}
+	ref, err := server.Publish("ledger", Object{Servant: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Bind(ref).Announce("credit", int64(5)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(2 * time.Second)
+	for {
+		led.mu.Lock()
+		n := led.balance
+		led.mu.Unlock()
+		if n == 5 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("announcement never applied (balance %d)", n)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestPlatformAnnounceAndBinderStats(t *testing.T) {
+	e := newCoreEnv(t)
+	server := e.platform("server")
+	client := e.platform("client", WithRelocator(server.RelocRef))
+	led := &ledger{}
+	ref, err := server.Publish("ledger", Object{Servant: led})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Announce(ref, "credit", []wire.Value{int64(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := client.Invoke(context.Background(), ref, "balance", nil); err != nil {
+		t.Fatal(err)
+	}
+	st := client.BinderStats()
+	if st.Invocations != 1 {
+		t.Fatalf("binder stats %+v", st)
+	}
+}
+
+func TestPlatformOptionsExercised(t *testing.T) {
+	// Exercise the remaining construction options together.
+	e := newCoreEnv(t)
+	p, err := NewPlatform("opt", e.endpoint("opt"),
+		WithCodec(wire.TextCodec{}),
+		WithTrader("opt-ctx"),
+		WithLockWait(time.Second),
+		WithCapsuleOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Close() })
+	if p.Trader == nil || p.Trader.ContextName() != "opt-ctx" {
+		t.Fatal("trader option not applied")
+	}
+	if p.Capsule.Codec().Name() != (wire.TextCodec{}).Name() {
+		t.Fatal("codec option not applied")
+	}
+	// The platform remains functional with the text codec.
+	ref, err := p.Publish("l", Object{Servant: &ledger{balance: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Bind(ref).Call(context.Background(), "balance")
+	if err != nil || !out.Is("ok") {
+		t.Fatalf("text-codec platform call: %+v %v", out, err)
+	}
+}
+
+func TestRemoteRegistrarPath(t *testing.T) {
+	// A platform pointed at a REMOTE relocation service must register
+	// migrations there over the wire.
+	e := newCoreEnv(t)
+	hub := e.platform("hub") // hosts the relocator
+	src := e.platform("src", WithRelocator(hub.RelocRef))
+	dst := e.platform("dst", WithRelocator(hub.RelocRef))
+	dst.Mover.RegisterFactory("Ledger", func() migrate.Servant { return &ledger{} })
+
+	ref, err := src.Publish("wanderer", Object{
+		Servant: &ledger{balance: 9},
+		Type:    ledgerType(),
+		Env:     Env{Movable: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Mover.Migrate(context.Background(), "wanderer", dst.Mover.AcceptorRef()); err != nil {
+		t.Fatal(err)
+	}
+	// The hub's table (remote to src) learned the move.
+	got, err := hub.RelocTable.Lookup("wanderer")
+	if err != nil || got.Endpoints[0] != "dst" {
+		t.Fatalf("remote registration failed: %v %v", got, err)
+	}
+	// A fresh client with a stale ref recovers through the hub.
+	client := e.platform("client", WithRelocator(hub.RelocRef))
+	out, err := client.Bind(ref).WithQoS(rpc.QoS{Timeout: time.Second}).Call(context.Background(), "balance")
+	if err != nil || !out.Is("ok") {
+		t.Fatalf("stale-ref call after remote-registered move: %+v %v", out, err)
+	}
+	if n, _ := out.Int(0); n != 9 {
+		t.Fatalf("balance %d", n)
+	}
+}
+
+// TestLeasedObjectArchivedNotDestroyed composes the collector with
+// passivation, §7.3's archival pattern: when an unreferenced object is
+// collected, its OnCollect hook archives it to stable storage instead of
+// destroying it, and a later invocation "moves it back on demand".
+func TestLeasedObjectArchivedNotDestroyed(t *testing.T) {
+	e := newCoreEnv(t)
+	server := e.platform("server", WithGCGrace(20*time.Millisecond))
+	client := e.platform("client", WithRelocator(server.RelocRef))
+	server.Mover.RegisterFactory("Ledger", func() migrate.Servant { return &ledger{} })
+
+	archived := make(chan string, 1)
+	ref, err := server.Publish("archive-me", Object{
+		Servant: &ledger{balance: 77},
+		Type:    ledgerType(),
+		Env: Env{
+			Movable: true,
+			Leased: &LeaseSpec{OnCollect: func(id string) {
+				// The collector has already unexported; re-export briefly
+				// so Passivate can snapshot, then archive.
+				// (Host.Passivate needs the managed entry, which survives
+				// the capsule unexport.)
+				if err := server.Mover.Passivate(id); err == nil {
+					archived <- id
+				}
+			}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed some state, then let the lease lapse.
+	if _, err := client.Bind(ref).Call(context.Background(), "credit", int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	victims := server.Collector.Sweep()
+	if len(victims) != 1 {
+		t.Fatalf("swept %v", victims)
+	}
+	select {
+	case <-archived:
+	case <-time.After(2 * time.Second):
+		t.Fatal("collected object was not archived")
+	}
+	if !server.Mover.IsPassive("archive-me") {
+		t.Fatal("object not in passive store")
+	}
+	// Demand brings it back, state intact.
+	out, err := client.Bind(ref).WithQoS(rpc.QoS{Timeout: 2 * time.Second}).
+		Call(context.Background(), "balance")
+	if err != nil || !out.Is("ok") {
+		t.Fatalf("reactivation: %+v %v", out, err)
+	}
+	if n, _ := out.Int(0); n != 80 {
+		t.Fatalf("archived state lost: %d", n)
+	}
+}

@@ -1,0 +1,247 @@
+package enterprise
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+func bankCommunity() Community {
+	return Community{
+		Name:      "retail-bank",
+		Objective: "hold customer funds safely",
+		Roles:     []string{"teller", "auditor", "customer"},
+		Statements: []Statement{
+			{Kind: Permission, Role: "teller", Action: "deposit"},
+			{Kind: Permission, Role: "teller", Action: "withdraw"},
+			{Kind: Permission, Role: "customer", Action: "balance"},
+			{Kind: Permission, Role: "auditor", Action: "*"},
+			{Kind: Prohibition, Role: "auditor", Action: "withdraw"},
+			{Kind: Obligation, Role: "auditor", Action: "audit"},
+		},
+	}
+}
+
+func TestCommunityPermits(t *testing.T) {
+	c := bankCommunity()
+	a := Assignment{
+		"alice": {"teller"},
+		"bob":   {"customer"},
+		"carol": {"auditor"},
+		"dave":  {"customer", "teller"},
+	}
+	tests := []struct {
+		principal, action string
+		want              bool
+	}{
+		{"alice", "deposit", true},
+		{"alice", "balance", false},
+		{"bob", "balance", true},
+		{"bob", "deposit", false},
+		{"carol", "balance", true},   // auditor wildcard permission
+		{"carol", "withdraw", false}, // prohibition overrides wildcard
+		{"dave", "deposit", true},
+		{"dave", "balance", true},
+		{"eve", "balance", false}, // unassigned principal
+	}
+	for _, tt := range tests {
+		if got := c.Permits(a, tt.principal, tt.action); got != tt.want {
+			t.Errorf("Permits(%s, %s) = %v, want %v", tt.principal, tt.action, got, tt.want)
+		}
+	}
+}
+
+func TestValidateAssignment(t *testing.T) {
+	c := bankCommunity()
+	if err := c.Validate(Assignment{"x": {"teller"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(Assignment{"x": {"emperor"}}); !errors.Is(err, ErrUnknownRole) {
+		t.Fatalf("want ErrUnknownRole, got %v", err)
+	}
+}
+
+func TestCompileGuardPolicy(t *testing.T) {
+	c := bankCommunity()
+	a := Assignment{"alice": {"teller"}, "carol": {"auditor"}}
+	ops := []string{"deposit", "withdraw", "balance"}
+	policy, err := c.CompileGuardPolicy(a, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The compiled policy must agree with the enterprise evaluation.
+	for _, principal := range []string{"alice", "carol", "eve"} {
+		for _, op := range ops {
+			if policy.Allows(principal, op) != c.Permits(a, principal, op) {
+				t.Fatalf("compiled policy diverges at (%s, %s)", principal, op)
+			}
+		}
+	}
+	if _, err := c.CompileGuardPolicy(Assignment{"x": {"ghost"}}, ops); !errors.Is(err, ErrUnknownRole) {
+		t.Fatalf("bad assignment compiled: %v", err)
+	}
+}
+
+func TestObligationsAudit(t *testing.T) {
+	c := bankCommunity()
+	a := Assignment{"carol": {"auditor"}, "alice": {"teller"}}
+	// Carol never audits: obligation unmet.
+	err := c.CheckObligations(a, []ObligationRecord{
+		{Principal: "alice", Action: "deposit"},
+	})
+	if !errors.Is(err, ErrObligationUnmet) {
+		t.Fatalf("want ErrObligationUnmet, got %v", err)
+	}
+	// Carol audits: satisfied.
+	err = c.CheckObligations(a, []ObligationRecord{
+		{Principal: "carol", Action: "audit"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func accountSchema() Schema {
+	return Schema{
+		Entities: map[string]EntityType{
+			"Account": {
+				Attrs: map[string]types.Desc{
+					"owner":   types.String,
+					"balance": types.Int,
+					"tags":    types.List(types.String),
+				},
+				Required: []string{"owner", "balance"},
+			},
+		},
+		Invariants: []Invariant{
+			func(entity string, inst wire.Record) error {
+				if entity != "Account" {
+					return nil
+				}
+				if b, ok := inst["balance"].(int64); ok && b < 0 {
+					return fmt.Errorf("account balance %d negative", b)
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := accountSchema()
+	good := wire.Record{"owner": "alice", "balance": int64(10)}
+	if err := s.Validate("Account", good); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		inst wire.Record
+	}{
+		{"missing-required", wire.Record{"owner": "alice"}},
+		{"wrong-type", wire.Record{"owner": "alice", "balance": "ten"}},
+		{"undeclared-attr", wire.Record{"owner": "a", "balance": int64(1), "colour": "red"}},
+		{"invariant", wire.Record{"owner": "a", "balance": int64(-5)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := s.Validate("Account", tt.inst); !errors.Is(err, ErrSchemaViolation) {
+				t.Fatalf("want ErrSchemaViolation, got %v", err)
+			}
+		})
+	}
+	if err := s.Validate("Rocket", good); !errors.Is(err, ErrUnknownEntity) {
+		t.Fatalf("want ErrUnknownEntity, got %v", err)
+	}
+}
+
+func TestVersionVectorCompare(t *testing.T) {
+	a := VersionVector{"p1": 2, "p2": 1}
+	b := VersionVector{"p1": 2, "p2": 2}
+	if cmp, ok := a.Compare(b); !ok || cmp != -1 {
+		t.Fatalf("a<b: %d %v", cmp, ok)
+	}
+	if cmp, ok := b.Compare(a); !ok || cmp != 1 {
+		t.Fatalf("b>a: %d %v", cmp, ok)
+	}
+	if cmp, ok := a.Compare(a.Clone()); !ok || cmp != 0 {
+		t.Fatalf("a==a: %d %v", cmp, ok)
+	}
+	c := VersionVector{"p1": 3, "p2": 0}
+	if _, ok := a.Compare(c); ok {
+		t.Fatal("concurrent vectors reported ordered")
+	}
+	// Missing components are zero.
+	if cmp, ok := (VersionVector{}).Compare(VersionVector{"p": 1}); !ok || cmp != -1 {
+		t.Fatalf("empty < ticked: %d %v", cmp, ok)
+	}
+}
+
+func TestMergeOrderedVersions(t *testing.T) {
+	base := VersionedFact{Key: "limit", Value: int64(100), Version: VersionVector{}}
+	v1 := base.Update("org-a", int64(200))
+	v2 := v1.Update("org-b", int64(300))
+	merged, err := Merge(v1, v2)
+	if err != nil || merged.Value != int64(300) {
+		t.Fatalf("merge ordered: %v %v", merged, err)
+	}
+	merged, err = Merge(v2, v1)
+	if err != nil || merged.Value != int64(300) {
+		t.Fatalf("merge symmetric: %v %v", merged, err)
+	}
+}
+
+func TestMergeConflictDetected(t *testing.T) {
+	base := VersionedFact{Key: "limit", Value: int64(100), Version: VersionVector{}}
+	atA := base.Update("org-a", int64(200))
+	atB := base.Update("org-b", int64(999))
+	if _, err := Merge(atA, atB); !errors.Is(err, ErrConflict) {
+		t.Fatalf("want ErrConflict, got %v", err)
+	}
+	// Concurrent but equal values join without conflict.
+	sameA := base.Update("org-a", int64(500))
+	sameB := base.Update("org-b", int64(500))
+	merged, err := Merge(sameA, sameB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Version["org-a"] != 1 || merged.Version["org-b"] != 1 {
+		t.Fatalf("joined vector %v", merged.Version)
+	}
+	if _, err := Merge(atA, VersionedFact{Key: "other"}); err == nil {
+		t.Fatal("merging different keys accepted")
+	}
+}
+
+func TestMergePropertyIdempotentCommutative(t *testing.T) {
+	prop := func(ticksA, ticksB uint8) bool {
+		base := VersionedFact{Key: "k", Value: int64(0), Version: VersionVector{}}
+		a, b := base, base
+		for i := 0; i < int(ticksA%4); i++ {
+			a = a.Update("pa", int64(i))
+		}
+		for i := 0; i < int(ticksB%4); i++ {
+			b = b.Update("pb", int64(100+i))
+		}
+		m1, err1 := Merge(a, b)
+		m2, err2 := Merge(b, a)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true // conflict both ways: consistent
+		}
+		if !wire.Equal(m1.Value, m2.Value) {
+			return false
+		}
+		// Idempotent: merging the result with itself is a no-op.
+		m3, err := Merge(m1, m1)
+		return err == nil && wire.Equal(m3.Value, m1.Value)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

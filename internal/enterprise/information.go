@@ -1,0 +1,172 @@
+package enterprise
+
+import (
+	"errors"
+	"fmt"
+
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+// The information language (§8): "builds upon familiar notions of
+// objects, relations and information flows to enable description of the
+// entities relevant to the users of a system... ODP adds a new challenge
+// of having to deal with issues of inconsistency and conflict between
+// multiple versions of the same information held by different parties in
+// a federated environment." Schema models the entities; VersionedFact
+// and Merge handle the federated-version problem with version vectors.
+
+// EntityType describes one kind of information object.
+type EntityType struct {
+	// Attrs maps attribute name to value type.
+	Attrs map[string]types.Desc
+	// Required lists attributes that must be present.
+	Required []string
+}
+
+// Invariant is a schema-level consistency predicate over one instance.
+type Invariant func(entity string, instance wire.Record) error
+
+// Schema is an information model.
+type Schema struct {
+	// Entities maps entity name to its type.
+	Entities map[string]EntityType
+	// Invariants are cross-attribute consistency rules.
+	Invariants []Invariant
+}
+
+// Errors returned by the information layer.
+var (
+	// ErrUnknownEntity reports an instance of an undeclared entity.
+	ErrUnknownEntity = errors.New("enterprise: unknown entity")
+	// ErrSchemaViolation reports an invalid instance.
+	ErrSchemaViolation = errors.New("enterprise: schema violation")
+	// ErrConflict reports concurrent divergent versions of a fact.
+	ErrConflict = errors.New("enterprise: version conflict")
+)
+
+// Validate checks an instance of entity against the schema.
+func (s Schema) Validate(entity string, instance wire.Record) error {
+	et, ok := s.Entities[entity]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEntity, entity)
+	}
+	for _, req := range et.Required {
+		if _, ok := instance[req]; !ok {
+			return fmt.Errorf("%w: %s lacks required attribute %q", ErrSchemaViolation, entity, req)
+		}
+	}
+	for attr, v := range instance {
+		desc, ok := et.Attrs[attr]
+		if !ok {
+			return fmt.Errorf("%w: %s has undeclared attribute %q", ErrSchemaViolation, entity, attr)
+		}
+		if err := types.CheckValue(desc, v); err != nil {
+			return fmt.Errorf("%w: %s.%s: %v", ErrSchemaViolation, entity, attr, err)
+		}
+	}
+	for _, inv := range s.Invariants {
+		if err := inv(entity, instance); err != nil {
+			return fmt.Errorf("%w: %v", ErrSchemaViolation, err)
+		}
+	}
+	return nil
+}
+
+// VersionVector orders fact versions across federated parties.
+type VersionVector map[string]uint64
+
+// Clone copies the vector.
+func (v VersionVector) Clone() VersionVector {
+	out := make(VersionVector, len(v))
+	for k, n := range v {
+		out[k] = n
+	}
+	return out
+}
+
+// Tick increments party's component (a local update).
+func (v VersionVector) Tick(party string) VersionVector {
+	out := v.Clone()
+	out[party]++
+	return out
+}
+
+// Compare returns -1 if v happened strictly before o, +1 if strictly
+// after, 0 if equal, and ok=false when they are concurrent.
+func (v VersionVector) Compare(o VersionVector) (int, bool) {
+	le, ge := true, true
+	keys := make(map[string]bool, len(v)+len(o))
+	for k := range v {
+		keys[k] = true
+	}
+	for k := range o {
+		keys[k] = true
+	}
+	for k := range keys {
+		a, b := v[k], o[k]
+		if a < b {
+			ge = false
+		}
+		if a > b {
+			le = false
+		}
+	}
+	switch {
+	case le && ge:
+		return 0, true
+	case le:
+		return -1, true
+	case ge:
+		return 1, true
+	default:
+		return 0, false
+	}
+}
+
+// VersionedFact is one party's view of a shared fact.
+type VersionedFact struct {
+	// Key names the fact.
+	Key string
+	// Value is the fact's current value.
+	Value wire.Value
+	// Version orders updates across parties.
+	Version VersionVector
+}
+
+// Update returns the fact with a new value, ticked by party.
+func (f VersionedFact) Update(party string, value wire.Value) VersionedFact {
+	return VersionedFact{
+		Key:     f.Key,
+		Value:   wire.Clone(value),
+		Version: f.Version.Tick(party),
+	}
+}
+
+// Merge reconciles two parties' views of the same fact. An ordered pair
+// resolves to the newer version; concurrent divergent values are the
+// §8 "inconsistency and conflict between multiple versions" case and
+// surface as ErrConflict for application-level reconciliation.
+// Concurrent but *equal* values merge by joining the vectors.
+func Merge(a, b VersionedFact) (VersionedFact, error) {
+	if a.Key != b.Key {
+		return VersionedFact{}, fmt.Errorf("enterprise: merging different facts %q and %q", a.Key, b.Key)
+	}
+	cmp, ordered := a.Version.Compare(b.Version)
+	if ordered {
+		if cmp >= 0 {
+			return a, nil
+		}
+		return b, nil
+	}
+	if wire.Equal(a.Value, b.Value) {
+		joined := a.Version.Clone()
+		for k, n := range b.Version {
+			if n > joined[k] {
+				joined[k] = n
+			}
+		}
+		return VersionedFact{Key: a.Key, Value: a.Value, Version: joined}, nil
+	}
+	return VersionedFact{}, fmt.Errorf("%w: fact %q diverged (%v vs %v)", ErrConflict, a.Key, a.Value, b.Value)
+}

@@ -1,0 +1,345 @@
+package group
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"odp/internal/rpc"
+	"odp/internal/wire"
+)
+
+// failureLoop is the member's background heartbeat machinery:
+//
+//   - the sequencer heartbeats every backup each HeartbeatInterval and
+//     expels backups that stay silent past FailureTimeout;
+//   - backups watch for sequencer heartbeats; the backup at rank r
+//     promotes itself after r × FailureTimeout of silence (staggered, so
+//     the first live backup wins).
+func (m *Member) failureLoop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	missed := make(map[string]time.Time) // backup id -> silent since
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		m.mu.Lock()
+		if m.stopped || len(m.v.members) == 0 {
+			m.mu.Unlock()
+			continue
+		}
+		isSequencer := m.v.sequencer().id == m.id
+		rank := m.v.rankOf(m.id)
+		viewID := m.v.id
+		peers := m.peersLocked()
+		silent := time.Since(m.lastHeard)
+		m.mu.Unlock()
+
+		if isSequencer {
+			m.heartbeatPeers(peers, viewID, missed)
+			continue
+		}
+		if rank > 0 && silent > time.Duration(rank)*m.cfg.FailureTimeout {
+			m.promote()
+		}
+	}
+}
+
+// heartbeatPeers pings each backup, expelling those silent too long.
+func (m *Member) heartbeatPeers(peers []memberInfo, viewID uint64, missed map[string]time.Time) {
+	for _, p := range peers {
+		_, _, err := m.call(context.Background(), p.addr, opHeartbeat,
+			[]wire.Value{viewID}, m.cfg.HeartbeatInterval*2)
+		if err == nil {
+			delete(missed, p.id)
+			continue
+		}
+		since, ok := missed[p.id]
+		if !ok {
+			missed[p.id] = time.Now()
+			continue
+		}
+		if time.Since(since) > m.cfg.FailureTimeout {
+			delete(missed, p.id)
+			m.expel(p.id)
+		}
+	}
+}
+
+// onHeartbeat records liveness of the sequencer.
+func (m *Member) onHeartbeat(args []wire.Value) (string, []wire.Value, error) {
+	viewID, _ := args[0].(uint64)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return "", nil, ErrStopped
+	}
+	if viewID >= m.v.id {
+		m.lastHeard = time.Now()
+	}
+	return "ok", []wire.Value{m.v.id}, nil
+}
+
+// expel removes a dead member and installs/multicasts the successor view.
+func (m *Member) expel(deadID string) {
+	m.mu.Lock()
+	if m.stopped || m.v.rankOf(deadID) < 0 || m.v.sequencer().id != m.id {
+		m.mu.Unlock()
+		return
+	}
+	next := view{id: m.v.id + 1}
+	for _, mi := range m.v.members {
+		if mi.id != deadID {
+			next.members = append(next.members, mi)
+		}
+	}
+	m.v = next
+	peers := m.peersLocked()
+	m.order.cond.Broadcast()
+	m.mu.Unlock()
+	m.multicastView(next, peers)
+}
+
+// promote makes this member the sequencer of a successor view that
+// excludes the (presumed dead) old sequencer and any members ranked
+// between it and us.
+func (m *Member) promote() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.ensureOrderState()
+	rank := m.v.rankOf(m.id)
+	if rank <= 0 {
+		m.mu.Unlock()
+		return
+	}
+	next := view{id: m.v.id + 1}
+	// Everyone ranked before us stayed silent past their own (shorter)
+	// promotion window, so they are presumed dead too.
+	next.members = append(next.members, memberInfo{id: m.id, addr: m.cap.Addr()})
+	for _, mi := range m.v.members[rank+1:] {
+		next.members = append(next.members, mi)
+	}
+	m.v = next
+	m.promoted++
+	m.lastHeard = time.Now()
+
+	// A hot-standby backup must bring its replica up to date before
+	// serving (this replay is the "fail-over period" active replication
+	// avoids, experiment E6).
+	if m.cfg.Mode == ModeStandby {
+		m.replayLocked()
+	}
+	// Continue the numbering after everything we have logged; drop
+	// holdback entries we cannot order any more (their clients will
+	// retry against the new view).
+	m.nextSeq = m.nextExec - 1
+	for seq := range m.holdback {
+		if seq >= m.nextExec {
+			delete(m.holdback, seq)
+		}
+	}
+	peers := m.peersLocked()
+	m.order.cond.Broadcast()
+	m.mu.Unlock()
+	m.multicastView(next, peers)
+}
+
+// replayLocked applies logged-but-unexecuted invocations to the replica.
+// Called with m.mu held.
+func (m *Member) replayLocked() {
+	for _, inv := range m.log {
+		if inv.seq <= m.order.applied {
+			continue
+		}
+		_, _, _ = m.replica.Dispatch(context.Background(), inv.op, inv.args)
+		m.executed++
+		m.order.applied = inv.seq
+	}
+}
+
+// multicastView announces a new view to its members (best effort).
+func (m *Member) multicastView(v view, peers []memberInfo) {
+	rec := encodeView(v)
+	for _, p := range peers {
+		go func(p memberInfo) {
+			_, _, _ = m.call(context.Background(), p.addr, opView,
+				[]wire.Value{rec}, m.cfg.DeliverTimeout)
+		}(p)
+	}
+}
+
+// onView installs a newer view.
+func (m *Member) onView(args []wire.Value) (string, []wire.Value, error) {
+	v, err := decodeView(args[0])
+	if err != nil {
+		return "", nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ensureOrderState()
+	if m.stopped {
+		return "", nil, ErrStopped
+	}
+	if v.id <= m.v.id {
+		return "ok", nil, nil // stale announcement
+	}
+	m.v = v
+	m.lastHeard = time.Now()
+	m.order.cond.Broadcast()
+	return "ok", nil, nil
+}
+
+// Join enters an existing group through any current member (seed). The
+// sequencer transfers state (snapshot when the replica supports it, full
+// log otherwise) and adds this member to a new view.
+func (m *Member) Join(ctx context.Context, seed wire.Ref) error {
+	info := wire.Record{"id": m.id, "addr": m.cap.Addr()}
+	var (
+		outcome string
+		results []wire.Value
+		err     error
+	)
+	// Any member redirects to the sequencer via MovedError; capsule
+	// invoke follows it.
+	for _, ep := range seed.Endpoints {
+		outcome, results, err = m.call(ctx, ep, opJoin, []wire.Value{info}, m.cfg.DeliverTimeout*4)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("group: join: %w", err)
+	}
+	if outcome != "ok" || len(results) != 3 {
+		return fmt.Errorf("group: join refused: %q %v", outcome, results)
+	}
+	v, err := decodeView(results[0])
+	if err != nil {
+		return err
+	}
+	nextExec, _ := results[2].(uint64)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ensureOrderState()
+	switch state := results[1].(type) {
+	case []byte:
+		snap, ok := m.replica.(Snapshotter)
+		if !ok {
+			return errors.New("group: received snapshot but replica cannot restore")
+		}
+		if err := snap.Restore(state); err != nil {
+			return fmt.Errorf("group: restore: %w", err)
+		}
+	case wire.List:
+		for _, lv := range state {
+			inv, err := decodeInv(lv)
+			if err != nil {
+				return err
+			}
+			m.log = append(m.log, inv)
+			if m.cfg.Mode == ModeActive {
+				_, _, _ = m.replica.Dispatch(context.Background(), inv.op, inv.args)
+				m.executed++
+				m.order.applied = inv.seq
+			}
+		}
+	default:
+		return fmt.Errorf("group: join state is %T", results[1])
+	}
+	m.v = v
+	m.nextExec = nextExec
+	m.nextSeq = nextExec - 1
+	if nextExec > 0 && m.order.applied < nextExec-1 {
+		// Snapshot transfer: state reflects everything before nextExec.
+		m.order.applied = nextExec - 1
+	}
+	m.lastHeard = time.Now()
+	m.order.cond.Broadcast()
+	return nil
+}
+
+// onJoin handles a join request at the sequencer.
+func (m *Member) onJoin(ctx context.Context, args []wire.Value) (string, []wire.Value, error) {
+	rec, ok := args[0].(wire.Record)
+	if !ok {
+		return "", nil, fmt.Errorf("group: join wants a member record, got %T", args[0])
+	}
+	id, _ := rec["id"].(string)
+	addr, _ := rec["addr"].(string)
+	if id == "" || addr == "" {
+		return "", nil, errors.New("group: join record incomplete")
+	}
+
+	m.mu.Lock()
+	m.ensureOrderState()
+	if m.stopped {
+		m.mu.Unlock()
+		return "", nil, ErrStopped
+	}
+	if len(m.v.members) == 0 || m.v.sequencer().id != m.id {
+		var fwd wire.Ref
+		if len(m.v.members) > 0 {
+			fwd = wire.Ref{ID: m.objID, Endpoints: []string{m.v.sequencer().addr}}
+		}
+		m.mu.Unlock()
+		if fwd.IsZero() {
+			return "", nil, errors.New("group: no view")
+		}
+		return "", nil, &rpc.MovedError{Forward: fwd}
+	}
+	// Quiesce: wait for in-flight ordered invocations to apply so the
+	// transferred state is exactly the prefix [1, nextExec).
+	for m.nextExec <= m.nextSeq {
+		if m.stopped {
+			m.mu.Unlock()
+			return "", nil, ErrStopped
+		}
+		m.waitOrder()
+	}
+	var state wire.Value
+	if snap, ok := m.replica.(Snapshotter); ok {
+		data, err := snap.Snapshot()
+		if err != nil {
+			m.mu.Unlock()
+			return "", nil, fmt.Errorf("group: snapshot: %w", err)
+		}
+		state = data
+	} else {
+		list := make(wire.List, 0, len(m.log))
+		for _, inv := range m.log {
+			r, _ := encodeInv(inv)
+			list = append(list, r)
+		}
+		state = list
+	}
+	if m.v.rankOf(id) < 0 {
+		next := m.v.clone()
+		next.id++
+		next.members = append(next.members, memberInfo{id: id, addr: addr})
+		m.v = next
+	}
+	v := m.v.clone()
+	nextExec := m.nextExec
+	peers := m.peersLocked()
+	m.mu.Unlock()
+
+	// Tell the existing members about the enlarged view (the joiner gets
+	// it in the reply).
+	var others []memberInfo
+	for _, p := range peers {
+		if p.id != id {
+			others = append(others, p)
+		}
+	}
+	m.multicastView(v, others)
+	return "ok", []wire.Value{encodeView(v), state, nextExec}, nil
+}

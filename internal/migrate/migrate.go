@@ -1,0 +1,311 @@
+// Package migrate implements migration, resource and failure transparency
+// (§5.5).
+//
+// "An object has to take the responsibility for moving itself and its
+// interfaces, since this provides for the opportunity to represent its
+// state in a more compact or resilient form than if the data space of the
+// active representation was simply copied out" — objects participate by
+// implementing Snapshot/Restore (the code §5.5 suggests "may well be ...
+// provided by an automated tool" is here the servant's own methods).
+//
+// The three §5.5 transparencies share one mechanism, as the paper notes
+// ("there is a great deal of sharing of mechanism possible between the
+// several transparencies... Transparency is therefore an effect rather
+// than a mechanism"):
+//
+//   - Migration: snapshot → move to another capsule → re-activate
+//     immediately; the old host forwards, the relocator learns the new
+//     location.
+//   - Resource (passivation): snapshot → stable store; the capsule's
+//     activator reinstates the object transparently on next invocation.
+//   - Failure: snapshot checkpoints plus a log of completed interactions;
+//     recovery replays the log so "the replacement object can mirror
+//     exactly the state of its predecessor".
+package migrate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"odp/internal/capsule"
+	"odp/internal/group"
+	"odp/internal/rpc"
+	"odp/internal/storage"
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+// Servant is a migratable servant: dispatchable and snapshot-able.
+type Servant interface {
+	capsule.Servant
+	group.Snapshotter
+}
+
+// Factory reconstructs an empty servant of one type, ready for Restore.
+type Factory func() Servant
+
+// Registrar records relocations; naming.Table satisfies it.
+type Registrar interface {
+	Register(ref wire.Ref)
+}
+
+// Errors returned by the migration machinery.
+var (
+	// ErrUnknownObject reports an id this host does not manage.
+	ErrUnknownObject = errors.New("migrate: unknown object")
+	// ErrNoFactory reports a type with no registered factory.
+	ErrNoFactory = errors.New("migrate: no factory for type")
+)
+
+// acceptorOp is the control operation hosts expose to receive movers.
+const acceptorOp = "m!accept"
+
+// gate quiesces an object's dispatch path during a move: "it also allows
+// the object to delay the migration until a time convenient to other
+// activities using the object" (§5.5). Dispatches hold the read side; a
+// move takes the write side, so it waits for in-flight invocations to
+// drain and blocks new ones until the cut-over completes.
+type gate struct {
+	mu    sync.RWMutex
+	moved bool
+	fwd   wire.Ref
+	gone  bool // passivated or withdrawn
+}
+
+// interceptor returns the gate as a capsule interceptor.
+func (g *gate) interceptor() capsule.Interceptor {
+	return func(next capsule.Servant) capsule.Servant {
+		return capsule.ServantFunc(func(ctx context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
+			g.mu.RLock()
+			defer g.mu.RUnlock()
+			if g.moved {
+				return "", nil, &rpc.MovedError{Forward: g.fwd}
+			}
+			if g.gone {
+				return "", nil, rpc.ErrNoObject
+			}
+			return next.Dispatch(ctx, op, args)
+		})
+	}
+}
+
+// managed tracks one object this host exported.
+type managed struct {
+	servant  Servant
+	typ      types.Type
+	hasType  bool
+	epoch    uint32
+	readOnly map[string]bool // for the recovery log: which ops to skip
+	logged   bool            // interaction logging enabled
+	gate     *gate
+	extra    []capsule.Interceptor // woven outside the gate
+}
+
+// Host is a capsule's migration/passivation/recovery agent.
+type Host struct {
+	cap       *capsule.Capsule
+	store     storage.Store
+	registrar Registrar
+
+	mu        sync.Mutex
+	factories map[string]Factory
+	objects   map[string]*managed
+}
+
+// NewHost creates the migration host for c, persisting passive objects
+// and checkpoints in store and registering moves with registrar (which
+// may be nil). It exports the migration acceptor and installs the
+// capsule's activator for passive objects.
+func NewHost(c *capsule.Capsule, store storage.Store, registrar Registrar) (*Host, error) {
+	h := &Host{
+		cap:       c,
+		store:     store,
+		registrar: registrar,
+		factories: make(map[string]Factory),
+		objects:   make(map[string]*managed),
+	}
+	if _, err := c.Export(capsule.ServantFunc(h.acceptorDispatch),
+		capsule.WithID(c.Name()+"/migrate-acceptor")); err != nil {
+		return nil, err
+	}
+	c.SetActivator(h.activate)
+	return h, nil
+}
+
+// AcceptorRef returns the reference other hosts use to push movers here.
+func (h *Host) AcceptorRef() wire.Ref {
+	return wire.Ref{ID: h.cap.Name() + "/migrate-acceptor", Endpoints: []string{h.cap.Addr()}}
+}
+
+// RegisterFactory makes a type receivable/activatable on this host.
+func (h *Host) RegisterFactory(typeName string, f Factory) {
+	h.mu.Lock()
+	h.factories[typeName] = f
+	h.mu.Unlock()
+}
+
+// ExportOption configures a managed export.
+type ExportOption func(*managed)
+
+// WithType attaches the interface type.
+func WithType(t types.Type) ExportOption {
+	return func(m *managed) { m.typ = t; m.hasType = true }
+}
+
+// WithRecoveryLog enables failure transparency: completed mutating
+// interactions (those not in readOnly) are logged so Recover can replay
+// them on top of the last checkpoint.
+func WithRecoveryLog(readOnly map[string]bool) ExportOption {
+	return func(m *managed) { m.logged = true; m.readOnly = readOnly }
+}
+
+// WithExtraInterceptors weaves additional interceptors outside the
+// migration gate (guards, instrumentation, lease tracking). The first is
+// outermost.
+func WithExtraInterceptors(is ...capsule.Interceptor) ExportOption {
+	return func(m *managed) { m.extra = append(m.extra, is...) }
+}
+
+// Export publishes a migratable servant under id.
+func (h *Host) Export(id string, s Servant, opts ...ExportOption) (wire.Ref, error) {
+	m := &managed{servant: s, gate: &gate{}}
+	for _, o := range opts {
+		o(m)
+	}
+	capOpts := []capsule.ExportOption{capsule.WithID(id)}
+	if m.hasType {
+		capOpts = append(capOpts, capsule.WithType(m.typ))
+	}
+	interceptors := append([]capsule.Interceptor(nil), m.extra...)
+	interceptors = append(interceptors, m.gate.interceptor())
+	if m.logged {
+		interceptors = append(interceptors, h.loggingInterceptor(id, m))
+	}
+	capOpts = append(capOpts, capsule.WithInterceptors(interceptors...))
+	ref, err := h.cap.Export(s, capOpts...)
+	if err != nil {
+		return wire.Ref{}, err
+	}
+	h.mu.Lock()
+	h.objects[id] = m
+	h.mu.Unlock()
+	return ref, nil
+}
+
+// loggingInterceptor appends each completed mutating interaction to the
+// object's recovery log.
+func (h *Host) loggingInterceptor(id string, m *managed) capsule.Interceptor {
+	return func(next capsule.Servant) capsule.Servant {
+		return capsule.ServantFunc(func(ctx context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
+			outcome, results, err := next.Dispatch(ctx, op, args)
+			if err == nil && !m.readOnly[op] {
+				rec, encErr := wire.EncodeAll(wire.BinaryCodec{}, []wire.Value{op, wire.List(args)})
+				if encErr == nil {
+					_ = h.store.AppendLog("oplog/"+id, rec)
+				}
+			}
+			return outcome, results, err
+		})
+	}
+}
+
+// Migrate moves object id to the host whose acceptor is dest. The object
+// keeps its identity: the destination exports it under the same id, the
+// source leaves a forwarding reference, and the relocator learns the new
+// location with a bumped epoch.
+func (h *Host) Migrate(ctx context.Context, id string, dest wire.Ref) (wire.Ref, error) {
+	h.mu.Lock()
+	m, ok := h.objects[id]
+	h.mu.Unlock()
+	if !ok {
+		return wire.Ref{}, fmt.Errorf("%w: %q", ErrUnknownObject, id)
+	}
+	// Quiesce: wait for in-flight invocations to drain and hold new ones
+	// back until the cut-over completes, so no mutation is lost between
+	// snapshot and forward.
+	m.gate.mu.Lock()
+	snap, err := m.servant.Snapshot()
+	if err != nil {
+		m.gate.mu.Unlock()
+		return wire.Ref{}, fmt.Errorf("migrate: snapshot %q: %w", id, err)
+	}
+	typeName := ""
+	var typeRec wire.Value
+	if m.hasType {
+		typeName = m.typ.Name
+		typeRec = types.EncodeType(m.typ)
+	}
+	outcome, results, err := h.cap.Invoke(ctx, dest, acceptorOp,
+		[]wire.Value{id, typeName, typeRec, snap, uint64(m.epoch + 1)},
+		capsule.WithQoS(rpc.QoS{Timeout: rpc.DefaultTimeout}))
+	if err != nil {
+		m.gate.mu.Unlock()
+		return wire.Ref{}, fmt.Errorf("migrate: accept at %v: %w", dest.Endpoints, err)
+	}
+	if outcome != "ok" {
+		m.gate.mu.Unlock()
+		return wire.Ref{}, fmt.Errorf("migrate: destination refused: %v", results)
+	}
+	newRef, ok := results[0].(wire.Ref)
+	if !ok {
+		m.gate.mu.Unlock()
+		return wire.Ref{}, fmt.Errorf("migrate: acceptor returned %T", results[0])
+	}
+	// Cut over: forward at the source, register the change, release any
+	// invocations held at the gate (they bounce to the new location).
+	h.cap.SetForward(id, newRef)
+	h.mu.Lock()
+	delete(h.objects, id)
+	h.mu.Unlock()
+	m.gate.moved = true
+	m.gate.fwd = newRef
+	m.gate.mu.Unlock()
+	if h.registrar != nil {
+		h.registrar.Register(newRef)
+	}
+	return newRef, nil
+}
+
+// acceptorDispatch receives a mover pushed by another host.
+func (h *Host) acceptorDispatch(_ context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
+	if op != acceptorOp {
+		return "", nil, fmt.Errorf("migrate: acceptor has no operation %q", op)
+	}
+	if len(args) != 5 {
+		return "", nil, errors.New("migrate: accept wants (id, typeName, typeRec, snapshot, epoch)")
+	}
+	id, _ := args[0].(string)
+	typeName, _ := args[1].(string)
+	snap, _ := args[3].([]byte)
+	epoch64, _ := args[4].(uint64)
+
+	h.mu.Lock()
+	factory, ok := h.factories[typeName]
+	h.mu.Unlock()
+	if !ok {
+		return "refused", []wire.Value{fmt.Sprintf("no factory for type %q", typeName)}, nil
+	}
+	servant := factory()
+	if err := servant.Restore(snap); err != nil {
+		return "refused", []wire.Value{err.Error()}, nil
+	}
+	var opts []ExportOption
+	if typeRec, ok := args[2].(wire.Record); ok {
+		if typ, err := types.DecodeType(typeRec); err == nil {
+			opts = append(opts, WithType(typ))
+		}
+	}
+	ref, err := h.Export(id, servant, opts...)
+	if err != nil {
+		return "refused", []wire.Value{err.Error()}, nil
+	}
+	ref.Epoch = uint32(epoch64)
+	h.mu.Lock()
+	if m, ok := h.objects[id]; ok {
+		m.epoch = uint32(epoch64)
+	}
+	h.mu.Unlock()
+	return "ok", []wire.Value{ref}, nil
+}

@@ -1,0 +1,145 @@
+// Package naming provides location transparency and context-relative
+// naming.
+//
+// Location transparency (§5.4) "requires that a reference to an interface
+// be usable without requiring a client to know or track the location of a
+// service". Interfaces move for many reasons (checkpoint-restart, load
+// balancing, co-location, passivation, group membership change); the
+// relocation service records the *current* access information for
+// interfaces that have moved. Crucially, "to avoid scaling problems,
+// relocation mechanisms should only require the registration of changes
+// in location because the majority of interfaces in a system can be
+// expected to be temporary and stationary" — stationary interfaces are
+// never registered, and the binder consults the relocator only after a
+// direct invocation fails (experiment E7).
+//
+// Context-relative naming (§6) handles federation: "names are potentially
+// ambiguous, since their meaning depends upon where they are interpreted:
+// there is no canonical root. The ambiguity can be overcome by extending
+// names with information about how to get back to their defining context."
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"odp/internal/wire"
+)
+
+// Errors returned by the naming layer.
+var (
+	// ErrUnknownInterface reports a lookup miss at the relocator.
+	ErrUnknownInterface = errors.New("naming: unknown interface")
+	// ErrBadName reports an unparsable context-relative name.
+	ErrBadName = errors.New("naming: bad name")
+)
+
+// Table is the relocation register: interface id → current reference.
+// Only *moved* interfaces appear here.
+type Table struct {
+	mu      sync.RWMutex
+	entries map[string]wire.Ref
+}
+
+// NewTable returns an empty relocation table.
+func NewTable() *Table {
+	return &Table{entries: make(map[string]wire.Ref)}
+}
+
+// Register records the current reference for a moved interface. A
+// registration with a lower epoch than the current entry is ignored
+// (stale update from a slow mover).
+func (t *Table) Register(ref wire.Ref) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur, ok := t.entries[ref.ID]; ok && cur.Epoch > ref.Epoch {
+		return
+	}
+	t.entries[ref.ID] = wire.Clone(ref).(wire.Ref)
+}
+
+// Lookup returns the registered reference for id.
+func (t *Table) Lookup(id string) (wire.Ref, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ref, ok := t.entries[id]
+	if !ok {
+		return wire.Ref{}, fmt.Errorf("%w: %q", ErrUnknownInterface, id)
+	}
+	return wire.Clone(ref).(wire.Ref), nil
+}
+
+// Unregister removes id, e.g. when an interface is finally destroyed.
+func (t *Table) Unregister(id string) {
+	t.mu.Lock()
+	delete(t.entries, id)
+	t.mu.Unlock()
+}
+
+// Len returns the number of registered (i.e. moved) interfaces.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.entries)
+}
+
+// Name is a context-relative name: a trail of contexts from the
+// interpretation point back to the defining context, then a local name.
+type Name struct {
+	// Contexts is the trail, outermost first.
+	Contexts []string
+	// Local is the name within the defining context.
+	Local string
+}
+
+// nameSep separates contexts in the textual form, e.g. "org-a!dept!svc".
+const nameSep = "!"
+
+// ParseName parses the textual form "ctx!ctx!local".
+func ParseName(s string) (Name, error) {
+	if s == "" {
+		return Name{}, fmt.Errorf("%w: empty", ErrBadName)
+	}
+	parts := strings.Split(s, nameSep)
+	for _, p := range parts {
+		if p == "" {
+			return Name{}, fmt.Errorf("%w: empty component in %q", ErrBadName, s)
+		}
+	}
+	return Name{Contexts: parts[:len(parts)-1], Local: parts[len(parts)-1]}, nil
+}
+
+// String renders the textual form.
+func (n Name) String() string {
+	if len(n.Contexts) == 0 {
+		return n.Local
+	}
+	return strings.Join(n.Contexts, nameSep) + nameSep + n.Local
+}
+
+// IsLocal reports whether the name needs no further context traversal.
+func (n Name) IsLocal() bool { return len(n.Contexts) == 0 }
+
+// Descend strips the outermost context, which must match ctx. Resolution
+// walks the trail one federation hop at a time.
+func (n Name) Descend(ctx string) (Name, error) {
+	if n.IsLocal() {
+		return Name{}, fmt.Errorf("%w: %q is already local", ErrBadName, n)
+	}
+	if n.Contexts[0] != ctx {
+		return Name{}, fmt.Errorf("%w: %q does not begin with context %q", ErrBadName, n, ctx)
+	}
+	return Name{Contexts: append([]string(nil), n.Contexts[1:]...), Local: n.Local}, nil
+}
+
+// Qualify prepends ctx to the trail: applied when a name crosses a
+// federation boundary outwards, so it remains resolvable from the far
+// side.
+func (n Name) Qualify(ctx string) Name {
+	contexts := make([]string, 0, len(n.Contexts)+1)
+	contexts = append(contexts, ctx)
+	contexts = append(contexts, n.Contexts...)
+	return Name{Contexts: contexts, Local: n.Local}
+}

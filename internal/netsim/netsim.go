@@ -1,0 +1,297 @@
+// Package netsim is a deterministic simulated network fabric.
+//
+// It substitutes for the physical networks of the paper's deployment
+// environment (the ANSA Testbench ran REX over UDP on 1980s LANs/WANs).
+// Each pair of endpoints communicates over a link with configurable
+// one-way latency, jitter, loss probability and partition state, so the
+// behaviours the paper's transparency claims depend on — variable latency
+// (§4.1), transient communication problems (§4.1), persistent failures
+// (§3) — can be injected on demand and measured reproducibly.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"odp/internal/transport"
+)
+
+// LinkProfile describes one direction of a link.
+type LinkProfile struct {
+	// Latency is the fixed one-way delay.
+	Latency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter).
+	Jitter time.Duration
+	// Loss is the probability in [0,1] that a packet is silently dropped.
+	Loss float64
+}
+
+// Profiles for common environments, used throughout the benchmarks.
+var (
+	// Loopback is instantaneous and lossless.
+	Loopback = LinkProfile{}
+	// LAN approximates a local segment.
+	LAN = LinkProfile{Latency: 200 * time.Microsecond, Jitter: 50 * time.Microsecond}
+	// WAN approximates a wide-area path.
+	WAN = LinkProfile{Latency: 5 * time.Millisecond, Jitter: 1 * time.Millisecond}
+	// LossyLAN approximates a congested segment.
+	LossyLAN = LinkProfile{Latency: 200 * time.Microsecond, Jitter: 100 * time.Microsecond, Loss: 0.05}
+)
+
+// Fabric is a set of interconnected simulated endpoints.
+type Fabric struct {
+	mu          sync.Mutex
+	rng         *rand.Rand
+	endpoints   map[string]*endpoint
+	links       map[string]LinkProfile // "from|to" overrides
+	defaultLink LinkProfile
+	partitioned map[string]bool // "a|b" unordered-pair key
+	closed      bool
+	wg          sync.WaitGroup
+
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// Stats counts fabric-level events, for loss/duplication experiments.
+type Stats struct {
+	Sent      uint64
+	Delivered uint64
+	Dropped   uint64 // lost to the loss probability
+	Cut       uint64 // dropped because of a partition
+}
+
+// Option configures a fabric.
+type Option func(*Fabric)
+
+// WithSeed fixes the RNG seed for deterministic loss/jitter sequences.
+func WithSeed(seed int64) Option {
+	return func(f *Fabric) { f.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// WithDefaultLink sets the profile used by links with no override.
+func WithDefaultLink(p LinkProfile) Option {
+	return func(f *Fabric) { f.defaultLink = p }
+}
+
+// NewFabric creates an empty fabric. The default link is Loopback.
+func NewFabric(opts ...Option) *Fabric {
+	f := &Fabric{
+		rng:         rand.New(rand.NewSource(1)),
+		endpoints:   make(map[string]*endpoint),
+		links:       make(map[string]LinkProfile),
+		defaultLink: Loopback,
+		partitioned: make(map[string]bool),
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	return f
+}
+
+// Endpoint creates (or returns the existing) endpoint with the given
+// address.
+func (f *Fabric) Endpoint(addr string) (transport.Endpoint, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, transport.ErrClosed
+	}
+	if ep, ok := f.endpoints[addr]; ok {
+		return ep, nil
+	}
+	ep := &endpoint{fabric: f, addr: addr}
+	f.endpoints[addr] = ep
+	return ep, nil
+}
+
+// SetLink overrides the profile for the directed link from → to.
+func (f *Fabric) SetLink(from, to string, p LinkProfile) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[from+"|"+to] = p
+}
+
+// Partition cuts (or heals, when cut is false) bidirectional connectivity
+// between a and b. Partitioned packets are counted in Stats.Cut.
+func (f *Fabric) Partition(a, b string, cut bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	key := pairKey(a, b)
+	if cut {
+		f.partitioned[key] = true
+	} else {
+		delete(f.partitioned, key)
+	}
+}
+
+// Isolate cuts (or heals) every link touching addr, simulating a crashed
+// or unplugged node as seen by the network.
+func (f *Fabric) Isolate(addr string, cut bool) {
+	f.mu.Lock()
+	names := make([]string, 0, len(f.endpoints))
+	for n := range f.endpoints {
+		if n != addr {
+			names = append(names, n)
+		}
+	}
+	f.mu.Unlock()
+	for _, n := range names {
+		f.Partition(addr, n, cut)
+	}
+}
+
+// Stats returns a snapshot of fabric counters.
+func (f *Fabric) Stats() Stats {
+	f.statsMu.Lock()
+	defer f.statsMu.Unlock()
+	return f.stats
+}
+
+// Close shuts the fabric down and waits for in-flight deliveries to
+// settle.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	f.wg.Wait()
+	return nil
+}
+
+// send routes one packet. Called with no locks held.
+func (f *Fabric) send(from, to string, pkt []byte) error {
+	if len(pkt) > transport.MaxPacket {
+		return transport.ErrTooLarge
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return transport.ErrClosed
+	}
+	dst, ok := f.endpoints[to]
+	if !ok {
+		f.mu.Unlock()
+		return fmt.Errorf("%w: %q", transport.ErrUnreachable, to)
+	}
+	if f.partitioned[pairKey(from, to)] {
+		f.mu.Unlock()
+		f.count(func(s *Stats) { s.Sent++; s.Cut++ })
+		return nil // silently dropped: the sender cannot tell
+	}
+	profile, ok := f.links[from+"|"+to]
+	if !ok {
+		profile = f.defaultLink
+	}
+	drop := profile.Loss > 0 && f.rng.Float64() < profile.Loss
+	var delay time.Duration
+	if !drop {
+		delay = profile.Latency
+		if profile.Jitter > 0 {
+			delay += time.Duration(f.rng.Int63n(int64(profile.Jitter)))
+		}
+	}
+	f.mu.Unlock()
+
+	if drop {
+		f.count(func(s *Stats) { s.Sent++; s.Dropped++ })
+		return nil
+	}
+	f.count(func(s *Stats) { s.Sent++ })
+
+	// Copy: the sender may reuse its buffer.
+	cp := make([]byte, len(pkt))
+	copy(cp, pkt)
+
+	deliver := func() {
+		defer f.wg.Done()
+		f.mu.Lock()
+		cut := f.partitioned[pairKey(from, to)]
+		f.mu.Unlock()
+		if cut {
+			// The partition appeared while the packet was in flight.
+			f.count(func(s *Stats) { s.Cut++ })
+			return
+		}
+		dst.deliver(from, cp)
+		f.count(func(s *Stats) { s.Delivered++ })
+	}
+	f.wg.Add(1)
+	if delay <= 0 {
+		go deliver()
+	} else {
+		time.AfterFunc(delay, deliver)
+	}
+	return nil
+}
+
+func (f *Fabric) count(update func(*Stats)) {
+	f.statsMu.Lock()
+	update(&f.stats)
+	f.statsMu.Unlock()
+}
+
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// endpoint is a simulated transport.Endpoint.
+type endpoint struct {
+	fabric *Fabric
+	addr   string
+
+	mu      sync.Mutex
+	handler transport.Handler
+	closed  bool
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+// Addr implements transport.Endpoint.
+func (e *endpoint) Addr() string { return e.addr }
+
+// Send implements transport.Endpoint.
+func (e *endpoint) Send(to string, pkt []byte) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	return e.fabric.send(e.addr, to, pkt)
+}
+
+// SetHandler implements transport.Endpoint.
+func (e *endpoint) SetHandler(h transport.Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+// Close implements transport.Endpoint. The endpoint stays registered (its
+// name remains claimed) but drops all traffic, like a crashed process.
+func (e *endpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *endpoint) deliver(from string, pkt []byte) {
+	e.mu.Lock()
+	h := e.handler
+	closed := e.closed
+	e.mu.Unlock()
+	if closed || h == nil {
+		return
+	}
+	h(from, pkt)
+}

@@ -1,0 +1,275 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odp/internal/transport"
+)
+
+func TestDeliverBasic(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, err := f.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan string, 1)
+	b.SetHandler(func(from string, pkt []byte) {
+		got <- from + ":" + string(pkt)
+	})
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case s := <-got:
+		if s != "a:hello" {
+			t.Fatalf("got %q", s)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestSenderBufferReuse(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan []byte, 1)
+	b.SetHandler(func(_ string, pkt []byte) { got <- pkt })
+	buf := []byte("original")
+	if err := a.Send("b", buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "mutated!")
+	pkt := <-got
+	if string(pkt) != "original" {
+		t.Fatalf("delivery saw sender mutation: %q", pkt)
+	}
+}
+
+func TestUnknownDestination(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	if err := a.Send("nowhere", []byte("x")); err == nil {
+		t.Fatal("expected unreachable error")
+	}
+}
+
+func TestLatencyApplied(t *testing.T) {
+	f := NewFabric(WithDefaultLink(LinkProfile{Latency: 30 * time.Millisecond}))
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan time.Time, 1)
+	b.SetHandler(func(string, []byte) { got <- time.Now() })
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	at := <-got
+	if d := at.Sub(start); d < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~30ms", d)
+	}
+}
+
+func TestLossStatistics(t *testing.T) {
+	f := NewFabric(WithSeed(42), WithDefaultLink(LinkProfile{Loss: 0.5}))
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	var delivered atomic.Int64
+	b.SetHandler(func(string, []byte) { delivered.Add(1) })
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil { // waits for in-flight deliveries
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Sent != n {
+		t.Fatalf("sent %d, want %d", st.Sent, n)
+	}
+	frac := float64(st.Dropped) / float64(n)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("loss fraction %.2f far from 0.5", frac)
+	}
+	if got := delivered.Load(); got != int64(st.Delivered) {
+		t.Fatalf("handler saw %d, stats say %d", got, st.Delivered)
+	}
+	if st.Dropped+st.Delivered != n {
+		t.Fatalf("dropped %d + delivered %d != sent %d", st.Dropped, st.Delivered, n)
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan struct{}, 10)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+
+	f.Partition("a", "b", true)
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err) // partition is silent, like a real network
+	}
+	select {
+	case <-got:
+		t.Fatal("delivered across partition")
+	case <-time.After(30 * time.Millisecond):
+	}
+	f.Partition("a", "b", false)
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("not delivered after heal")
+	}
+	if f.Stats().Cut != 1 {
+		t.Fatalf("cut count = %d, want 1", f.Stats().Cut)
+	}
+}
+
+func TestIsolate(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	c, _ := f.Endpoint("c")
+	gotB := make(chan struct{}, 4)
+	gotC := make(chan struct{}, 4)
+	b.SetHandler(func(string, []byte) { gotB <- struct{}{} })
+	c.SetHandler(func(string, []byte) { gotC <- struct{}{} })
+
+	f.Isolate("b", true)
+	_ = a.Send("b", []byte("x"))
+	_ = a.Send("c", []byte("x"))
+	select {
+	case <-gotC:
+	case <-time.After(time.Second):
+		t.Fatal("c should still be reachable")
+	}
+	select {
+	case <-gotB:
+		t.Fatal("b should be isolated")
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.Isolate("b", false)
+	_ = a.Send("b", []byte("x"))
+	select {
+	case <-gotB:
+	case <-time.After(time.Second):
+		t.Fatal("b not reachable after heal")
+	}
+}
+
+func TestClosedEndpointDropsAndRefuses(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	var n atomic.Int64
+	b.SetHandler(func(string, []byte) { n.Add(1) })
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Send("b", []byte("x")) // dropped silently at receiver
+	time.Sleep(20 * time.Millisecond)
+	if n.Load() != 0 {
+		t.Fatal("closed endpoint received a packet")
+	}
+	if err := b.Send("a", []byte("x")); err != transport.ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestFabricCloseRejectsSends(t *testing.T) {
+	f := NewFabric()
+	a, _ := f.Endpoint("a")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("a", []byte("x")); err != transport.ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := f.Endpoint("z"); err != transport.ErrClosed {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestOversizePacket(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	_, _ = f.Endpoint("b")
+	big := make([]byte, transport.MaxPacket+1)
+	if err := a.Send("b", big); err != transport.ErrTooLarge {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestConcurrentSendersRace(t *testing.T) {
+	f := NewFabric(WithDefaultLink(LinkProfile{Jitter: 100 * time.Microsecond}))
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	var n atomic.Int64
+	b.SetHandler(func(string, []byte) { n.Add(1) })
+	var wg sync.WaitGroup
+	const senders, per = 8, 50
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				_ = a.Send("b", []byte("m"))
+			}
+		}()
+	}
+	wg.Wait()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != senders*per {
+		t.Fatalf("delivered %d, want %d", n.Load(), senders*per)
+	}
+}
+
+func TestEndpointIdempotent(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a1, _ := f.Endpoint("a")
+	a2, _ := f.Endpoint("a")
+	if a1 != a2 {
+		t.Fatal("same address should return the same endpoint")
+	}
+}
+
+func TestDeterministicLossSequence(t *testing.T) {
+	run := func() Stats {
+		f := NewFabric(WithSeed(7), WithDefaultLink(LinkProfile{Loss: 0.3}))
+		a, _ := f.Endpoint("a")
+		_, _ = f.Endpoint("b")
+		for i := 0; i < 500; i++ {
+			_ = a.Send("b", []byte("x"))
+		}
+		_ = f.Close()
+		return f.Stats()
+	}
+	s1, s2 := run(), run()
+	if s1.Dropped != s2.Dropped {
+		t.Fatalf("same seed produced different loss: %d vs %d", s1.Dropped, s2.Dropped)
+	}
+}

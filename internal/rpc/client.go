@@ -1,0 +1,261 @@
+package rpc
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odp/internal/transport"
+	"odp/internal/wire"
+)
+
+// QoS is the communications quality-of-service constraint attached to an
+// invocation ("for both kinds of invocation, communications quality of
+// service constraints must be specified — either explicitly or by
+// default", §5.1).
+type QoS struct {
+	// Timeout bounds the whole interrogation. Zero means DefaultTimeout.
+	Timeout time.Duration
+	// Retransmit is the interval between request retransmissions. Zero
+	// means DefaultRetransmit.
+	Retransmit time.Duration
+	// Repeats is the number of extra transmissions for an announcement
+	// (announcements have no reply, so repetition is the only delivery
+	// lever).
+	Repeats int
+}
+
+// Default QoS parameters.
+const (
+	DefaultTimeout    = 2 * time.Second
+	DefaultRetransmit = 20 * time.Millisecond
+)
+
+func (q QoS) withDefaults() QoS {
+	if q.Timeout <= 0 {
+		q.Timeout = DefaultTimeout
+	}
+	if q.Retransmit <= 0 {
+		q.Retransmit = DefaultRetransmit
+	}
+	return q
+}
+
+// ClientStats counts protocol events on the client side.
+type ClientStats struct {
+	Calls           uint64
+	Retransmissions uint64
+	Timeouts        uint64
+	Announcements   uint64
+}
+
+// Client issues invocations from one endpoint. It multiplexes any number
+// of concurrent calls.
+type Client struct {
+	ep    transport.Endpoint
+	codec wire.Codec
+
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan replyBody
+	closed  bool
+
+	statsMu sync.Mutex
+	stats   ClientStats
+}
+
+// NewClient wraps ep. The client takes over the endpoint's handler; a
+// process that is both client and server should use a Peer (see
+// NewPeer) so requests and replies share one endpoint.
+func NewClient(ep transport.Endpoint, codec wire.Codec) *Client {
+	c := &Client{
+		ep:      ep,
+		codec:   codec,
+		pending: make(map[uint64]chan replyBody),
+	}
+	ep.SetHandler(c.onPacket)
+	return c
+}
+
+// newClientNoHandler is used by Peer, which demultiplexes packets itself.
+func newClientNoHandler(ep transport.Endpoint, codec wire.Codec) *Client {
+	return &Client{
+		ep:      ep,
+		codec:   codec,
+		pending: make(map[uint64]chan replyBody),
+	}
+}
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() ClientStats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+// Close releases the client. In-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Call performs an interrogation of op on object objID at dest. It blocks
+// until a reply arrives, ctx is cancelled, or the QoS deadline passes.
+// The results are the application outcome and its result package; err is
+// non-nil only for system-level failures.
+func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.Value, qos QoS) (string, []wire.Value, error) {
+	qos = qos.withDefaults()
+	body, err := wire.EncodeAll(c.codec, args)
+	if err != nil {
+		return "", nil, err
+	}
+	id := c.nextID.Add(1)
+	pkt := encodeHeader(nil, header{
+		version: protoVersion,
+		msgType: msgRequest,
+		callID:  id,
+		objID:   objID,
+		op:      op,
+	})
+	pkt = append(pkt, body...)
+
+	ch := make(chan replyBody, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return "", nil, ErrClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}()
+
+	c.count(func(s *ClientStats) { s.Calls++ })
+	if err := c.ep.Send(dest, pkt); err != nil {
+		return "", nil, err
+	}
+
+	deadline := time.NewTimer(qos.Timeout)
+	defer deadline.Stop()
+	retrans := time.NewTicker(qos.Retransmit)
+	defer retrans.Stop()
+
+	for {
+		select {
+		case rb, ok := <-ch:
+			if !ok {
+				return "", nil, ErrClosed
+			}
+			// Acknowledge so the server may evict its reply cache.
+			ack := encodeHeader(nil, header{
+				version: protoVersion,
+				msgType: msgAck,
+				callID:  id,
+				objID:   objID,
+			})
+			_ = c.ep.Send(dest, ack)
+			return c.interpret(rb)
+		case <-retrans.C:
+			c.count(func(s *ClientStats) { s.Retransmissions++ })
+			if err := c.ep.Send(dest, pkt); err != nil {
+				return "", nil, err
+			}
+		case <-deadline.C:
+			c.count(func(s *ClientStats) { s.Timeouts++ })
+			return "", nil, ErrTimeout
+		case <-ctx.Done():
+			return "", nil, ctx.Err()
+		}
+	}
+}
+
+// Announce performs a request-only invocation: no reply, no outcome, no
+// failure report (§5.1). QoS.Repeats extra copies are sent back to back.
+func (c *Client) Announce(dest, objID, op string, args []wire.Value, qos QoS) error {
+	body, err := wire.EncodeAll(c.codec, args)
+	if err != nil {
+		return err
+	}
+	id := c.nextID.Add(1)
+	pkt := encodeHeader(nil, header{
+		version: protoVersion,
+		msgType: msgAnnounce,
+		callID:  id,
+		objID:   objID,
+		op:      op,
+	})
+	pkt = append(pkt, body...)
+	c.count(func(s *ClientStats) { s.Announcements++ })
+	for i := 0; i <= qos.Repeats; i++ {
+		if err := c.ep.Send(dest, pkt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *Client) interpret(rb replyBody) (string, []wire.Value, error) {
+	switch rb.status {
+	case statusOK:
+		return rb.outcome, rb.results, nil
+	case statusSysError:
+		return "", nil, &RemoteError{Msg: rb.msg}
+	case statusNoObject:
+		return "", nil, ErrNoObject
+	case statusMoved:
+		return "", nil, &MovedError{Forward: rb.fwd}
+	case statusDenied:
+		return "", nil, ErrDenied
+	default:
+		return "", nil, ErrBadMessage
+	}
+}
+
+// onPacket handles inbound packets when the client owns the endpoint.
+func (c *Client) onPacket(from string, pkt []byte) {
+	h, rest, err := decodeHeader(pkt)
+	if err != nil || h.msgType != msgReply {
+		return
+	}
+	c.deliverReply(h, rest)
+}
+
+// deliverReply routes a decoded reply to the waiting call, dropping
+// duplicates (a retransmitted reply for a call that already completed).
+func (c *Client) deliverReply(h header, body []byte) {
+	rb, err := decodeReplyBody(c.codec, body)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	ch := c.pending[h.callID]
+	c.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- rb:
+	default: // duplicate reply
+	}
+}
+
+func (c *Client) count(update func(*ClientStats)) {
+	c.statsMu.Lock()
+	update(&c.stats)
+	c.statsMu.Unlock()
+}

@@ -1,0 +1,218 @@
+// Package rpc implements the ODP invocation protocol over unreliable
+// datagram endpoints.
+//
+// Access transparency (§5.1) requires two interaction structures:
+//
+//   - Interrogation: request-reply, "activity is temporarily transferred
+//     to the invoked interface". Implemented with client retransmission,
+//     server-side duplicate suppression and a reply cache, giving
+//     at-most-once execution over a lossy network.
+//   - Announcement: "an asynchronous request-only structure for spawning
+//     a new activity". Fire-and-forget, optionally repeated for higher
+//     delivery probability; "failure to meet the constraint can[not] be
+//     reported" for announcements.
+//
+// Every operation returns one of a range of named outcomes, "each one of
+// which carries its own package of results" (§5.1). System-level failures
+// (no such object, moved, handler fault) are distinguished from
+// application outcomes so that transparency layers can react to them —
+// in particular the Moved status drives location transparency rebinding.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"odp/internal/wire"
+)
+
+// Message types.
+const (
+	msgRequest  = 1 // interrogation request
+	msgReply    = 2 // interrogation reply
+	msgAck      = 3 // client acknowledges reply; server may evict cache
+	msgAnnounce = 4 // one-way announcement
+)
+
+// Reply statuses.
+const (
+	statusOK       = 0 // application outcome in body
+	statusSysError = 1 // infrastructure or handler fault, message in body
+	statusNoObject = 2 // destination object unknown at this endpoint
+	statusMoved    = 3 // object relocated; body carries a forwarding ref
+	statusDenied   = 4 // a guard refused the invocation (§7.1)
+)
+
+// protoVersion guards against cross-version confusion.
+const protoVersion = 1
+
+// Errors surfaced to invokers.
+var (
+	// ErrTimeout reports that the QoS deadline expired with no reply.
+	ErrTimeout = errors.New("rpc: invocation timed out")
+	// ErrNoObject reports that the destination endpoint does not host the
+	// object. Handlers return it to trigger client-side relocation.
+	ErrNoObject = errors.New("rpc: no such object")
+	// ErrDenied reports a security guard refusal.
+	ErrDenied = errors.New("rpc: access denied")
+	// ErrBadMessage reports an undecodable packet.
+	ErrBadMessage = errors.New("rpc: bad message")
+	// ErrClosed reports use of a closed client or server.
+	ErrClosed = errors.New("rpc: closed")
+)
+
+// MovedError carries a forwarding reference for a relocated object
+// (§5.4): the invoked endpoint knows where the interface went.
+type MovedError struct {
+	// Forward is the new reference for the interface.
+	Forward wire.Ref
+}
+
+// Error implements error.
+func (e *MovedError) Error() string {
+	return fmt.Sprintf("rpc: object moved to %v", e.Forward.Endpoints)
+}
+
+// RemoteError carries a server-side fault message across the network.
+type RemoteError struct {
+	// Msg is the remote failure description.
+	Msg string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// header is the fixed part of every message.
+type header struct {
+	version byte
+	msgType byte
+	callID  uint64
+	objID   string
+	op      string
+}
+
+func encodeHeader(dst []byte, h header) []byte {
+	dst = append(dst, h.version, h.msgType)
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], h.callID)
+	dst = append(dst, b[:]...)
+	dst = appendStr(dst, h.objID)
+	dst = appendStr(dst, h.op)
+	return dst
+}
+
+func decodeHeader(src []byte) (header, []byte, error) {
+	if len(src) < 10 {
+		return header{}, nil, ErrBadMessage
+	}
+	h := header{version: src[0], msgType: src[1]}
+	if h.version != protoVersion {
+		return header{}, nil, fmt.Errorf("%w: version %d", ErrBadMessage, h.version)
+	}
+	h.callID = binary.BigEndian.Uint64(src[2:10])
+	rest := src[10:]
+	var err error
+	if h.objID, rest, err = readStr(rest); err != nil {
+		return header{}, nil, err
+	}
+	if h.op, rest, err = readStr(rest); err != nil {
+		return header{}, nil, err
+	}
+	return h, rest, nil
+}
+
+// Request body: encoded argument vector.
+// Reply body: status byte, then per status:
+//
+//	OK:       outcome string, encoded result vector
+//	SysError: message string
+//	NoObject: (empty)
+//	Moved:    encoded forwarding ref
+//	Denied:   message string
+
+func encodeReplyBody(codec wire.Codec, status byte, outcome string, results []wire.Value, msg string, fwd wire.Ref) ([]byte, error) {
+	body := []byte{status}
+	switch status {
+	case statusOK:
+		body = appendStr(body, outcome)
+		enc, err := wire.EncodeAll(codec, results)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, enc...)
+	case statusSysError, statusDenied:
+		body = appendStr(body, msg)
+	case statusMoved:
+		enc, err := codec.Encode(nil, fwd)
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, enc...)
+	case statusNoObject:
+	}
+	return body, nil
+}
+
+type replyBody struct {
+	status  byte
+	outcome string
+	results []wire.Value
+	msg     string
+	fwd     wire.Ref
+}
+
+func decodeReplyBody(codec wire.Codec, src []byte) (replyBody, error) {
+	if len(src) < 1 {
+		return replyBody{}, ErrBadMessage
+	}
+	rb := replyBody{status: src[0]}
+	rest := src[1:]
+	var err error
+	switch rb.status {
+	case statusOK:
+		if rb.outcome, rest, err = readStr(rest); err != nil {
+			return replyBody{}, err
+		}
+		if rb.results, err = wire.DecodeAll(codec, rest); err != nil {
+			return replyBody{}, err
+		}
+	case statusSysError, statusDenied:
+		if rb.msg, _, err = readStr(rest); err != nil {
+			return replyBody{}, err
+		}
+	case statusMoved:
+		v, _, err := codec.Decode(rest)
+		if err != nil {
+			return replyBody{}, err
+		}
+		ref, ok := v.(wire.Ref)
+		if !ok {
+			return replyBody{}, fmt.Errorf("%w: moved body is %T", ErrBadMessage, v)
+		}
+		rb.fwd = ref
+	case statusNoObject:
+	default:
+		return replyBody{}, fmt.Errorf("%w: status %d", ErrBadMessage, rb.status)
+	}
+	return rb, nil
+}
+
+func appendStr(dst []byte, s string) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(len(s)))
+	dst = append(dst, b[:]...)
+	return append(dst, s...)
+}
+
+func readStr(src []byte) (string, []byte, error) {
+	if len(src) < 4 {
+		return "", nil, ErrBadMessage
+	}
+	n := binary.BigEndian.Uint32(src)
+	src = src[4:]
+	if uint32(len(src)) < n {
+		return "", nil, ErrBadMessage
+	}
+	return string(src[:n]), src[n:], nil
+}

@@ -1,0 +1,147 @@
+package rpc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"odp/internal/wire"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tests := []header{
+		{version: protoVersion, msgType: msgRequest, callID: 1, objID: "obj", op: "doIt"},
+		{version: protoVersion, msgType: msgReply, callID: 1<<64 - 1, objID: "", op: ""},
+		{version: protoVersion, msgType: msgAnnounce, callID: 0, objID: "a/b/c", op: "op with spaces"},
+		{version: protoVersion, msgType: msgAck, callID: 42, objID: "x", op: ""},
+	}
+	for _, h := range tests {
+		enc := encodeHeader(nil, h)
+		enc = append(enc, []byte("BODY")...)
+		got, rest, err := decodeHeader(enc)
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: %+v != %+v", got, h)
+		}
+		if string(rest) != "BODY" {
+			t.Fatalf("rest %q", rest)
+		}
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	prop := func(msgType uint8, callID uint64, objID, op string) bool {
+		h := header{
+			version: protoVersion,
+			msgType: msgType,
+			callID:  callID,
+			objID:   objID,
+			op:      op,
+		}
+		enc := encodeHeader(nil, h)
+		got, rest, err := decodeHeader(enc)
+		return err == nil && got == h && len(rest) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderVersionRejected(t *testing.T) {
+	h := header{version: protoVersion + 1, msgType: msgRequest, callID: 1}
+	enc := encodeHeader(nil, h)
+	if _, _, err := decodeHeader(enc); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}
+
+func TestHeaderTruncated(t *testing.T) {
+	h := header{version: protoVersion, msgType: msgRequest, callID: 7, objID: "object", op: "operation"}
+	enc := encodeHeader(nil, h)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := decodeHeader(enc[:cut]); err == nil {
+			t.Fatalf("truncated header (%d/%d bytes) accepted", cut, len(enc))
+		}
+	}
+}
+
+func TestReplyBodyRoundTrip(t *testing.T) {
+	codec := wire.BinaryCodec{}
+	fwd := wire.Ref{ID: "x", Endpoints: []string{"there"}, Epoch: 3}
+	tests := []struct {
+		name    string
+		status  byte
+		outcome string
+		results []wire.Value
+		msg     string
+		fwd     wire.Ref
+	}{
+		{name: "ok-empty", status: statusOK, outcome: "ok"},
+		{name: "ok-results", status: statusOK, outcome: "partial", results: []wire.Value{int64(1), "two", nil}},
+		{name: "syserror", status: statusSysError, msg: "exploded"},
+		{name: "denied", status: statusDenied, msg: "no"},
+		{name: "noobject", status: statusNoObject},
+		{name: "moved", status: statusMoved, fwd: fwd},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			enc, err := encodeReplyBody(codec, tt.status, tt.outcome, tt.results, tt.msg, tt.fwd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := decodeReplyBody(codec, enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rb.status != tt.status || rb.outcome != tt.outcome || rb.msg != tt.msg {
+				t.Fatalf("round trip: %+v", rb)
+			}
+			if len(rb.results) != len(tt.results) {
+				t.Fatalf("results %v", rb.results)
+			}
+			for i := range tt.results {
+				if !wire.Equal(rb.results[i], tt.results[i]) {
+					t.Fatalf("result %d mismatch", i)
+				}
+			}
+			if tt.status == statusMoved && !wire.Equal(rb.fwd, tt.fwd) {
+				t.Fatalf("fwd %v", rb.fwd)
+			}
+		})
+	}
+}
+
+func TestReplyBodyGarbage(t *testing.T) {
+	codec := wire.BinaryCodec{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		buf := make([]byte, rng.Intn(48))
+		rng.Read(buf)
+		// Must never panic.
+		_, _ = decodeReplyBody(codec, buf)
+	}
+	if _, err := decodeReplyBody(codec, nil); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("empty body accepted")
+	}
+	if _, err := decodeReplyBody(codec, []byte{99}); !errors.Is(err, ErrBadMessage) {
+		t.Fatal("unknown status accepted")
+	}
+}
+
+func TestErrorTypes(t *testing.T) {
+	moved := &MovedError{Forward: wire.Ref{Endpoints: []string{"x"}}}
+	if moved.Error() == "" {
+		t.Fatal("empty moved message")
+	}
+	remote := &RemoteError{Msg: "boom"}
+	if remote.Error() != "rpc: remote: boom" {
+		t.Fatalf("remote message %q", remote.Error())
+	}
+	var asMoved *MovedError
+	if !errors.As(error(moved), &asMoved) {
+		t.Fatal("errors.As failed for MovedError")
+	}
+}

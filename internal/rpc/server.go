@@ -1,0 +1,359 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"odp/internal/transport"
+	"odp/internal/wire"
+)
+
+// Incoming describes one inbound invocation as seen by a Handler.
+type Incoming struct {
+	// From is the transport address the invocation arrived from.
+	From string
+	// ObjID names the destination interface.
+	ObjID string
+	// Op names the operation.
+	Op string
+	// Args is the decoded argument vector.
+	Args []wire.Value
+	// Announcement is true for request-only invocations; the handler's
+	// outcome and results are discarded in that case.
+	Announcement bool
+}
+
+// Handler executes one invocation. Returning a nil error delivers
+// (outcome, results) to the invoker. Returning ErrNoObject, ErrDenied or
+// a *MovedError maps onto the corresponding protocol status; any other
+// error becomes a RemoteError at the client.
+type Handler func(ctx context.Context, in *Incoming) (outcome string, results []wire.Value, err error)
+
+// ServerStats counts protocol events on the server side.
+type ServerStats struct {
+	Requests       uint64 // distinct executions started
+	Duplicates     uint64 // retransmissions suppressed by at-most-once
+	RepliesResent  uint64 // cached replies retransmitted
+	Announcements  uint64 // announcement executions
+	AnnounceDedup  uint64 // duplicate announcements suppressed
+	CacheEvictions uint64
+}
+
+// Server dispatches inbound invocations from one endpoint to a Handler,
+// enforcing at-most-once execution per (client, call id).
+type Server struct {
+	ep      transport.Endpoint
+	codec   wire.Codec
+	handler Handler
+
+	mu     sync.Mutex
+	calls  map[callKey]*serverCall
+	closed bool
+	wg     sync.WaitGroup
+	stop   chan struct{}
+
+	replyTTL time.Duration
+
+	statsMu sync.Mutex
+	stats   ServerStats
+}
+
+type callKey struct {
+	from string
+	id   uint64
+}
+
+// serverCall tracks one at-most-once execution slot.
+type serverCall struct {
+	done    bool
+	reply   []byte // full reply packet, cached for retransmission
+	expires time.Time
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithReplyTTL sets how long completed replies stay cached when no Ack
+// arrives. Default 5s.
+func WithReplyTTL(ttl time.Duration) ServerOption {
+	return func(s *Server) { s.replyTTL = ttl }
+}
+
+// NewServer wraps ep and dispatches to handler. The server takes over the
+// endpoint's handler; use a Peer for combined client/server endpoints.
+func NewServer(ep transport.Endpoint, codec wire.Codec, handler Handler, opts ...ServerOption) *Server {
+	s := newServerNoHandler(ep, codec, handler, opts...)
+	ep.SetHandler(s.onPacket)
+	return s
+}
+
+func newServerNoHandler(ep transport.Endpoint, codec wire.Codec, handler Handler, opts ...ServerOption) *Server {
+	s := &Server{
+		ep:       ep,
+		codec:    codec,
+		handler:  handler,
+		calls:    make(map[callKey]*serverCall),
+		stop:     make(chan struct{}),
+		replyTTL: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.wg.Add(1)
+	go s.janitor()
+	return s
+}
+
+// Stats returns a snapshot of server counters.
+func (s *Server) Stats() ServerStats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// Close stops the server and waits for running handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stop)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// onPacket handles inbound packets when the server owns the endpoint.
+func (s *Server) onPacket(from string, pkt []byte) {
+	h, rest, err := decodeHeader(pkt)
+	if err != nil {
+		return
+	}
+	s.dispatch(from, h, rest)
+}
+
+// dispatch routes one decoded message.
+func (s *Server) dispatch(from string, h header, body []byte) {
+	switch h.msgType {
+	case msgRequest:
+		s.onRequest(from, h, body)
+	case msgAnnounce:
+		s.onAnnounce(from, h, body)
+	case msgAck:
+		s.onAck(from, h)
+	}
+}
+
+func (s *Server) onRequest(from string, h header, body []byte) {
+	key := callKey{from: from, id: h.callID}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if sc, ok := s.calls[key]; ok {
+		// Duplicate: resend the cached reply if execution finished,
+		// otherwise suppress (the reply will go out when it does).
+		var reply []byte
+		if sc.done {
+			reply = sc.reply
+		}
+		s.mu.Unlock()
+		s.count(func(st *ServerStats) {
+			st.Duplicates++
+			if reply != nil {
+				st.RepliesResent++
+			}
+		})
+		if reply != nil {
+			_ = s.ep.Send(from, reply)
+		}
+		return
+	}
+	sc := &serverCall{expires: time.Now().Add(s.replyTTL)}
+	s.calls[key] = sc
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.count(func(st *ServerStats) { st.Requests++ })
+	go s.execute(from, h, body, key, sc, false)
+}
+
+func (s *Server) onAnnounce(from string, h header, body []byte) {
+	key := callKey{from: from, id: h.callID}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if _, ok := s.calls[key]; ok {
+		// Repeated announcement (QoS.Repeats): execute once only.
+		s.mu.Unlock()
+		s.count(func(st *ServerStats) { st.AnnounceDedup++ })
+		return
+	}
+	s.calls[key] = &serverCall{done: true, expires: time.Now().Add(s.replyTTL)}
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.count(func(st *ServerStats) { st.Announcements++ })
+	go s.execute(from, h, body, key, nil, true)
+}
+
+// ackGrace is how long a completed call entry survives after the client's
+// Ack. Immediate eviction would be unsound: a request retransmission sent
+// just before the client received the reply can still be in flight, and
+// must be recognised as a duplicate when it lands, not re-executed.
+const ackGrace = 250 * time.Millisecond
+
+func (s *Server) onAck(from string, h header) {
+	key := callKey{from: from, id: h.callID}
+	s.mu.Lock()
+	if sc, ok := s.calls[key]; ok && sc.done {
+		if exp := time.Now().Add(ackGrace); exp.Before(sc.expires) {
+			sc.expires = exp
+		}
+	}
+	s.mu.Unlock()
+}
+
+// execute runs the handler and, for interrogations, sends and caches the
+// reply.
+func (s *Server) execute(from string, h header, body []byte, key callKey, sc *serverCall, announcement bool) {
+	defer s.wg.Done()
+	args, err := wire.DecodeAll(s.codec, body)
+	in := &Incoming{
+		From:         from,
+		ObjID:        h.objID,
+		Op:           h.op,
+		Args:         args,
+		Announcement: announcement,
+	}
+	var (
+		outcome string
+		results []wire.Value
+	)
+	if err == nil {
+		outcome, results, err = s.handler(context.Background(), in)
+	}
+	if announcement {
+		return // nothing to report, by design
+	}
+
+	status := byte(statusOK)
+	msg := ""
+	var fwd wire.Ref
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrNoObject):
+		status = statusNoObject
+	case errors.Is(err, ErrDenied):
+		status, msg = statusDenied, err.Error()
+	default:
+		var moved *MovedError
+		if errors.As(err, &moved) {
+			status, fwd = statusMoved, moved.Forward
+		} else {
+			status, msg = statusSysError, err.Error()
+		}
+	}
+	rb, encErr := encodeReplyBody(s.codec, status, outcome, results, msg, fwd)
+	if encErr != nil {
+		rb, _ = encodeReplyBody(s.codec, statusSysError, "", nil, "reply encoding: "+encErr.Error(), wire.Ref{})
+	}
+	reply := encodeHeader(nil, header{
+		version: protoVersion,
+		msgType: msgReply,
+		callID:  h.callID,
+		objID:   h.objID,
+		op:      h.op,
+	})
+	reply = append(reply, rb...)
+
+	s.mu.Lock()
+	sc.done = true
+	sc.reply = reply
+	sc.expires = time.Now().Add(s.replyTTL)
+	closed := s.closed
+	s.mu.Unlock()
+	if !closed {
+		_ = s.ep.Send(from, reply)
+	}
+}
+
+// janitor evicts expired reply-cache entries (lost Acks must not leak
+// memory).
+func (s *Server) janitor() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case now := <-ticker.C:
+			var evicted uint64
+			s.mu.Lock()
+			for k, sc := range s.calls {
+				if sc.done && now.After(sc.expires) {
+					delete(s.calls, k)
+					evicted++
+				}
+			}
+			s.mu.Unlock()
+			if evicted > 0 {
+				s.count(func(st *ServerStats) { st.CacheEvictions += evicted })
+			}
+		}
+	}
+}
+
+func (s *Server) count(update func(*ServerStats)) {
+	s.statsMu.Lock()
+	update(&s.stats)
+	s.statsMu.Unlock()
+}
+
+// Peer combines a Client and a Server on a single endpoint, so one
+// capsule can both invoke and be invoked — "some applications may be both
+// client and server simultaneously" (§6).
+type Peer struct {
+	// Client issues outbound invocations.
+	Client *Client
+	// Server dispatches inbound invocations.
+	Server *Server
+}
+
+// NewPeer wires both roles onto ep.
+func NewPeer(ep transport.Endpoint, codec wire.Codec, handler Handler, opts ...ServerOption) *Peer {
+	p := &Peer{
+		Client: newClientNoHandler(ep, codec),
+		Server: newServerNoHandler(ep, codec, handler, opts...),
+	}
+	ep.SetHandler(func(from string, pkt []byte) {
+		h, rest, err := decodeHeader(pkt)
+		if err != nil {
+			return
+		}
+		if h.msgType == msgReply {
+			p.Client.deliverReply(h, rest)
+			return
+		}
+		p.Server.dispatch(from, h, rest)
+	})
+	return p
+}
+
+// Close shuts down both roles.
+func (p *Peer) Close() error {
+	err1 := p.Client.Close()
+	err2 := p.Server.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,191 @@
+// Package security implements the §7.1 security model.
+//
+// "Security in a distributed system is founded upon trusted encapsulation
+// and the management of shared secrets between objects... Shared secrets
+// provide the basis for authenticating interactions and achieving
+// integrity and confidentiality."
+//
+// A client's Signer attaches a credential to each invocation: an
+// HMAC-SHA256 over the principal, a fresh nonce, the operation and the
+// marshalled arguments, keyed by the principal's shared secret. The
+// server-side Guard — "for each interface of the object, a guard can be
+// generated to police use of that interface... generated automatically
+// from a declarative statement of security policy" — verifies the MAC,
+// rejects replays, evaluates the policy and only then lets the
+// invocation through to the servant. Optionally the Signer seals the
+// arguments with AES-GCM under the same shared secret, giving
+// confidentiality as well as integrity.
+//
+// As §7.1 observes, "an interface reference for accessing an object
+// cannot itself be secure... therefore a secure object must check that
+// any access is from a valid source" — possession of a reference grants
+// nothing; only the credential does.
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"odp/internal/wire"
+)
+
+// Errors returned by the security layer.
+var (
+	// ErrBadCredential reports a missing or malformed credential.
+	ErrBadCredential = errors.New("security: bad credential")
+	// ErrBadMAC reports an integrity failure.
+	ErrBadMAC = errors.New("security: MAC verification failed")
+	// ErrReplay reports a reused nonce.
+	ErrReplay = errors.New("security: replayed credential")
+	// ErrUnknownPrincipal reports a principal with no shared secret.
+	ErrUnknownPrincipal = errors.New("security: unknown principal")
+	// ErrForbidden reports a policy denial.
+	ErrForbidden = errors.New("security: forbidden by policy")
+	// ErrStale reports a credential outside the freshness window.
+	ErrStale = errors.New("security: stale credential")
+)
+
+// Keyring holds shared secrets by principal name.
+type Keyring struct {
+	mu      sync.RWMutex
+	secrets map[string][]byte
+}
+
+// NewKeyring creates an empty keyring.
+func NewKeyring() *Keyring {
+	return &Keyring{secrets: make(map[string][]byte)}
+}
+
+// Share installs (or rotates) the secret for principal.
+func (k *Keyring) Share(principal string, secret []byte) {
+	cp := make([]byte, len(secret))
+	copy(cp, secret)
+	k.mu.Lock()
+	k.secrets[principal] = cp
+	k.mu.Unlock()
+}
+
+// secret returns the principal's secret.
+func (k *Keyring) secret(principal string) ([]byte, bool) {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	s, ok := k.secrets[principal]
+	return s, ok
+}
+
+// credential is the wire form of an authenticated invocation's first
+// argument.
+type credential struct {
+	principal string
+	nonce     uint64
+	unixMilli int64
+	sealed    []byte // non-nil when the arguments travel encrypted
+	mac       []byte
+}
+
+func encodeCredential(c credential) wire.Record {
+	rec := wire.Record{
+		"p":   c.principal,
+		"n":   c.nonce,
+		"t":   c.unixMilli,
+		"mac": c.mac,
+	}
+	if c.sealed != nil {
+		rec["sealed"] = c.sealed
+	}
+	return rec
+}
+
+func decodeCredential(v wire.Value) (credential, error) {
+	rec, ok := v.(wire.Record)
+	if !ok {
+		return credential{}, fmt.Errorf("%w: first argument is %T", ErrBadCredential, v)
+	}
+	c := credential{}
+	if c.principal, ok = rec["p"].(string); !ok {
+		return credential{}, fmt.Errorf("%w: no principal", ErrBadCredential)
+	}
+	if c.nonce, ok = rec["n"].(uint64); !ok {
+		return credential{}, fmt.Errorf("%w: no nonce", ErrBadCredential)
+	}
+	if c.unixMilli, ok = rec["t"].(int64); !ok {
+		return credential{}, fmt.Errorf("%w: no timestamp", ErrBadCredential)
+	}
+	if c.mac, ok = rec["mac"].([]byte); !ok {
+		return credential{}, fmt.Errorf("%w: no mac", ErrBadCredential)
+	}
+	c.sealed, _ = rec["sealed"].([]byte)
+	return c, nil
+}
+
+// macOver computes the HMAC binding a credential to one invocation.
+func macOver(secret []byte, principal string, nonce uint64, unixMilli int64, op string, payload []byte) []byte {
+	mac := hmac.New(sha256.New, secret)
+	var buf [8]byte
+	_, _ = mac.Write([]byte(principal))
+	binary.BigEndian.PutUint64(buf[:], nonce)
+	_, _ = mac.Write(buf[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(unixMilli))
+	_, _ = mac.Write(buf[:])
+	_, _ = mac.Write([]byte(op))
+	_, _ = mac.Write(payload)
+	return mac.Sum(nil)
+}
+
+// sealKey derives the AES key from the shared secret.
+func sealKey(secret []byte) []byte {
+	sum := sha256.Sum256(append([]byte("odp-seal:"), secret...))
+	return sum[:]
+}
+
+func seal(secret, plaintext []byte) ([]byte, error) {
+	block, err := aes.NewCipher(sealKey(secret))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return gcm.Seal(nonce, nonce, plaintext, nil), nil
+}
+
+func unseal(secret, sealed []byte) ([]byte, error) {
+	block, err := aes.NewCipher(sealKey(secret))
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < gcm.NonceSize() {
+		return nil, fmt.Errorf("%w: sealed payload too short", ErrBadCredential)
+	}
+	nonce, ct := sealed[:gcm.NonceSize()], sealed[gcm.NonceSize():]
+	pt, err := gcm.Open(nil, nonce, ct, nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMAC, err)
+	}
+	return pt, nil
+}
+
+// now is injectable for tests.
+type clock func() time.Time
+
+// cryptoRead fills b from the system entropy source.
+func cryptoRead(b []byte) (int, error) {
+	return rand.Read(b)
+}

@@ -1,0 +1,180 @@
+package stream
+
+import (
+	"sync"
+)
+
+// SyncGroup aligns several flows by media timestamp — the "questions of
+// how to handle synchronization between streams of voice, video and
+// data" of §7.2 (lip-sync). Each member flow feeds frames into its own
+// jitter buffer; a frame is released only when every other flow's
+// watermark (latest timestamp seen) has reached it, so released
+// timestamps across flows never diverge by more than the inter-frame
+// spacing plus MaxSkewMs.
+type SyncGroup struct {
+	mu sync.Mutex
+	// MaxSkewMs is the tolerated inter-flow skew before a frame is held.
+	maxSkewMs int64
+	flows     map[string]*flowBuf
+	out       func(flow string, f Frame)
+
+	// lastReleased tracks per-flow release watermarks for skew metrics.
+	lastReleased map[string]int64
+	maxObserved  int64
+	dropped      uint64
+}
+
+type flowBuf struct {
+	buffered  []Frame
+	watermark int64 // latest timestamp received
+	started   bool
+}
+
+// NewSyncGroup creates a synchroniser delivering via out. maxSkewMs is
+// the tolerated inter-flow skew.
+func NewSyncGroup(maxSkewMs int64, out func(flow string, f Frame)) *SyncGroup {
+	return &SyncGroup{
+		maxSkewMs:    maxSkewMs,
+		flows:        make(map[string]*flowBuf),
+		out:          out,
+		lastReleased: make(map[string]int64),
+	}
+}
+
+// AddFlow registers a member flow and returns the Sink to bind it to.
+func (g *SyncGroup) AddFlow(name string) Sink {
+	g.mu.Lock()
+	g.flows[name] = &flowBuf{}
+	g.mu.Unlock()
+	return SinkFunc(func(f Frame) { g.onFrame(name, f) })
+}
+
+// MaxObservedSkewMs reports the largest inter-flow skew among released
+// frames — the experiment E12 metric.
+func (g *SyncGroup) MaxObservedSkewMs() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.maxObserved
+}
+
+// Dropped reports how many frames arrived too late to present in sync
+// and were discarded (continuous-media semantics: late frames are
+// worthless, §7.2).
+func (g *SyncGroup) Dropped() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.dropped
+}
+
+func (g *SyncGroup) onFrame(name string, f Frame) {
+	g.mu.Lock()
+	fb, ok := g.flows[name]
+	if !ok {
+		g.mu.Unlock()
+		return
+	}
+	fb.started = true
+	if f.TimestampMs > fb.watermark {
+		fb.watermark = f.TimestampMs
+	}
+	// Insert in timestamp order (jitter reordering).
+	idx := len(fb.buffered)
+	for idx > 0 && fb.buffered[idx-1].TimestampMs > f.TimestampMs {
+		idx--
+	}
+	fb.buffered = append(fb.buffered, Frame{})
+	copy(fb.buffered[idx+1:], fb.buffered[idx:])
+	fb.buffered[idx] = f
+
+	released := g.drainLocked()
+	g.mu.Unlock()
+	for _, r := range released {
+		g.out(r.flow, r.frame)
+	}
+}
+
+type releasedFrame struct {
+	flow  string
+	frame Frame
+}
+
+// drainLocked releases every frame whose timestamp is within MaxSkewMs of
+// the group watermark (the minimum per-flow watermark over flows that
+// have started). Called with g.mu held.
+func (g *SyncGroup) drainLocked() []releasedFrame {
+	groupWatermark := int64(1<<62 - 1)
+	for _, fb := range g.flows {
+		if !fb.started {
+			return nil // hold everything until all flows are live
+		}
+		if fb.watermark < groupWatermark {
+			groupWatermark = fb.watermark
+		}
+	}
+	var released []releasedFrame
+	for name, fb := range g.flows {
+		i := 0
+		for i < len(fb.buffered) && fb.buffered[i].TimestampMs <= groupWatermark+g.maxSkewMs {
+			f := fb.buffered[i]
+			i++
+			// A frame whose presentation time has already been passed by
+			// this flow's own playout is too late to present in sync:
+			// drop it rather than rewind the flow.
+			if f.TimestampMs+g.maxSkewMs < g.lastReleased[name] {
+				g.dropped++
+				continue
+			}
+			released = append(released, releasedFrame{flow: name, frame: f})
+			g.noteRelease(name, f.TimestampMs)
+		}
+		fb.buffered = fb.buffered[i:]
+	}
+	g.noteSkewLocked()
+	return released
+}
+
+// noteRelease advances a flow's playout position. Called with g.mu held.
+// The position is monotonic: a tolerated-late frame is presented slightly
+// late without rewinding the flow.
+func (g *SyncGroup) noteRelease(flow string, ts int64) {
+	if ts > g.lastReleased[flow] {
+		g.lastReleased[flow] = ts
+	}
+}
+
+// noteSkewLocked samples the inter-flow skew once positions have settled
+// (end of a drain). Flows that have not yet released anything are not
+// compared. Called with g.mu held.
+func (g *SyncGroup) noteSkewLocked() {
+	if len(g.lastReleased) < 2 {
+		return
+	}
+	lo, hi := int64(1<<62-1), int64(-1<<62)
+	for _, v := range g.lastReleased {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if skew := hi - lo; skew > g.maxObserved {
+		g.maxObserved = skew
+	}
+}
+
+// Flush releases everything still buffered (end of stream).
+func (g *SyncGroup) Flush() {
+	g.mu.Lock()
+	var released []releasedFrame
+	for name, fb := range g.flows {
+		for _, f := range fb.buffered {
+			released = append(released, releasedFrame{flow: name, frame: f})
+		}
+		fb.buffered = nil
+	}
+	g.mu.Unlock()
+	for _, r := range released {
+		g.out(r.flow, r.frame)
+	}
+}

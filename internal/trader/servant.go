@@ -1,0 +1,296 @@
+package trader
+
+import (
+	"context"
+	"fmt"
+
+	"odp/internal/capsule"
+	"odp/internal/rpc"
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+// Type is the trader's own interface type: the trading service is itself
+// an ODP object, discoverable and invokable like any other.
+var Type = types.Type{
+	Name: "odp.Trader",
+	Ops: map[string]types.Operation{
+		"advertise": {
+			Args:     []types.Desc{types.Rec, types.RefTo(""), types.Rec},
+			Outcomes: map[string][]types.Desc{"ok": {types.String}, "error": {types.String}},
+		},
+		"withdraw": {
+			Args:     []types.Desc{types.String},
+			Outcomes: map[string][]types.Desc{"ok": {}, "error": {types.String}},
+		},
+		"import": {
+			Args:     []types.Desc{types.Rec},
+			Outcomes: map[string][]types.Desc{"ok": {types.List(types.Rec)}, "error": {types.String}},
+		},
+		"link": {
+			Args:     []types.Desc{types.String, types.RefTo("")},
+			Outcomes: map[string][]types.Desc{"ok": {}},
+		},
+	},
+}
+
+// dispatch implements the trader's remote interface.
+func (t *Trader) dispatch(ctx context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
+	switch op {
+	case "advertise":
+		typ, err := types.DecodeType(args[0])
+		if err != nil {
+			return "error", []wire.Value{err.Error()}, nil
+		}
+		ref, ok := args[1].(wire.Ref)
+		if !ok {
+			return "error", []wire.Value{"second argument must be a ref"}, nil
+		}
+		props, _ := args[2].(wire.Record)
+		id, err := t.Advertise(typ, ref, props)
+		if err != nil {
+			return "error", []wire.Value{err.Error()}, nil
+		}
+		return "ok", []wire.Value{id}, nil
+	case "withdraw":
+		id, _ := args[0].(string)
+		if err := t.Withdraw(id); err != nil {
+			return "error", []wire.Value{err.Error()}, nil
+		}
+		return "ok", nil, nil
+	case "import":
+		spec, err := decodeImportSpec(args[0])
+		if err != nil {
+			return "error", []wire.Value{err.Error()}, nil
+		}
+		offers, err := t.Import(ctx, spec)
+		if err != nil {
+			return "error", []wire.Value{err.Error()}, nil
+		}
+		list := make(wire.List, len(offers))
+		for i, o := range offers {
+			list[i] = encodeOffer(o)
+		}
+		return "ok", []wire.Value{list}, nil
+	case "link":
+		name, _ := args[0].(string)
+		peer, ok := args[1].(wire.Ref)
+		if !ok {
+			return "", nil, fmt.Errorf("trader: link wants a ref, got %T", args[1])
+		}
+		t.LinkTo(name, peer)
+		return "ok", nil, nil
+	default:
+		return "", nil, fmt.Errorf("trader: no operation %q", op)
+	}
+}
+
+// importRemote forwards an import to a linked trader over the wire.
+func (t *Trader) importRemote(ctx context.Context, peer wire.Ref, spec ImportSpec) ([]Offer, error) {
+	hop := spec
+	hop.MaxHops--
+	outcome, results, err := t.cap.Invoke(ctx, peer, "import",
+		[]wire.Value{encodeImportSpec(hop)},
+		capsule.WithQoS(rpc.QoS{Timeout: rpc.DefaultTimeout}))
+	if err != nil {
+		return nil, err
+	}
+	if outcome != "ok" {
+		return nil, fmt.Errorf("trader: remote import: %v", results)
+	}
+	list, ok := results[0].(wire.List)
+	if !ok {
+		return nil, fmt.Errorf("trader: remote import returned %T", results[0])
+	}
+	offers := make([]Offer, 0, len(list))
+	for _, v := range list {
+		o, err := decodeOffer(v)
+		if err != nil {
+			return nil, err
+		}
+		offers = append(offers, o)
+	}
+	return offers, nil
+}
+
+func encodeImportSpec(spec ImportSpec) wire.Record {
+	constraints := make(wire.List, len(spec.Constraints))
+	for i, c := range spec.Constraints {
+		constraints[i] = wire.Record{
+			"key":   c.Key,
+			"op":    string(c.Op),
+			"value": c.Value,
+		}
+	}
+	visited := make(wire.List, len(spec.visited))
+	for i, v := range spec.visited {
+		visited[i] = v
+	}
+	return wire.Record{
+		"requirement": types.EncodeType(spec.Requirement),
+		"constraints": constraints,
+		"maxHops":     int64(spec.MaxHops),
+		"maxMatches":  int64(spec.MaxMatches),
+		"visited":     visited,
+	}
+}
+
+func decodeImportSpec(v wire.Value) (ImportSpec, error) {
+	rec, ok := v.(wire.Record)
+	if !ok {
+		return ImportSpec{}, fmt.Errorf("trader: import spec is %T, want record", v)
+	}
+	req, err := types.DecodeType(rec["requirement"])
+	if err != nil {
+		return ImportSpec{}, err
+	}
+	spec := ImportSpec{Requirement: req}
+	if h, ok := rec["maxHops"].(int64); ok {
+		spec.MaxHops = int(h)
+	}
+	if m, ok := rec["maxMatches"].(int64); ok {
+		spec.MaxMatches = int(m)
+	}
+	if cs, ok := rec["constraints"].(wire.List); ok {
+		for _, cv := range cs {
+			crec, ok := cv.(wire.Record)
+			if !ok {
+				return ImportSpec{}, fmt.Errorf("%w: constraint is %T", ErrBadConstraint, cv)
+			}
+			key, _ := crec["key"].(string)
+			opStr, _ := crec["op"].(string)
+			spec.Constraints = append(spec.Constraints, Constraint{
+				Key:   key,
+				Op:    ConstraintOp(opStr),
+				Value: crec["value"],
+			})
+		}
+	}
+	if vs, ok := rec["visited"].(wire.List); ok {
+		for _, vv := range vs {
+			if s, ok := vv.(string); ok {
+				spec.visited = append(spec.visited, s)
+			}
+		}
+	}
+	return spec, nil
+}
+
+func encodeOffer(o Offer) wire.Record {
+	props := make(wire.Record, len(o.Properties))
+	for k, v := range o.Properties {
+		props[k] = v
+	}
+	return wire.Record{
+		"id":          o.ID,
+		"serviceType": o.ServiceType,
+		"type":        types.EncodeType(o.Type),
+		"ref":         o.Ref,
+		"properties":  props,
+	}
+}
+
+func decodeOffer(v wire.Value) (Offer, error) {
+	rec, ok := v.(wire.Record)
+	if !ok {
+		return Offer{}, fmt.Errorf("trader: offer is %T, want record", v)
+	}
+	typ, err := types.DecodeType(rec["type"])
+	if err != nil {
+		return Offer{}, err
+	}
+	ref, ok := rec["ref"].(wire.Ref)
+	if !ok {
+		return Offer{}, fmt.Errorf("trader: offer ref is %T", rec["ref"])
+	}
+	o := Offer{Type: typ, Ref: ref}
+	o.ID, _ = rec["id"].(string)
+	o.ServiceType, _ = rec["serviceType"].(string)
+	if props, ok := rec["properties"].(wire.Record); ok {
+		o.Properties = make(map[string]wire.Value, len(props))
+		for k, pv := range props {
+			o.Properties[k] = pv
+		}
+	}
+	return o, nil
+}
+
+// Client is a convenience wrapper for talking to a (possibly remote)
+// trader interface.
+type Client struct {
+	cap    *capsule.Capsule
+	trader wire.Ref
+}
+
+// NewClient binds c to the trader at ref.
+func NewClient(c *capsule.Capsule, ref wire.Ref) *Client {
+	return &Client{cap: c, trader: ref}
+}
+
+// Advertise exports an offer through the remote trader interface.
+func (tc *Client) Advertise(ctx context.Context, serviceType types.Type, ref wire.Ref, properties map[string]wire.Value) (string, error) {
+	props := make(wire.Record, len(properties))
+	for k, v := range properties {
+		props[k] = v
+	}
+	outcome, results, err := tc.cap.Invoke(ctx, tc.trader, "advertise",
+		[]wire.Value{types.EncodeType(serviceType), ref, props})
+	if err != nil {
+		return "", err
+	}
+	if outcome != "ok" {
+		return "", fmt.Errorf("trader: advertise: %v", results)
+	}
+	id, _ := results[0].(string)
+	return id, nil
+}
+
+// Withdraw removes an offer through the remote trader interface.
+func (tc *Client) Withdraw(ctx context.Context, offerID string) error {
+	outcome, results, err := tc.cap.Invoke(ctx, tc.trader, "withdraw", []wire.Value{offerID})
+	if err != nil {
+		return err
+	}
+	if outcome != "ok" {
+		return fmt.Errorf("trader: withdraw: %v", results)
+	}
+	return nil
+}
+
+// Import queries the remote trader.
+func (tc *Client) Import(ctx context.Context, spec ImportSpec) ([]Offer, error) {
+	outcome, results, err := tc.cap.Invoke(ctx, tc.trader, "import",
+		[]wire.Value{encodeImportSpec(spec)})
+	if err != nil {
+		return nil, err
+	}
+	if outcome != "ok" {
+		return nil, fmt.Errorf("trader: import: %v", results)
+	}
+	list, ok := results[0].(wire.List)
+	if !ok {
+		return nil, fmt.Errorf("trader: import returned %T", results[0])
+	}
+	offers := make([]Offer, 0, len(list))
+	for _, v := range list {
+		o, err := decodeOffer(v)
+		if err != nil {
+			return nil, err
+		}
+		offers = append(offers, o)
+	}
+	return offers, nil
+}
+
+// ImportOne returns the first matching offer or ErrNoOffer.
+func (tc *Client) ImportOne(ctx context.Context, spec ImportSpec) (Offer, error) {
+	spec.MaxMatches = 1
+	offers, err := tc.Import(ctx, spec)
+	if err != nil {
+		return Offer{}, err
+	}
+	if len(offers) == 0 {
+		return Offer{}, ErrNoOffer
+	}
+	return offers[0], nil
+}

@@ -1,0 +1,377 @@
+// Package trader implements the ODP trading service (§6).
+//
+// "Clients within an open distributed system need to be able to find out
+// which services are offered by servers... Servers describe the services
+// they provide (the types and properties of their interfaces) and the
+// locations of each interface. Clients describe the type and desired
+// properties of services they want to use to a trader, which in turn
+// supplies the client with references to suitable servers."
+//
+// Requirements realised here:
+//
+//   - offers are qualified with properties, matchable by constraints;
+//   - "a client is only told of service offers which provide at least the
+//     operations it requires" — matching is structural conformance
+//     (delegated to the type manager, which may impose extra rules);
+//   - federation: traders link to autonomous peer traders, forming an
+//     arbitrary graph. Imports can traverse links; references returned
+//     from a linked trader are qualified with the link's context so
+//     context-relative naming keeps them resolvable (§6);
+//   - offers may carry an activation hook via a resource manager
+//     reference ("it must be possible to link offers to a resource
+//     manager which can take whatever actions are required when the offer
+//     is selected").
+package trader
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"odp/internal/capsule"
+	"odp/internal/types"
+	"odp/internal/wire"
+)
+
+// Errors returned by the trader.
+var (
+	// ErrNoOffer reports that an import matched nothing.
+	ErrNoOffer = errors.New("trader: no matching offer")
+	// ErrUnknownOffer reports a withdraw of a non-existent offer.
+	ErrUnknownOffer = errors.New("trader: unknown offer")
+	// ErrBadConstraint reports an unparsable property constraint.
+	ErrBadConstraint = errors.New("trader: bad constraint")
+)
+
+// Offer is one advertised service.
+type Offer struct {
+	// ID identifies the offer within its trader.
+	ID string
+	// ServiceType names the offered interface type (resolvable in the
+	// trader's type manager). The full type is stored alongside so
+	// federated imports can match structurally without sharing a manager.
+	ServiceType string
+	// Type is the full interface type of the offer.
+	Type types.Type
+	// Ref is the offered interface reference.
+	Ref wire.Ref
+	// Properties qualify the offer ("service offers can be qualified
+	// with properties to distinguish them").
+	Properties map[string]wire.Value
+}
+
+// ConstraintOp is a property-constraint operator.
+type ConstraintOp string
+
+// Constraint operators.
+const (
+	OpEq     ConstraintOp = "=="
+	OpNe     ConstraintOp = "!="
+	OpGe     ConstraintOp = ">="
+	OpLe     ConstraintOp = "<="
+	OpExists ConstraintOp = "exists"
+)
+
+// Constraint restricts matching offers by one property.
+type Constraint struct {
+	// Key is the property name.
+	Key string
+	// Op is the comparison operator.
+	Op ConstraintOp
+	// Value is the comparand (ignored for OpExists).
+	Value wire.Value
+}
+
+// matches evaluates the constraint against an offer's properties.
+func (c Constraint) matches(props map[string]wire.Value) (bool, error) {
+	v, ok := props[c.Key]
+	if c.Op == OpExists {
+		return ok, nil
+	}
+	if !ok {
+		return false, nil
+	}
+	switch c.Op {
+	case OpEq:
+		return wire.Equal(v, c.Value), nil
+	case OpNe:
+		return !wire.Equal(v, c.Value), nil
+	case OpGe, OpLe:
+		cmp, err := compareNumeric(v, c.Value)
+		if err != nil {
+			return false, err
+		}
+		if c.Op == OpGe {
+			return cmp >= 0, nil
+		}
+		return cmp <= 0, nil
+	default:
+		return false, fmt.Errorf("%w: operator %q", ErrBadConstraint, c.Op)
+	}
+}
+
+func compareNumeric(a, b wire.Value) (int, error) {
+	af, aok := asFloat(a)
+	bf, bok := asFloat(b)
+	if !aok || !bok {
+		return 0, fmt.Errorf("%w: non-numeric comparison %T vs %T", ErrBadConstraint, a, b)
+	}
+	switch {
+	case af < bf:
+		return -1, nil
+	case af > bf:
+		return 1, nil
+	default:
+		return 0, nil
+	}
+}
+
+func asFloat(v wire.Value) (float64, bool) {
+	switch t := v.(type) {
+	case int64:
+		return float64(t), true
+	case uint64:
+		return float64(t), true
+	case float64:
+		return t, true
+	default:
+		return 0, false
+	}
+}
+
+// ImportSpec is a client's service requirement.
+type ImportSpec struct {
+	// Requirement is the interface type the client needs. Matching
+	// offers must conform to it structurally.
+	Requirement types.Type
+	// Constraints restrict offer properties.
+	Constraints []Constraint
+	// MaxHops bounds federated link traversal (0 = local only).
+	MaxHops int
+	// MaxMatches bounds the result set (0 = unlimited).
+	MaxMatches int
+
+	// visited carries loop-avoidance state across federated hops.
+	visited []string
+}
+
+// Trader is one trading context.
+type Trader struct {
+	// contextName identifies this trader in context-relative names.
+	contextName string
+	typeManager *types.Manager
+	cap         *capsule.Capsule
+
+	mu     sync.RWMutex
+	offers map[string]*Offer
+	links  map[string]wire.Ref // link name -> peer trader ref
+	nextID uint64
+
+	// resourceManagers maps offer id -> resource manager ref to poke on
+	// selection (§6 "link offers to a resource manager").
+	resourceManagers map[string]wire.Ref
+
+	ref wire.Ref
+}
+
+// New creates a trader named contextName, hosted on c, using tm for type
+// matching. The trader exports itself as an ODP interface.
+func New(contextName string, c *capsule.Capsule, tm *types.Manager) (*Trader, error) {
+	t := &Trader{
+		contextName:      contextName,
+		typeManager:      tm,
+		cap:              c,
+		offers:           make(map[string]*Offer),
+		links:            make(map[string]wire.Ref),
+		resourceManagers: make(map[string]wire.Ref),
+	}
+	ref, err := c.Export(capsule.ServantFunc(t.dispatch),
+		capsule.WithID(c.Name()+"/trader"),
+		capsule.WithType(Type))
+	if err != nil {
+		return nil, err
+	}
+	t.ref = ref
+	return t, nil
+}
+
+// Ref returns the trader's own interface reference.
+func (t *Trader) Ref() wire.Ref { return t.ref }
+
+// ContextName returns the trader's federation context name.
+func (t *Trader) ContextName() string { return t.contextName }
+
+// Advertise registers an offer and returns its id.
+func (t *Trader) Advertise(serviceType types.Type, ref wire.Ref, properties map[string]wire.Value) (string, error) {
+	if serviceType.Name == "" {
+		return "", fmt.Errorf("trader: offer needs a named type")
+	}
+	if err := t.typeManager.Register(serviceType); err != nil {
+		return "", err
+	}
+	props := make(map[string]wire.Value, len(properties))
+	for k, v := range properties {
+		props[k] = wire.Clone(v)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.contextName + "/offer-" + strconv.FormatUint(t.nextID, 10)
+	t.offers[id] = &Offer{
+		ID:          id,
+		ServiceType: serviceType.Name,
+		Type:        serviceType.Clone(),
+		Ref:         wire.Clone(ref).(wire.Ref),
+		Properties:  props,
+	}
+	return id, nil
+}
+
+// AdvertiseOffer implements capsule.Advertiser using the trader's own
+// type manager to resolve the named type.
+func (t *Trader) AdvertiseOffer(serviceType string, ref wire.Ref, properties map[string]wire.Value) (string, error) {
+	typ, err := t.typeManager.Lookup(serviceType)
+	if err != nil {
+		return "", err
+	}
+	return t.Advertise(typ, ref, properties)
+}
+
+// Withdraw removes an offer.
+func (t *Trader) Withdraw(offerID string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.offers[offerID]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownOffer, offerID)
+	}
+	delete(t.offers, offerID)
+	delete(t.resourceManagers, offerID)
+	return nil
+}
+
+// WithdrawOffer implements capsule.Advertiser.
+func (t *Trader) WithdrawOffer(offerID string) error { return t.Withdraw(offerID) }
+
+// LinkTo federates this trader with a peer: imports may traverse the link
+// and returned references are context-qualified with linkName.
+func (t *Trader) LinkTo(linkName string, peer wire.Ref) {
+	t.mu.Lock()
+	t.links[linkName] = peer
+	t.mu.Unlock()
+}
+
+// SetResourceManager attaches a resource manager to an offer. When the
+// offer is selected by an import, the manager's "selected" announcement
+// fires (activating a passive object, for example).
+func (t *Trader) SetResourceManager(offerID string, rm wire.Ref) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.offers[offerID]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownOffer, offerID)
+	}
+	t.resourceManagers[offerID] = rm
+	return nil
+}
+
+// OfferCount returns the number of live offers.
+func (t *Trader) OfferCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.offers)
+}
+
+// Import finds offers conforming to spec, searching linked traders up to
+// spec.MaxHops away. Matching offers are returned sorted by id for
+// determinism; references from linked traders carry the link's context.
+func (t *Trader) Import(ctx context.Context, spec ImportSpec) ([]Offer, error) {
+	for _, seen := range spec.visited {
+		if seen == t.contextName {
+			return nil, nil // loop: already searched here
+		}
+	}
+	spec.visited = append(spec.visited, t.contextName)
+
+	var matched []Offer
+	t.mu.RLock()
+	ids := make([]string, 0, len(t.offers))
+	for id := range t.offers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		offer := t.offers[id]
+		if err := t.typeManager.MatchTypes(spec.Requirement, offer.Type); err != nil {
+			continue
+		}
+		ok := true
+		for _, c := range spec.Constraints {
+			m, err := c.matches(offer.Properties)
+			if err != nil {
+				t.mu.RUnlock()
+				return nil, err
+			}
+			if !m {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			matched = append(matched, cloneOffer(offer))
+		}
+	}
+	links := make(map[string]wire.Ref, len(t.links))
+	for name, ref := range t.links {
+		links[name] = ref
+	}
+	t.mu.RUnlock()
+
+	// Poke resource managers for selected local offers.
+	for _, o := range matched {
+		t.mu.RLock()
+		rm, ok := t.resourceManagers[o.ID]
+		t.mu.RUnlock()
+		if ok {
+			_ = t.cap.Announce(rm, "selected", []wire.Value{o.Ref})
+		}
+	}
+
+	if spec.MaxHops > 0 && (spec.MaxMatches == 0 || len(matched) < spec.MaxMatches) {
+		linkNames := make([]string, 0, len(links))
+		for name := range links {
+			linkNames = append(linkNames, name)
+		}
+		sort.Strings(linkNames)
+		for _, name := range linkNames {
+			remote, err := t.importRemote(ctx, links[name], spec)
+			if err != nil {
+				continue // an unreachable federation peer must not kill the import
+			}
+			for _, o := range remote {
+				o.Ref = o.Ref.WithContext(name)
+				o.ID = name + "!" + o.ID
+				matched = append(matched, o)
+			}
+		}
+	}
+	if spec.MaxMatches > 0 && len(matched) > spec.MaxMatches {
+		matched = matched[:spec.MaxMatches]
+	}
+	return matched, nil
+}
+
+func cloneOffer(o *Offer) Offer {
+	props := make(map[string]wire.Value, len(o.Properties))
+	for k, v := range o.Properties {
+		props[k] = wire.Clone(v)
+	}
+	return Offer{
+		ID:          o.ID,
+		ServiceType: o.ServiceType,
+		Type:        o.Type.Clone(),
+		Ref:         wire.Clone(o.Ref).(wire.Ref),
+		Properties:  props,
+	}
+}

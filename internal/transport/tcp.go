@@ -1,0 +1,254 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPEndpoint carries the datagram abstraction over real TCP connections,
+// for cross-process deployments (cmd/odpnode). Each frame is:
+//
+//	u32 fromLen | from | u32 pktLen | pkt
+//
+// Connections are cached per destination and re-dialled on failure. TCP's
+// reliability simply means the loss probability is zero; the invocation
+// protocol above is identical to the simulated case.
+type TCPEndpoint struct {
+	listener net.Listener
+	addr     string
+
+	mu      sync.Mutex
+	handler Handler
+	conns   map[string]net.Conn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)
+
+// ListenTCP creates an endpoint bound to bind (e.g. "127.0.0.1:0"). The
+// advertised address is "tcp:" + the bound address.
+func ListenTCP(bind string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	e := &TCPEndpoint{
+		listener: l,
+		addr:     "tcp:" + l.Addr().String(),
+		conns:    make(map[string]net.Conn),
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr implements Endpoint.
+func (e *TCPEndpoint) Addr() string { return e.addr }
+
+// SetHandler implements Endpoint.
+func (e *TCPEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	e.handler = h
+	e.mu.Unlock()
+}
+
+// Send implements Endpoint. to must have the form "tcp:host:port".
+func (e *TCPEndpoint) Send(to string, pkt []byte) error {
+	if len(pkt) > MaxPacket {
+		return ErrTooLarge
+	}
+	hostport, ok := stripScheme(to)
+	if !ok {
+		return fmt.Errorf("%w: bad address %q", ErrUnreachable, to)
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	conn := e.conns[to]
+	e.mu.Unlock()
+
+	if conn == nil {
+		var err error
+		conn, err = net.Dial("tcp", hostport)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return ErrClosed
+		}
+		if existing := e.conns[to]; existing != nil {
+			// Raced with another sender; keep the first connection.
+			e.mu.Unlock()
+			_ = conn.Close()
+			conn = existing
+		} else {
+			e.conns[to] = conn
+			e.mu.Unlock()
+			// Replies may come back on this same connection.
+			e.wg.Add(1)
+			go e.readLoop(conn, to)
+		}
+	}
+
+	frame := encodeFrame(e.addr, pkt)
+	if _, err := conn.Write(frame); err != nil {
+		// Connection broke: forget it so the next send re-dials. The
+		// packet is lost — exactly the datagram semantics the protocol
+		// above expects.
+		e.mu.Lock()
+		if e.conns[to] == conn {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := make([]net.Conn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.conns = make(map[string]net.Conn)
+	e.mu.Unlock()
+
+	_ = e.listener.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	return nil
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.wg.Add(1)
+		e.mu.Unlock()
+		go e.readLoop(conn, "")
+	}
+}
+
+// readLoop consumes frames from one connection. cacheKey, when non-empty,
+// identifies the conns entry to clear when the connection dies.
+func (e *TCPEndpoint) readLoop(conn net.Conn, cacheKey string) {
+	defer e.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		if cacheKey != "" {
+			e.mu.Lock()
+			if e.conns[cacheKey] == conn {
+				delete(e.conns, cacheKey)
+			}
+			e.mu.Unlock()
+		}
+	}()
+	registered := false
+	for {
+		from, pkt, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		// First inbound frame tells us the peer's address, letting replies
+		// reuse this connection instead of dialling back (essential when
+		// the peer is behind an ephemeral port).
+		if !registered && from != "" {
+			e.mu.Lock()
+			if !e.closed {
+				if _, exists := e.conns[from]; !exists {
+					e.conns[from] = conn
+					if cacheKey == "" {
+						cacheKey = from
+					}
+				}
+			}
+			e.mu.Unlock()
+			registered = true
+		}
+		e.mu.Lock()
+		h := e.handler
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		if h != nil {
+			h(from, pkt)
+		}
+	}
+}
+
+func stripScheme(addr string) (string, bool) {
+	const scheme = "tcp:"
+	if len(addr) <= len(scheme) || addr[:len(scheme)] != scheme {
+		return "", false
+	}
+	return addr[len(scheme):], true
+}
+
+func encodeFrame(from string, pkt []byte) []byte {
+	buf := make([]byte, 0, 8+len(from)+len(pkt))
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(from)))
+	buf = append(buf, n[:]...)
+	buf = append(buf, from...)
+	binary.BigEndian.PutUint32(n[:], uint32(len(pkt)))
+	buf = append(buf, n[:]...)
+	buf = append(buf, pkt...)
+	return buf
+}
+
+func readFrame(r io.Reader) (string, []byte, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", nil, err
+	}
+	fl := binary.BigEndian.Uint32(n[:])
+	if fl > 4096 {
+		return "", nil, fmt.Errorf("transport: absurd from length %d", fl)
+	}
+	from := make([]byte, fl)
+	if _, err := io.ReadFull(r, from); err != nil {
+		return "", nil, err
+	}
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", nil, err
+	}
+	pl := binary.BigEndian.Uint32(n[:])
+	if pl > MaxPacket {
+		return "", nil, fmt.Errorf("transport: frame of %d bytes exceeds max", pl)
+	}
+	pkt := make([]byte, pl)
+	if _, err := io.ReadFull(r, pkt); err != nil {
+		return "", nil, err
+	}
+	return string(from), pkt, nil
+}

@@ -1,0 +1,55 @@
+// Package transport defines the message-passing substrate of the
+// engineering model.
+//
+// The paper's analysis of separation (§4.1) requires that "all access
+// between components must be based on the exchange of request and response
+// messages". This package provides the lowest layer: unreliable,
+// unordered, best-effort datagram endpoints. Reliability, ordering and
+// exactly/at-most-once semantics are the business of the invocation
+// protocol (internal/rpc), mirroring the ANSA REX design over UDP.
+//
+// Two implementations exist: the deterministic simulated fabric in
+// internal/netsim (latency, jitter, loss, partitions) and the TCP endpoint
+// in this package (real cross-process transport; TCP's reliability simply
+// means the loss rate is 0 — the protocol stack above is unchanged).
+package transport
+
+import (
+	"errors"
+)
+
+// Handler consumes one inbound packet. Implementations are called from
+// transport goroutines and must not block for long.
+type Handler func(from string, pkt []byte)
+
+// Endpoint is a best-effort datagram endpoint with a stable address.
+type Endpoint interface {
+	// Addr returns the endpoint's address as placed in interface
+	// references.
+	Addr() string
+	// Send transmits pkt towards to. Delivery is not guaranteed; an error
+	// is returned only for local failures (closed endpoint, unknown
+	// scheme), never for loss.
+	Send(to string, pkt []byte) error
+	// SetHandler installs the inbound packet handler. It must be called
+	// before any traffic is expected; a nil handler drops packets.
+	SetHandler(h Handler)
+	// Close releases the endpoint. Subsequent Sends fail with ErrClosed.
+	Close() error
+}
+
+// Errors returned by endpoints.
+var (
+	// ErrClosed reports use of a closed endpoint.
+	ErrClosed = errors.New("transport: endpoint closed")
+	// ErrUnreachable reports an address no route exists for. The
+	// simulated fabric returns it for unknown names; TCP returns it for
+	// dial failures.
+	ErrUnreachable = errors.New("transport: unreachable")
+	// ErrTooLarge reports a packet exceeding MaxPacket.
+	ErrTooLarge = errors.New("transport: packet too large")
+)
+
+// MaxPacket bounds a single datagram. Large invocations must be segmented
+// by the layer above (internal/rpc does this).
+const MaxPacket = 1 << 20

@@ -1,0 +1,86 @@
+package types
+
+import (
+	"fmt"
+
+	"odp/internal/wire"
+)
+
+// EncodeType renders a type description as a wire record, so that type
+// descriptions can be shipped to traders and type managers in other
+// capsules — the system is self-describing (§6).
+func EncodeType(t Type) wire.Record {
+	ops := make(wire.Record, len(t.Ops))
+	for name, op := range t.Ops {
+		args := make(wire.List, len(op.Args))
+		for i, a := range op.Args {
+			args[i] = string(a)
+		}
+		outcomes := make(wire.Record, len(op.Outcomes))
+		for o, rs := range op.Outcomes {
+			results := make(wire.List, len(rs))
+			for i, r := range rs {
+				results[i] = string(r)
+			}
+			outcomes[o] = results
+		}
+		ops[name] = wire.Record{
+			"args":         args,
+			"outcomes":     outcomes,
+			"announcement": op.Announcement,
+		}
+	}
+	return wire.Record{"name": t.Name, "ops": ops}
+}
+
+// DecodeType parses a wire record produced by EncodeType.
+func DecodeType(v wire.Value) (Type, error) {
+	rec, ok := v.(wire.Record)
+	if !ok {
+		return Type{}, fmt.Errorf("types: type description is %T, want record", v)
+	}
+	name, _ := rec["name"].(string)
+	opsRec, ok := rec["ops"].(wire.Record)
+	if !ok {
+		return Type{}, fmt.Errorf("types: type description lacks ops record")
+	}
+	t := Type{Name: name, Ops: make(map[string]Operation, len(opsRec))}
+	for opName, opVal := range opsRec {
+		opRec, ok := opVal.(wire.Record)
+		if !ok {
+			return Type{}, fmt.Errorf("types: operation %q is %T, want record", opName, opVal)
+		}
+		var op Operation
+		if args, ok := opRec["args"].(wire.List); ok {
+			op.Args = make([]Desc, len(args))
+			for i, a := range args {
+				s, ok := a.(string)
+				if !ok {
+					return Type{}, fmt.Errorf("types: operation %q argument %d is %T", opName, i, a)
+				}
+				op.Args[i] = Desc(s)
+			}
+		}
+		op.Announcement, _ = opRec["announcement"].(bool)
+		if outs, ok := opRec["outcomes"].(wire.Record); ok && !op.Announcement {
+			op.Outcomes = make(map[string][]Desc, len(outs))
+			for o, rsVal := range outs {
+				rs, ok := rsVal.(wire.List)
+				if !ok {
+					return Type{}, fmt.Errorf("types: outcome %q of %q is %T", o, opName, rsVal)
+				}
+				results := make([]Desc, len(rs))
+				for i, r := range rs {
+					s, ok := r.(string)
+					if !ok {
+						return Type{}, fmt.Errorf("types: outcome %q result %d is %T", o, i, r)
+					}
+					results[i] = Desc(s)
+				}
+				op.Outcomes[o] = results
+			}
+		}
+		t.Ops[opName] = op
+	}
+	return t, nil
+}

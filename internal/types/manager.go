@@ -1,0 +1,102 @@
+package types
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Manager is the type manager of §6: a repository of interface type
+// descriptions that traders and binders consult. "Taken together, traders
+// and type managers provide within an ODP system a description of its
+// capabilities: self-describing systems are more open-ended and scale
+// better than those which have a fixed external description."
+//
+// The manager may impose additional constraints on type matching beyond
+// structural conformance via registered rules.
+type Manager struct {
+	mu     sync.RWMutex
+	byName map[string]Type
+	rules  []MatchRule
+}
+
+// MatchRule is an additional constraint on type matching imposed by the
+// type manager (§6). It may veto a structurally valid match.
+type MatchRule func(requirement, candidate Type) error
+
+// NewManager returns an empty type manager.
+func NewManager() *Manager {
+	return &Manager{byName: make(map[string]Type)}
+}
+
+// Register stores (or replaces) a named type description.
+func (m *Manager) Register(t Type) error {
+	if t.Name == "" {
+		return fmt.Errorf("types: cannot register unnamed type")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byName[t.Name] = t.Clone()
+	return nil
+}
+
+// Lookup finds a type description on-line — required for dynamic
+// configuration with early type checking (§4.3).
+func (m *Manager) Lookup(name string) (Type, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.byName[name]
+	if !ok {
+		return Type{}, fmt.Errorf("%w: %q", ErrUnknownType, name)
+	}
+	return t.Clone(), nil
+}
+
+// Names returns all registered type names (sorted by map iteration is not
+// guaranteed; callers sort if needed).
+func (m *Manager) Names() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	names := make([]string, 0, len(m.byName))
+	for n := range m.byName {
+		names = append(names, n)
+	}
+	return names
+}
+
+// AddRule installs an extra matching constraint.
+func (m *Manager) AddRule(r MatchRule) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rules = append(m.rules, r)
+}
+
+// Match checks that the named candidate type conforms to the named
+// requirement type, structurally and under every installed rule.
+func (m *Manager) Match(requirementName, candidateName string) error {
+	req, err := m.Lookup(requirementName)
+	if err != nil {
+		return err
+	}
+	cand, err := m.Lookup(candidateName)
+	if err != nil {
+		return err
+	}
+	return m.MatchTypes(req, cand)
+}
+
+// MatchTypes checks conformance of explicit type values under the
+// manager's rules.
+func (m *Manager) MatchTypes(requirement, candidate Type) error {
+	if err := Conforms(requirement, candidate); err != nil {
+		return err
+	}
+	m.mu.RLock()
+	rules := append([]MatchRule(nil), m.rules...)
+	m.mu.RUnlock()
+	for _, r := range rules {
+		if err := r(requirement, candidate); err != nil {
+			return fmt.Errorf("%w: rule: %v", ErrNoConform, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+// Package types implements the ODP interface type system.
+//
+// The paper requires that "type checking be based on interface signature
+// checking: if the interface type includes the operations required by the
+// client (with appropriate arguments and outcomes) it is suitable. (The
+// alternative is to name types and declare type name hierarchies; however
+// this fails to meet the requirements for federation and evolution.)"
+// (§5.1). Conformance here is therefore purely structural.
+//
+// A type describes a set of operations; each operation has an argument
+// list and a set of named outcomes ("each operation should be permitted to
+// have a range of possible outcomes, each one of which carries its own
+// package of results", §5.1).
+package types
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"odp/internal/wire"
+)
+
+// Desc names a value type in a signature. The primitive descriptors mirror
+// wire kinds; Any matches everything (used by generic infrastructure
+// interfaces); "ref:<TypeName>" constrains an interface-reference argument
+// to a named interface type; "list<...>" and "record" are containers.
+type Desc string
+
+// Primitive and wildcard type descriptors.
+const (
+	Any    Desc = "any"
+	Nil    Desc = "nil"
+	Bool   Desc = "bool"
+	Int    Desc = "int"
+	Uint   Desc = "uint"
+	Float  Desc = "float"
+	String Desc = "string"
+	Bytes  Desc = "bytes"
+	ListOf Desc = "list" // homogeneous element type not tracked; use List(d) for list<d>
+	Rec    Desc = "record"
+)
+
+// List returns the descriptor for a list whose elements are d.
+func List(d Desc) Desc { return Desc("list<" + string(d) + ">") }
+
+// RefTo returns the descriptor for a reference to an interface of type
+// name. An empty name means "any interface".
+func RefTo(name string) Desc {
+	if name == "" {
+		return "ref"
+	}
+	return Desc("ref:" + name)
+}
+
+// Operation is one operation in an interface signature.
+type Operation struct {
+	// Args is the argument list, positionally typed.
+	Args []Desc
+	// Outcomes maps each possible outcome name to the types of the
+	// results that outcome carries. Interrogations must declare at least
+	// one outcome; announcements declare none and return nothing.
+	Outcomes map[string][]Desc
+	// Announcement marks a request-only operation (§5.1): no reply, no
+	// outcomes.
+	Announcement bool
+}
+
+// Type is an interface signature: a self-consistent set of operations
+// encapsulating state (§4.1).
+type Type struct {
+	// Name is advisory only — conformance never consults it (the paper
+	// rejects name hierarchies). It keys the type manager's store.
+	Name string
+	// Ops maps operation name to signature.
+	Ops map[string]Operation
+}
+
+// Errors reported by conformance checking.
+var (
+	// ErrNoConform reports that a candidate fails to conform to a
+	// requirement.
+	ErrNoConform = errors.New("types: does not conform")
+	// ErrUnknownType reports a type name missing from the manager.
+	ErrUnknownType = errors.New("types: unknown type")
+)
+
+// Clone returns a deep copy of t.
+func (t Type) Clone() Type {
+	out := Type{Name: t.Name, Ops: make(map[string]Operation, len(t.Ops))}
+	for name, op := range t.Ops {
+		cop := Operation{
+			Args:         append([]Desc(nil), op.Args...),
+			Announcement: op.Announcement,
+		}
+		if op.Outcomes != nil {
+			cop.Outcomes = make(map[string][]Desc, len(op.Outcomes))
+			for o, rs := range op.Outcomes {
+				cop.Outcomes[o] = append([]Desc(nil), rs...)
+			}
+		}
+		out.Ops[name] = cop
+	}
+	return out
+}
+
+// Signature returns a canonical textual form of the type, independent of
+// Name, usable as a structural hash.
+func (t Type) Signature() string {
+	opNames := make([]string, 0, len(t.Ops))
+	for n := range t.Ops {
+		opNames = append(opNames, n)
+	}
+	sort.Strings(opNames)
+	var b strings.Builder
+	for _, n := range opNames {
+		op := t.Ops[n]
+		b.WriteString(n)
+		b.WriteByte('(')
+		for i, a := range op.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(string(a))
+		}
+		b.WriteByte(')')
+		if op.Announcement {
+			b.WriteByte('!')
+		} else {
+			outs := make([]string, 0, len(op.Outcomes))
+			for o := range op.Outcomes {
+				outs = append(outs, o)
+			}
+			sort.Strings(outs)
+			for _, o := range outs {
+				b.WriteString("->")
+				b.WriteString(o)
+				b.WriteByte('[')
+				for i, r := range op.Outcomes[o] {
+					if i > 0 {
+						b.WriteByte(',')
+					}
+					b.WriteString(string(r))
+				}
+				b.WriteByte(']')
+			}
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// descCompatible reports whether a value described by got may flow where
+// want is expected. Any absorbs everything in either direction of a single
+// position check; ref descriptors match when want is the generic "ref" or
+// names the same interface type.
+func descCompatible(want, got Desc) bool {
+	if want == Any || got == Any {
+		return true
+	}
+	if want == got {
+		return true
+	}
+	ws, gs := string(want), string(got)
+	// Generic ref accepts any specific ref and vice versa is not allowed:
+	// a requirement for ref:Printer must not be satisfied by plain ref.
+	if ws == "ref" && strings.HasPrefix(gs, "ref") {
+		return true
+	}
+	// Generic list accepts any specific list.
+	if ws == "list" && strings.HasPrefix(gs, "list<") {
+		return true
+	}
+	if strings.HasPrefix(ws, "list<") && strings.HasPrefix(gs, "list<") {
+		return descCompatible(Desc(ws[5:len(ws)-1]), Desc(gs[5:len(gs)-1]))
+	}
+	return false
+}
+
+// Conforms checks that candidate can stand in for requirement: every
+// operation the requirement names must exist in the candidate with the
+// same arity, argument types compatible position-wise, matching
+// announcement-ness, and the candidate's outcome set a subset of the
+// requirement's (the client must be prepared for every outcome the server
+// may produce). The candidate may offer extra operations — that is the
+// essence of structural subtyping for federated systems.
+func Conforms(requirement, candidate Type) error {
+	for name, rop := range requirement.Ops {
+		cop, ok := candidate.Ops[name]
+		if !ok {
+			return fmt.Errorf("%w: missing operation %q", ErrNoConform, name)
+		}
+		if rop.Announcement != cop.Announcement {
+			return fmt.Errorf("%w: operation %q announcement mismatch", ErrNoConform, name)
+		}
+		if len(rop.Args) != len(cop.Args) {
+			return fmt.Errorf("%w: operation %q arity %d != %d", ErrNoConform, name, len(cop.Args), len(rop.Args))
+		}
+		for i := range rop.Args {
+			// Arguments are contravariant: the candidate must accept at
+			// least what the requirement will send.
+			if !descCompatible(cop.Args[i], rop.Args[i]) {
+				return fmt.Errorf("%w: operation %q argument %d: cannot pass %s where %s expected",
+					ErrNoConform, name, i, rop.Args[i], cop.Args[i])
+			}
+		}
+		if rop.Announcement {
+			continue
+		}
+		for o, crs := range cop.Outcomes {
+			rrs, ok := rop.Outcomes[o]
+			if !ok {
+				return fmt.Errorf("%w: operation %q may produce unexpected outcome %q", ErrNoConform, name, o)
+			}
+			if len(crs) != len(rrs) {
+				return fmt.Errorf("%w: operation %q outcome %q result arity %d != %d",
+					ErrNoConform, name, o, len(crs), len(rrs))
+			}
+			for i := range crs {
+				// Results are covariant: what the candidate produces must
+				// be acceptable to the requirement.
+				if !descCompatible(rrs[i], crs[i]) {
+					return fmt.Errorf("%w: operation %q outcome %q result %d: %s where %s expected",
+						ErrNoConform, name, o, i, crs[i], rrs[i])
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckValue verifies that v matches descriptor d. Used by the dispatcher
+// for early type checking ("early type checking reduces the risks of
+// unpredictable behaviour", §4.3).
+func CheckValue(d Desc, v wire.Value) error {
+	if d == Any {
+		return nil
+	}
+	kind, ok := wire.KindOf(v)
+	if !ok {
+		return fmt.Errorf("types: value %T outside data model", v)
+	}
+	ds := string(d)
+	switch {
+	case d == Nil:
+		if kind != wire.KindNil {
+			return mismatch(d, kind)
+		}
+	case d == Bool:
+		if kind != wire.KindBool {
+			return mismatch(d, kind)
+		}
+	case d == Int:
+		if kind != wire.KindInt {
+			return mismatch(d, kind)
+		}
+	case d == Uint:
+		if kind != wire.KindUint {
+			return mismatch(d, kind)
+		}
+	case d == Float:
+		if kind != wire.KindFloat {
+			return mismatch(d, kind)
+		}
+	case d == String:
+		if kind != wire.KindString {
+			return mismatch(d, kind)
+		}
+	case d == Bytes:
+		if kind != wire.KindBytes {
+			return mismatch(d, kind)
+		}
+	case d == Rec:
+		if kind != wire.KindRecord {
+			return mismatch(d, kind)
+		}
+	case ds == "ref":
+		if kind != wire.KindRef {
+			return mismatch(d, kind)
+		}
+	case strings.HasPrefix(ds, "ref:"):
+		if kind != wire.KindRef {
+			return mismatch(d, kind)
+		}
+		// Nominal ref constraint is advisory at the value level; the
+		// binder re-checks structurally on bind.
+	case d == ListOf:
+		if kind != wire.KindList {
+			return mismatch(d, kind)
+		}
+	case strings.HasPrefix(ds, "list<"):
+		if kind != wire.KindList {
+			return mismatch(d, kind)
+		}
+		elem := Desc(ds[5 : len(ds)-1])
+		for i, e := range v.(wire.List) {
+			if err := CheckValue(elem, e); err != nil {
+				return fmt.Errorf("list element %d: %w", i, err)
+			}
+		}
+	default:
+		return fmt.Errorf("types: unknown descriptor %q", d)
+	}
+	return nil
+}
+
+// CheckArgs verifies an argument vector against an operation signature.
+func CheckArgs(op Operation, args []wire.Value) error {
+	if len(args) != len(op.Args) {
+		return fmt.Errorf("types: got %d arguments, want %d", len(args), len(op.Args))
+	}
+	for i, d := range op.Args {
+		if err := CheckValue(d, args[i]); err != nil {
+			return fmt.Errorf("argument %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CheckOutcome verifies an outcome name and its results against an
+// operation signature.
+func CheckOutcome(op Operation, outcome string, results []wire.Value) error {
+	if op.Announcement {
+		if outcome != "" || len(results) != 0 {
+			return errors.New("types: announcement must not produce an outcome")
+		}
+		return nil
+	}
+	rs, ok := op.Outcomes[outcome]
+	if !ok {
+		return fmt.Errorf("types: undeclared outcome %q", outcome)
+	}
+	if len(results) != len(rs) {
+		return fmt.Errorf("types: outcome %q carries %d results, want %d", outcome, len(results), len(rs))
+	}
+	for i, d := range rs {
+		if err := CheckValue(d, results[i]); err != nil {
+			return fmt.Errorf("outcome %q result %d: %w", outcome, i, err)
+		}
+	}
+	return nil
+}
+
+func mismatch(d Desc, k wire.Kind) error {
+	return fmt.Errorf("types: %s value where %s expected", k, d)
+}

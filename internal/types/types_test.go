@@ -1,0 +1,261 @@
+package types
+
+import (
+	"errors"
+	"testing"
+
+	"odp/internal/wire"
+)
+
+func accountType() Type {
+	return Type{
+		Name: "BankAccount",
+		Ops: map[string]Operation{
+			"balance": {
+				Outcomes: map[string][]Desc{"ok": {Int}},
+			},
+			"deposit": {
+				Args:     []Desc{Int},
+				Outcomes: map[string][]Desc{"ok": {Int}, "rejected": {String}},
+			},
+			"withdraw": {
+				Args:     []Desc{Int},
+				Outcomes: map[string][]Desc{"ok": {Int}, "insufficient": {Int}},
+			},
+			"audit": {
+				Args:         []Desc{String},
+				Announcement: true,
+			},
+		},
+	}
+}
+
+func TestConformsIdentity(t *testing.T) {
+	a := accountType()
+	if err := Conforms(a, a); err != nil {
+		t.Fatalf("type does not conform to itself: %v", err)
+	}
+}
+
+func TestConformsExtraOpsAllowed(t *testing.T) {
+	req := Type{Name: "Readable", Ops: map[string]Operation{
+		"balance": {Outcomes: map[string][]Desc{"ok": {Int}}},
+	}}
+	if err := Conforms(req, accountType()); err != nil {
+		t.Fatalf("candidate with extra ops should conform: %v", err)
+	}
+}
+
+func TestConformsMissingOp(t *testing.T) {
+	req := Type{Name: "R", Ops: map[string]Operation{
+		"close": {Outcomes: map[string][]Desc{"ok": {}}},
+	}}
+	if err := Conforms(req, accountType()); !errors.Is(err, ErrNoConform) {
+		t.Fatalf("want ErrNoConform, got %v", err)
+	}
+}
+
+func TestConformsArityMismatch(t *testing.T) {
+	req := accountType()
+	op := req.Ops["deposit"]
+	op.Args = []Desc{Int, Int}
+	req.Ops["deposit"] = op
+	if err := Conforms(req, accountType()); !errors.Is(err, ErrNoConform) {
+		t.Fatalf("want ErrNoConform for arity, got %v", err)
+	}
+}
+
+func TestConformsExtraOutcomeRejected(t *testing.T) {
+	// Candidate may produce an outcome the requirement cannot handle.
+	req := Type{Name: "R", Ops: map[string]Operation{
+		"withdraw": {Args: []Desc{Int}, Outcomes: map[string][]Desc{"ok": {Int}}},
+	}}
+	if err := Conforms(req, accountType()); !errors.Is(err, ErrNoConform) {
+		t.Fatalf("unexpected-outcome candidate must not conform, got %v", err)
+	}
+}
+
+func TestConformsFewerOutcomesAllowed(t *testing.T) {
+	// Candidate producing a subset of the requirement's outcomes is fine.
+	cand := accountType()
+	op := cand.Ops["withdraw"]
+	op.Outcomes = map[string][]Desc{"ok": {Int}}
+	cand.Ops["withdraw"] = op
+	req := accountType()
+	if err := Conforms(req, cand); err != nil {
+		t.Fatalf("subset-outcome candidate should conform: %v", err)
+	}
+}
+
+func TestConformsAnnouncementMismatch(t *testing.T) {
+	req := accountType()
+	op := req.Ops["audit"]
+	op.Announcement = false
+	op.Outcomes = map[string][]Desc{"ok": {}}
+	req.Ops["audit"] = op
+	if err := Conforms(req, accountType()); !errors.Is(err, ErrNoConform) {
+		t.Fatalf("want ErrNoConform for announcement mismatch, got %v", err)
+	}
+}
+
+func TestConformsAnyWildcard(t *testing.T) {
+	req := Type{Name: "R", Ops: map[string]Operation{
+		"deposit": {Args: []Desc{Any}, Outcomes: map[string][]Desc{"ok": {Any}, "rejected": {Any}}},
+	}}
+	if err := Conforms(req, accountType()); err != nil {
+		t.Fatalf("Any should match Int: %v", err)
+	}
+}
+
+func TestDescCompatibleRefAndList(t *testing.T) {
+	tests := []struct {
+		want, got Desc
+		ok        bool
+	}{
+		{RefTo(""), RefTo("Printer"), true},
+		{RefTo("Printer"), RefTo("Printer"), true},
+		{RefTo("Printer"), RefTo("Scanner"), false},
+		{RefTo("Printer"), RefTo(""), false},
+		{ListOf, List(Int), true},
+		{List(Int), List(Int), true},
+		{List(Int), List(String), false},
+		{List(Any), List(String), true},
+		{Int, Uint, false},
+	}
+	for _, tt := range tests {
+		if got := descCompatible(tt.want, tt.got); got != tt.ok {
+			t.Errorf("descCompatible(%s, %s) = %v, want %v", tt.want, tt.got, got, tt.ok)
+		}
+	}
+}
+
+func TestSignatureCanonical(t *testing.T) {
+	a, b := accountType(), accountType()
+	b.Name = "SomethingElse"
+	if a.Signature() != b.Signature() {
+		t.Fatal("signature must be independent of type name")
+	}
+	c := accountType()
+	op := c.Ops["deposit"]
+	op.Args = []Desc{String}
+	c.Ops["deposit"] = op
+	if a.Signature() == c.Signature() {
+		t.Fatal("signature must reflect argument types")
+	}
+}
+
+func TestCheckValue(t *testing.T) {
+	tests := []struct {
+		name string
+		d    Desc
+		v    wire.Value
+		ok   bool
+	}{
+		{"int-ok", Int, int64(3), true},
+		{"int-bad", Int, uint64(3), false},
+		{"any", Any, wire.Record{}, true},
+		{"string", String, "x", true},
+		{"bytes", Bytes, []byte{1}, true},
+		{"nil", Nil, nil, true},
+		{"bool", Bool, true, true},
+		{"float", Float, 1.5, true},
+		{"uint", Uint, uint64(1), true},
+		{"record", Rec, wire.Record{"a": nil}, true},
+		{"ref-generic", RefTo(""), wire.Ref{ID: "x"}, true},
+		{"ref-named", RefTo("T"), wire.Ref{ID: "x", TypeName: "T"}, true},
+		{"list-elem-ok", List(Int), wire.List{int64(1), int64(2)}, true},
+		{"list-elem-bad", List(Int), wire.List{int64(1), "two"}, false},
+		{"list-generic", ListOf, wire.List{"anything"}, true},
+		{"foreign", Int, struct{}{}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := CheckValue(tt.d, tt.v)
+			if (err == nil) != tt.ok {
+				t.Fatalf("CheckValue(%s, %v) error = %v, want ok=%v", tt.d, tt.v, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestCheckArgsAndOutcome(t *testing.T) {
+	op := accountType().Ops["deposit"]
+	if err := CheckArgs(op, []wire.Value{int64(5)}); err != nil {
+		t.Fatalf("valid args rejected: %v", err)
+	}
+	if err := CheckArgs(op, []wire.Value{"five"}); err == nil {
+		t.Fatal("wrong arg type accepted")
+	}
+	if err := CheckArgs(op, nil); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := CheckOutcome(op, "ok", []wire.Value{int64(10)}); err != nil {
+		t.Fatalf("valid outcome rejected: %v", err)
+	}
+	if err := CheckOutcome(op, "exploded", nil); err == nil {
+		t.Fatal("undeclared outcome accepted")
+	}
+	if err := CheckOutcome(op, "ok", []wire.Value{int64(1), int64(2)}); err == nil {
+		t.Fatal("wrong result arity accepted")
+	}
+	ann := accountType().Ops["audit"]
+	if err := CheckOutcome(ann, "", nil); err != nil {
+		t.Fatalf("announcement empty outcome rejected: %v", err)
+	}
+	if err := CheckOutcome(ann, "ok", nil); err == nil {
+		t.Fatal("announcement with outcome accepted")
+	}
+}
+
+func TestManagerRegisterLookup(t *testing.T) {
+	m := NewManager()
+	if err := m.Register(accountType()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Lookup("BankAccount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Signature() != accountType().Signature() {
+		t.Fatal("lookup returned different type")
+	}
+	// Mutating the returned copy must not affect the stored type.
+	delete(got.Ops, "balance")
+	again, _ := m.Lookup("BankAccount")
+	if _, ok := again.Ops["balance"]; !ok {
+		t.Fatal("manager storage was mutated through a lookup result")
+	}
+	if _, err := m.Lookup("NoSuch"); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("want ErrUnknownType, got %v", err)
+	}
+	if err := m.Register(Type{}); err == nil {
+		t.Fatal("unnamed type registered")
+	}
+}
+
+func TestManagerMatchWithRule(t *testing.T) {
+	m := NewManager()
+	if err := m.Register(accountType()); err != nil {
+		t.Fatal(err)
+	}
+	readable := Type{Name: "Readable", Ops: map[string]Operation{
+		"balance": {Outcomes: map[string][]Desc{"ok": {Int}}},
+	}}
+	if err := m.Register(readable); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Match("Readable", "BankAccount"); err != nil {
+		t.Fatalf("structural match failed: %v", err)
+	}
+	// Install a rule that vetoes everything; the paper allows the type
+	// manager to "impose additional constraints on type matching".
+	m.AddRule(func(req, cand Type) error {
+		return errors.New("policy: no matches today")
+	})
+	if err := m.Match("Readable", "BankAccount"); !errors.Is(err, ErrNoConform) {
+		t.Fatalf("rule veto not applied: %v", err)
+	}
+	if err := m.Match("Readable", "NoSuch"); !errors.Is(err, ErrUnknownType) {
+		t.Fatalf("want ErrUnknownType, got %v", err)
+	}
+}

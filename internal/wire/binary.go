@@ -1,0 +1,354 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Codec translates between in-memory values and an octet representation.
+// The platform's native codec is Binary; Text exists so that federation
+// interceptors have a genuinely different technology domain to translate
+// to (§5.6).
+type Codec interface {
+	// Name identifies the codec in federation negotiations.
+	Name() string
+	// Encode appends the representation of v to dst and returns it.
+	Encode(dst []byte, v Value) ([]byte, error)
+	// Decode reads one value from src, returning it and the remaining
+	// bytes.
+	Decode(src []byte) (Value, []byte, error)
+}
+
+// Errors reported by codecs.
+var (
+	// ErrBadValue reports a value outside the computational data model.
+	ErrBadValue = errors.New("wire: value outside data model")
+	// ErrTruncated reports an encoding that ends mid-value.
+	ErrTruncated = errors.New("wire: truncated encoding")
+	// ErrCorrupt reports an undecodable encoding.
+	ErrCorrupt = errors.New("wire: corrupt encoding")
+)
+
+const (
+	// maxNest bounds recursion while decoding adversarial input.
+	maxNest = 64
+	// maxElems bounds list/record sizes while decoding.
+	maxElems = 1 << 24
+)
+
+// BinaryCodec is the platform's native self-describing binary network data
+// representation: a one-byte kind tag followed by a fixed or
+// length-prefixed payload. Integers are big-endian; varints are not used so
+// that decode cost is flat (helpful when benchmarking marshalling against
+// the paper's indirection-cost claim, E1).
+type BinaryCodec struct{}
+
+var _ Codec = BinaryCodec{}
+
+// Name implements Codec.
+func (BinaryCodec) Name() string { return "ansa-binary/1" }
+
+// Encode implements Codec.
+func (c BinaryCodec) Encode(dst []byte, v Value) ([]byte, error) {
+	return c.encode(dst, v, 0)
+}
+
+func (c BinaryCodec) encode(dst []byte, v Value, depth int) ([]byte, error) {
+	if depth > maxNest {
+		return nil, fmt.Errorf("%w: nesting exceeds %d", ErrBadValue, maxNest)
+	}
+	switch t := v.(type) {
+	case nil:
+		return append(dst, byte(KindNil)), nil
+	case bool:
+		b := byte(0)
+		if t {
+			b = 1
+		}
+		return append(dst, byte(KindBool), b), nil
+	case int64:
+		return appendU64(append(dst, byte(KindInt)), uint64(t)), nil
+	case uint64:
+		return appendU64(append(dst, byte(KindUint)), t), nil
+	case float64:
+		return appendU64(append(dst, byte(KindFloat)), math.Float64bits(t)), nil
+	case string:
+		dst = appendU32(append(dst, byte(KindString)), uint32(len(t)))
+		return append(dst, t...), nil
+	case []byte:
+		dst = appendU32(append(dst, byte(KindBytes)), uint32(len(t)))
+		return append(dst, t...), nil
+	case List:
+		dst = appendU32(append(dst, byte(KindList)), uint32(len(t)))
+		var err error
+		for _, e := range t {
+			if dst, err = c.encode(dst, e, depth+1); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case Record:
+		dst = appendU32(append(dst, byte(KindRecord)), uint32(len(t)))
+		var err error
+		for _, k := range sortedKeys(t) {
+			dst = appendU32(dst, uint32(len(k)))
+			dst = append(dst, k...)
+			if dst, err = c.encode(dst, t[k], depth+1); err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case Ref:
+		dst = append(dst, byte(KindRef))
+		dst = appendString(dst, t.ID)
+		dst = appendString(dst, t.TypeName)
+		dst = appendU32(dst, t.Epoch)
+		dst = appendU32(dst, uint32(len(t.Endpoints)))
+		for _, ep := range t.Endpoints {
+			dst = appendString(dst, ep)
+		}
+		dst = appendU32(dst, uint32(len(t.Context)))
+		for _, cx := range t.Context {
+			dst = appendString(dst, cx)
+		}
+		return dst, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrBadValue, v)
+	}
+}
+
+// Decode implements Codec.
+func (c BinaryCodec) Decode(src []byte) (Value, []byte, error) {
+	return c.decode(src, 0)
+}
+
+func (c BinaryCodec) decode(src []byte, depth int) (Value, []byte, error) {
+	if depth > maxNest {
+		return nil, nil, fmt.Errorf("%w: nesting exceeds %d", ErrCorrupt, maxNest)
+	}
+	if len(src) == 0 {
+		return nil, nil, ErrTruncated
+	}
+	kind, src := Kind(src[0]), src[1:]
+	switch kind {
+	case KindNil:
+		return nil, src, nil
+	case KindBool:
+		if len(src) < 1 {
+			return nil, nil, ErrTruncated
+		}
+		return src[0] != 0, src[1:], nil
+	case KindInt:
+		u, rest, err := readU64(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		return int64(u), rest, nil
+	case KindUint:
+		u, rest, err := readU64(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		return u, rest, nil
+	case KindFloat:
+		u, rest, err := readU64(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		return math.Float64frombits(u), rest, nil
+	case KindString:
+		b, rest, err := readLenBytes(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		return string(b), rest, nil
+	case KindBytes:
+		b, rest, err := readLenBytes(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]byte, len(b))
+		copy(out, b)
+		return out, rest, nil
+	case KindList:
+		n, rest, err := readU32(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n > maxElems {
+			return nil, nil, fmt.Errorf("%w: list of %d elements", ErrCorrupt, n)
+		}
+		list := make(List, 0, min(int(n), 1024))
+		for i := uint32(0); i < n; i++ {
+			var e Value
+			if e, rest, err = c.decode(rest, depth+1); err != nil {
+				return nil, nil, err
+			}
+			list = append(list, e)
+		}
+		return list, rest, nil
+	case KindRecord:
+		n, rest, err := readU32(src)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n > maxElems {
+			return nil, nil, fmt.Errorf("%w: record of %d fields", ErrCorrupt, n)
+		}
+		rec := make(Record, min(int(n), 1024))
+		for i := uint32(0); i < n; i++ {
+			var kb []byte
+			if kb, rest, err = readLenBytes(rest); err != nil {
+				return nil, nil, err
+			}
+			var e Value
+			if e, rest, err = c.decode(rest, depth+1); err != nil {
+				return nil, nil, err
+			}
+			rec[string(kb)] = e
+		}
+		return rec, rest, nil
+	case KindRef:
+		var (
+			r    Ref
+			err  error
+			rest = src
+		)
+		if r.ID, rest, err = readString(rest); err != nil {
+			return nil, nil, err
+		}
+		if r.TypeName, rest, err = readString(rest); err != nil {
+			return nil, nil, err
+		}
+		if r.Epoch, rest, err = readU32(rest); err != nil {
+			return nil, nil, err
+		}
+		var n uint32
+		if n, rest, err = readU32(rest); err != nil {
+			return nil, nil, err
+		}
+		if n > maxElems {
+			return nil, nil, fmt.Errorf("%w: ref with %d endpoints", ErrCorrupt, n)
+		}
+		for i := uint32(0); i < n; i++ {
+			var ep string
+			if ep, rest, err = readString(rest); err != nil {
+				return nil, nil, err
+			}
+			r.Endpoints = append(r.Endpoints, ep)
+		}
+		if n, rest, err = readU32(rest); err != nil {
+			return nil, nil, err
+		}
+		if n > maxElems {
+			return nil, nil, fmt.Errorf("%w: ref with %d contexts", ErrCorrupt, n)
+		}
+		for i := uint32(0); i < n; i++ {
+			var cx string
+			if cx, rest, err = readString(rest); err != nil {
+				return nil, nil, err
+			}
+			r.Context = append(r.Context, cx)
+		}
+		return r, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("%w: unknown kind %d", ErrCorrupt, int(kind))
+	}
+}
+
+// EncodeAll encodes each value in vs back to back.
+func EncodeAll(c Codec, vs []Value) ([]byte, error) {
+	var (
+		dst []byte
+		err error
+	)
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		if dst, err = c.Encode(dst, v); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeAll decodes a sequence written by EncodeAll.
+func DecodeAll(c Codec, src []byte) ([]Value, error) {
+	n, rest, err := readU32(src)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxElems {
+		return nil, fmt.Errorf("%w: %d values", ErrCorrupt, n)
+	}
+	vs := make([]Value, 0, min(int(n), 1024))
+	for i := uint32(0); i < n; i++ {
+		var v Value
+		if v, rest, err = c.Decode(rest); err != nil {
+			return nil, err
+		}
+		vs = append(vs, v)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return vs, nil
+}
+
+func appendU64(dst []byte, u uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], u)
+	return append(dst, b[:]...)
+}
+
+func appendU32(dst []byte, u uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], u)
+	return append(dst, b[:]...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+func readU64(src []byte) (uint64, []byte, error) {
+	if len(src) < 8 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint64(src), src[8:], nil
+}
+
+func readU32(src []byte) (uint32, []byte, error) {
+	if len(src) < 4 {
+		return 0, nil, ErrTruncated
+	}
+	return binary.BigEndian.Uint32(src), src[4:], nil
+}
+
+func readLenBytes(src []byte) ([]byte, []byte, error) {
+	n, rest, err := readU32(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if uint32(len(rest)) < n {
+		return nil, nil, ErrTruncated
+	}
+	return rest[:n], rest[n:], nil
+}
+
+func readString(src []byte) (string, []byte, error) {
+	b, rest, err := readLenBytes(src)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(b), rest, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

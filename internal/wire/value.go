@@ -1,0 +1,258 @@
+// Package wire defines the ODP computational data model and its network
+// representations.
+//
+// The paper's computational language requires that "all arguments and
+// results are passed by copying references to ADT interfaces" (§4.4), with
+// the engineering optimisation that objects with constant state — integers,
+// booleans, strings and so forth — "can be copied across network links that
+// support concrete representations of them, in place of interface
+// references" (§4.5). Values in this package are exactly those concrete
+// representations of constant ADTs, plus Ref, the distribution-transparent
+// pointer to a mutable ADT interface.
+//
+// Two codecs are provided: a compact self-describing binary codec (the
+// platform's native network data representation) and a textual codec
+// (used by federation interceptors to demonstrate translation between
+// technology domains, §5.6).
+package wire
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind enumerates the value kinds of the computational data model.
+type Kind int
+
+// Value kinds. Nil is deliberately the zero value so that an absent value
+// decodes to KindNil.
+const (
+	KindNil Kind = iota
+	KindBool
+	KindInt
+	KindUint
+	KindFloat
+	KindString
+	KindBytes
+	KindList
+	KindRecord
+	KindRef
+)
+
+var kindNames = map[Kind]string{
+	KindNil:    "nil",
+	KindBool:   "bool",
+	KindInt:    "int",
+	KindUint:   "uint",
+	KindFloat:  "float",
+	KindString: "string",
+	KindBytes:  "bytes",
+	KindList:   "list",
+	KindRecord: "record",
+	KindRef:    "ref",
+}
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Value is one element of the closed computational data model:
+//
+//	nil, bool, int64, uint64, float64, string, []byte, List, Record, Ref.
+//
+// Any other dynamic type is rejected by the codecs with ErrBadValue.
+type Value interface{}
+
+// List is an ordered sequence of values.
+type List []Value
+
+// Record is a named-field aggregate. Encoding is deterministic: fields are
+// written in sorted key order.
+type Record map[string]Value
+
+// Ref is a distribution-transparent reference to an ADT interface: the
+// "interface reference" of the engineering model. It names the interface,
+// describes its type for signature checking, and lists one or more
+// protocol access paths (§5.4 allows several network-level names per
+// interface). Epoch is the relocation generation: a client holding a stale
+// epoch consults the relocator (§5.4). Context is the federation trail for
+// context-relative naming (§6).
+type Ref struct {
+	ID        string   // globally unique interface identifier
+	TypeName  string   // interface type, resolvable via the type manager
+	Endpoints []string // transport addresses in preference order
+	Epoch     uint32   // relocation generation
+	Context   []string // context-relative naming trail (outermost first)
+}
+
+// IsZero reports whether r is the zero reference.
+func (r Ref) IsZero() bool {
+	return r.ID == "" && r.TypeName == "" && len(r.Endpoints) == 0 && r.Epoch == 0 && len(r.Context) == 0
+}
+
+// WithContext returns a copy of r with ctx prepended to its context trail.
+// Interceptors call this when a reference crosses a federation boundary so
+// that the name remains resolvable relative to its defining context.
+func (r Ref) WithContext(ctx string) Ref {
+	nr := r
+	nr.Context = make([]string, 0, len(r.Context)+1)
+	nr.Context = append(nr.Context, ctx)
+	nr.Context = append(nr.Context, r.Context...)
+	nr.Endpoints = append([]string(nil), r.Endpoints...)
+	return nr
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (r Ref) String() string {
+	return fmt.Sprintf("ref(%s:%s@%v#%d)", r.ID, r.TypeName, r.Endpoints, r.Epoch)
+}
+
+// KindOf classifies v, returning KindNil for nil. The second result is
+// false when v is outside the data model.
+func KindOf(v Value) (Kind, bool) {
+	switch v.(type) {
+	case nil:
+		return KindNil, true
+	case bool:
+		return KindBool, true
+	case int64:
+		return KindInt, true
+	case uint64:
+		return KindUint, true
+	case float64:
+		return KindFloat, true
+	case string:
+		return KindString, true
+	case []byte:
+		return KindBytes, true
+	case List:
+		return KindList, true
+	case Record:
+		return KindRecord, true
+	case Ref:
+		return KindRef, true
+	default:
+		return KindNil, false
+	}
+}
+
+// Equal reports deep equality of two values. Byte slices compare by
+// content; records compare by key set and per-key equality; refs compare by
+// every field including endpoint order.
+func Equal(a, b Value) bool {
+	ka, oka := KindOf(a)
+	kb, okb := KindOf(b)
+	if !oka || !okb || ka != kb {
+		return false
+	}
+	switch ka {
+	case KindNil:
+		return true
+	case KindFloat:
+		af, bf := a.(float64), b.(float64)
+		if af != af && bf != bf {
+			return true // both NaN: equal for value (round-trip) purposes
+		}
+		return af == bf
+	case KindBytes:
+		ab, bb := a.([]byte), b.([]byte)
+		if len(ab) != len(bb) {
+			return false
+		}
+		for i := range ab {
+			if ab[i] != bb[i] {
+				return false
+			}
+		}
+		return true
+	case KindList:
+		al, bl := a.(List), b.(List)
+		if len(al) != len(bl) {
+			return false
+		}
+		for i := range al {
+			if !Equal(al[i], bl[i]) {
+				return false
+			}
+		}
+		return true
+	case KindRecord:
+		ar, br := a.(Record), b.(Record)
+		if len(ar) != len(br) {
+			return false
+		}
+		for k, av := range ar {
+			bv, ok := br[k]
+			if !ok || !Equal(av, bv) {
+				return false
+			}
+		}
+		return true
+	case KindRef:
+		ar, br := a.(Ref), b.(Ref)
+		if ar.ID != br.ID || ar.TypeName != br.TypeName || ar.Epoch != br.Epoch {
+			return false
+		}
+		if len(ar.Endpoints) != len(br.Endpoints) || len(ar.Context) != len(br.Context) {
+			return false
+		}
+		for i := range ar.Endpoints {
+			if ar.Endpoints[i] != br.Endpoints[i] {
+				return false
+			}
+		}
+		for i := range ar.Context {
+			if ar.Context[i] != br.Context[i] {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}
+
+// Clone returns a deep copy of v. Mutable containers (bytes, lists,
+// records, the slices inside refs) are copied so the result shares no
+// storage with the input; this is the by-copy passing discipline of §4.4.
+func Clone(v Value) Value {
+	switch t := v.(type) {
+	case []byte:
+		out := make([]byte, len(t))
+		copy(out, t)
+		return out
+	case List:
+		out := make(List, len(t))
+		for i, e := range t {
+			out[i] = Clone(e)
+		}
+		return out
+	case Record:
+		out := make(Record, len(t))
+		for k, e := range t {
+			out[k] = Clone(e)
+		}
+		return out
+	case Ref:
+		t.Endpoints = append([]string(nil), t.Endpoints...)
+		t.Context = append([]string(nil), t.Context...)
+		return t
+	default:
+		return v
+	}
+}
+
+// sortedKeys returns the record's keys in sorted order, for deterministic
+// encoding.
+func sortedKeys(r Record) []string {
+	keys := make([]string, 0, len(r))
+	for k := range r {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
