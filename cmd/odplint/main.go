@@ -1,0 +1,40 @@
+// Command odplint runs the platform's custom static-analysis suite
+// (internal/lint) over the module and reports every violated invariant.
+//
+// Usage:
+//
+//	odplint [packages]
+//
+// Package arguments are accepted for command-line compatibility
+// ("go run ./cmd/odplint ./...") but the suite always analyzes the whole
+// module: the layering pass is only meaningful on the full import graph.
+// Exits 1 when any diagnostic is produced, 2 on loading errors.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"odp/internal/lint"
+)
+
+func main() {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odplint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.DefaultAnalyzers())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "odplint: %d invariant violation(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,217 @@
+// Package clock is the platform's single sanctioned gateway to wall-clock
+// time.
+//
+// Every transparency mechanism that reasons about elapsed time — the RPC
+// reply-cache janitor, the transaction lock-wait bound, the group failure
+// detector, lease-based collection — takes a Clock instead of calling the
+// time package directly, so that tests (and, eventually, a virtual-time
+// netsim) can drive those mechanisms deterministically. The detclock
+// static-analysis pass (internal/lint) enforces the discipline: outside
+// this package, netsim and the benchmark harness, mentions of time.Now,
+// time.Sleep, timers, tickers or the global math/rand source are
+// diagnostics.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the passage of time.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+	// Sleep blocks for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the instant after d elapses.
+	After(d time.Duration) <-chan time.Time
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+	// NewTimer returns a one-shot timer firing after d.
+	NewTimer(d time.Duration) Timer
+}
+
+// Ticker delivers repeated instants on C until stopped.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+}
+
+// Timer delivers one instant on C unless stopped first.
+type Timer interface {
+	C() <-chan time.Time
+	// Stop prevents the timer from firing, reporting whether it did.
+	Stop() bool
+}
+
+// Real is the wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return realTimer{time.NewTimer(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (t realTicker) C() <-chan time.Time { return t.t.C }
+func (t realTicker) Stop()               { t.t.Stop() }
+
+type realTimer struct{ t *time.Timer }
+
+func (t realTimer) C() <-chan time.Time { return t.t.C }
+func (t realTimer) Stop() bool          { return t.t.Stop() }
+
+// Fake is a manually advanced clock for deterministic tests. Time stands
+// still until Advance is called; timers and tickers whose deadlines fall
+// inside an advance fire in deadline order, observing the fired instant.
+type Fake struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+// fakeWaiter is one pending timer or ticker channel.
+type fakeWaiter struct {
+	deadline time.Time
+	interval time.Duration // 0 for one-shot timers
+	ch       chan time.Time
+	stopped  bool
+}
+
+// NewFake returns a Fake clock reading start.
+func NewFake(start time.Time) *Fake {
+	return &Fake{now: start}
+}
+
+var _ Clock = (*Fake)(nil)
+
+// Now implements Clock.
+func (f *Fake) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+// Since implements Clock.
+func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
+
+// Sleep implements Clock: it blocks until another goroutine advances the
+// clock past d.
+func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
+
+// After implements Clock.
+func (f *Fake) After(d time.Duration) <-chan time.Time {
+	return f.addWaiter(d, 0).ch
+}
+
+// NewTicker implements Clock.
+func (f *Fake) NewTicker(d time.Duration) Ticker {
+	if d <= 0 {
+		panic("clock: non-positive ticker interval")
+	}
+	return &fakeTicker{fakeStopper{f: f, w: f.addWaiter(d, d)}}
+}
+
+// NewTimer implements Clock.
+func (f *Fake) NewTimer(d time.Duration) Timer {
+	return &fakeTimer{fakeStopper{f: f, w: f.addWaiter(d, 0)}}
+}
+
+func (f *Fake) addWaiter(d, interval time.Duration) *fakeWaiter {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := &fakeWaiter{
+		deadline: f.now.Add(d),
+		interval: interval,
+		ch:       make(chan time.Time, 1),
+	}
+	f.waiters = append(f.waiters, w)
+	return w
+}
+
+// Advance moves the clock forward by d, firing every timer and ticker
+// whose deadline is reached, in deadline order.
+func (f *Fake) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	target := f.now.Add(d)
+	for {
+		var next *fakeWaiter
+		for _, w := range f.waiters {
+			if w.stopped || w.deadline.After(target) {
+				continue
+			}
+			if next == nil || w.deadline.Before(next.deadline) {
+				next = w
+			}
+		}
+		if next == nil {
+			break
+		}
+		f.now = next.deadline
+		select {
+		case next.ch <- f.now:
+		default: // receiver hasn't drained the last tick; drop, like time.Ticker
+		}
+		if next.interval > 0 {
+			next.deadline = next.deadline.Add(next.interval)
+		} else {
+			next.stopped = true
+		}
+	}
+	f.now = target
+	f.gcLocked()
+}
+
+// gcLocked drops stopped waiters. Called with f.mu held.
+func (f *Fake) gcLocked() {
+	live := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.stopped {
+			live = append(live, w)
+		}
+	}
+	f.waiters = live
+}
+
+// fakeStopper is the shared half of the Ticker and Timer adapters.
+type fakeStopper struct {
+	f *Fake
+	w *fakeWaiter
+}
+
+func (s *fakeStopper) C() <-chan time.Time { return s.w.ch }
+
+func (s *fakeStopper) stop() bool {
+	s.f.mu.Lock()
+	defer s.f.mu.Unlock()
+	was := !s.w.stopped
+	s.w.stopped = true
+	return was
+}
+
+type fakeTicker struct{ fakeStopper }
+
+func (t *fakeTicker) Stop() { t.stop() }
+
+type fakeTimer struct{ fakeStopper }
+
+func (t *fakeTimer) Stop() bool { return t.stop() }

@@ -1,0 +1,128 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFakeNowAndSince(t *testing.T) {
+	start := time.Unix(1000, 0)
+	f := NewFake(start)
+	if !f.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", f.Now(), start)
+	}
+	f.Advance(3 * time.Second)
+	if got := f.Since(start); got != 3*time.Second {
+		t.Fatalf("Since = %v, want 3s", got)
+	}
+}
+
+func TestFakeTimerFiresOnce(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tm := f.NewTimer(time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before advance")
+	default:
+	}
+	f.Advance(time.Second)
+	at := <-tm.C()
+	if !at.Equal(time.Unix(1, 0)) {
+		t.Fatalf("fired at %v, want t+1s", at)
+	}
+	f.Advance(10 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("one-shot timer fired twice")
+	default:
+	}
+}
+
+func TestFakeTimerStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tm := f.NewTimer(time.Second)
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer = false")
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-tm.C():
+		t.Fatal("stopped timer fired")
+	default:
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop = true")
+	}
+}
+
+func TestFakeTickerFiresPerInterval(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+	// Each advance crossing a deadline delivers a tick; the buffered
+	// channel holds at most one undrained tick, like time.Ticker.
+	for i := 1; i <= 3; i++ {
+		f.Advance(time.Second)
+		at := <-tk.C()
+		if !at.Equal(time.Unix(int64(i), 0)) {
+			t.Fatalf("tick %d at %v", i, at)
+		}
+	}
+	tk.Stop()
+	f.Advance(5 * time.Second)
+	select {
+	case <-tk.C():
+		t.Fatal("stopped ticker ticked")
+	default:
+	}
+}
+
+func TestFakeAdvanceFiresInDeadlineOrder(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	late := f.After(3 * time.Second)
+	early := f.After(1 * time.Second)
+	f.Advance(5 * time.Second)
+	e := <-early
+	l := <-late
+	if !e.Before(l) {
+		t.Fatalf("fire order: early %v, late %v", e, l)
+	}
+}
+
+func TestFakeSleepUnblocksOnAdvance(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register, then advance past its deadline.
+	for {
+		f.mu.Lock()
+		n := len(f.waiters)
+		f.mu.Unlock()
+		if n > 0 {
+			break
+		}
+	}
+	f.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not unblock")
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	t0 := c.Now()
+	if c.Since(t0) < 0 {
+		t.Fatal("negative Since")
+	}
+	tm := c.NewTimer(time.Hour)
+	if !tm.Stop() {
+		t.Fatal("Stop on fresh real timer = false")
+	}
+	tk := c.NewTicker(time.Hour)
+	tk.Stop()
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"odp/internal/capsule"
+	"odp/internal/clock"
 	"odp/internal/wire"
 )
 
@@ -68,7 +69,7 @@ func New(c *capsule.Capsule, grace time.Duration) (*Collector, error) {
 	g := &Collector{
 		cap:     c,
 		grace:   grace,
-		now:     time.Now,
+		now:     clock.Real{}.Now,
 		objects: make(map[string]*tracked),
 	}
 	ref, err := c.Export(capsule.ServantFunc(g.dispatch),
@@ -251,20 +252,34 @@ type Holder struct {
 	mu   sync.Mutex
 	held map[string]wire.Ref // object id -> collector ref
 
+	clk clock.Clock
+
 	stop chan struct{}
 	done chan struct{}
 }
 
+// HolderOption configures a Holder.
+type HolderOption func(*Holder)
+
+// WithHolderClock sets the clock pacing renewals (default clock.Real{}).
+func WithHolderClock(c clock.Clock) HolderOption {
+	return func(h *Holder) { h.clk = c }
+}
+
 // NewHolder creates a lease holder named name (typically the client
 // capsule's name) renewing every ttl/2.
-func NewHolder(c *capsule.Capsule, name string, ttl time.Duration) *Holder {
+func NewHolder(c *capsule.Capsule, name string, ttl time.Duration, opts ...HolderOption) *Holder {
 	h := &Holder{
 		cap:  c,
 		name: name,
 		ttl:  ttl,
+		clk:  clock.Real{},
 		held: make(map[string]wire.Ref),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(h)
 	}
 	go h.loop()
 	return h
@@ -306,13 +321,13 @@ func (h *Holder) loop() {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	ticker := time.NewTicker(interval)
+	ticker := h.clk.NewTicker(interval)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-h.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 			h.mu.Lock()
 			entries := make(map[string]wire.Ref, len(h.held))
 			for id, ref := range h.held {

@@ -19,14 +19,14 @@ import (
 //     the first live backup wins).
 func (m *Member) failureLoop() {
 	defer close(m.done)
-	ticker := time.NewTicker(m.cfg.HeartbeatInterval)
+	ticker := m.cfg.Clock.NewTicker(m.cfg.HeartbeatInterval)
 	defer ticker.Stop()
 	missed := make(map[string]time.Time) // backup id -> silent since
 	for {
 		select {
 		case <-m.stop:
 			return
-		case <-ticker.C:
+		case <-ticker.C():
 		}
 		m.mu.Lock()
 		if m.stopped || len(m.v.members) == 0 {
@@ -37,7 +37,7 @@ func (m *Member) failureLoop() {
 		rank := m.v.rankOf(m.id)
 		viewID := m.v.id
 		peers := m.peersLocked()
-		silent := time.Since(m.lastHeard)
+		silent := m.cfg.Clock.Since(m.lastHeard)
 		m.mu.Unlock()
 
 		if isSequencer {
@@ -61,10 +61,10 @@ func (m *Member) heartbeatPeers(peers []memberInfo, viewID uint64, missed map[st
 		}
 		since, ok := missed[p.id]
 		if !ok {
-			missed[p.id] = time.Now()
+			missed[p.id] = m.cfg.Clock.Now()
 			continue
 		}
-		if time.Since(since) > m.cfg.FailureTimeout {
+		if m.cfg.Clock.Since(since) > m.cfg.FailureTimeout {
 			delete(missed, p.id)
 			m.expel(p.id)
 		}
@@ -80,7 +80,7 @@ func (m *Member) onHeartbeat(args []wire.Value) (string, []wire.Value, error) {
 		return "", nil, ErrStopped
 	}
 	if viewID >= m.v.id {
-		m.lastHeard = time.Now()
+		m.lastHeard = m.cfg.Clock.Now()
 	}
 	return "ok", []wire.Value{m.v.id}, nil
 }
@@ -129,7 +129,7 @@ func (m *Member) promote() {
 	}
 	m.v = next
 	m.promoted++
-	m.lastHeard = time.Now()
+	m.lastHeard = m.cfg.Clock.Now()
 
 	// A hot-standby backup must bring its replica up to date before
 	// serving (this replay is the "fail-over period" active replication
@@ -192,7 +192,7 @@ func (m *Member) onView(args []wire.Value) (string, []wire.Value, error) {
 		return "ok", nil, nil // stale announcement
 	}
 	m.v = v
-	m.lastHeard = time.Now()
+	m.lastHeard = m.cfg.Clock.Now()
 	m.order.cond.Broadcast()
 	return "ok", nil, nil
 }
@@ -262,7 +262,7 @@ func (m *Member) Join(ctx context.Context, seed wire.Ref) error {
 		// Snapshot transfer: state reflects everything before nextExec.
 		m.order.applied = nextExec - 1
 	}
-	m.lastHeard = time.Now()
+	m.lastHeard = m.cfg.Clock.Now()
 	m.order.cond.Broadcast()
 	return nil
 }

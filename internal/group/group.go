@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"odp/internal/capsule"
+	"odp/internal/clock"
 	"odp/internal/rpc"
 	"odp/internal/wire"
 )
@@ -124,6 +125,10 @@ type Config struct {
 	// DeliverTimeout bounds one deliver interrogation (default
 	// FailureTimeout).
 	DeliverTimeout time.Duration
+	// Clock drives heartbeats, failure detection and ordering wakeups
+	// (default clock.Real{}); tests pass a clock.Fake to script failure
+	// scenarios deterministically.
+	Clock clock.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +143,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DeliverTimeout <= 0 {
 		c.DeliverTimeout = c.FailureTimeout
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
 	}
 	return c
 }
@@ -218,7 +226,7 @@ func (m *Member) GroupRef() wire.Ref {
 func (m *Member) Bootstrap() {
 	m.mu.Lock()
 	m.v = view{id: 1, members: []memberInfo{{id: m.id, addr: m.cap.Addr()}}}
-	m.lastHeard = time.Now()
+	m.lastHeard = m.cfg.Clock.Now()
 	m.mu.Unlock()
 }
 

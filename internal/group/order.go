@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
 
 	"odp/internal/rpc"
 	"odp/internal/wire"
@@ -172,7 +171,7 @@ func (m *Member) onDeliver(args []wire.Value) (string, []wire.Value, error) {
 	if viewID < m.v.id {
 		return "", nil, fmt.Errorf("group: deliver from stale view %d (now %d)", viewID, m.v.id)
 	}
-	m.lastHeard = time.Now()
+	m.lastHeard = m.cfg.Clock.Now()
 	if inv.seq >= m.nextExec {
 		if _, dup := m.holdback[inv.seq]; !dup {
 			m.holdback[inv.seq] = inv
@@ -232,7 +231,14 @@ func (m *Member) applier() {
 			continue
 		}
 		delete(m.holdback, m.nextExec)
-		m.applyLocked(inv)
+		ch, res := m.applyLocked(inv)
+		if ch != nil {
+			// Resolve the waiting client handler outside the critical
+			// section: no channel operation may happen under m.mu.
+			m.mu.Unlock()
+			ch <- res
+			m.mu.Lock()
+		}
 	}
 }
 
@@ -243,7 +249,7 @@ func (m *Member) waitOrder() {
 	done := make(chan struct{})
 	go func() {
 		select {
-		case <-time.After(m.cfg.HeartbeatInterval):
+		case <-m.cfg.Clock.After(m.cfg.HeartbeatInterval):
 		case <-done:
 			return
 		}
@@ -256,9 +262,10 @@ func (m *Member) waitOrder() {
 }
 
 // applyLocked logs and (mode/role permitting) executes one invocation,
-// then advances nextExec and resolves any waiting client handler. Called
-// with m.mu held.
-func (m *Member) applyLocked(inv orderedInv) {
+// then advances nextExec. It returns the waiting client handler's channel
+// (nil if none) and the result to deliver on it; the caller must perform
+// that send after releasing m.mu. Called with m.mu held.
+func (m *Member) applyLocked(inv orderedInv) (chan pendingResult, pendingResult) {
 	m.log = append(m.log, inv)
 	isSequencer := len(m.v.members) > 0 && m.v.sequencer().id == m.id
 	execute := m.cfg.Mode == ModeActive || isSequencer
@@ -269,11 +276,10 @@ func (m *Member) applyLocked(inv orderedInv) {
 		m.order.applied = inv.seq
 	}
 	m.nextExec = inv.seq + 1
-	if ch, ok := m.order.resultChs[inv.seq]; ok {
-		delete(m.order.resultChs, inv.seq)
-		ch <- res
-	}
+	ch := m.order.resultChs[inv.seq]
+	delete(m.order.resultChs, inv.seq)
 	m.order.cond.Broadcast()
+	return ch, res
 }
 
 // fillGap fetches missing entries [nextExec, maxHeld-1] from the current

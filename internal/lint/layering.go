@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// LayeringConfig configures the layering pass.
+type LayeringConfig struct {
+	// Restricted maps an import path to the only packages allowed to
+	// import it directly. Test files are exempt (the loader never parses
+	// them), as is the restricted package itself.
+	Restricted map[string][]string
+	// LowLayer maps a low-level package to the complete set of
+	// module-internal packages it may import; everything else is an
+	// upward (layer-inverting) import.
+	LowLayer map[string][]string
+}
+
+// DefaultLayeringConfig encodes this platform's selective-transparency
+// layering: computational-model packages reach the network only through
+// the rpc/core/capsule proxy layers (§5 of the paper — transparency
+// mechanisms are interposed, never bypassed), and the low layers never
+// import upward.
+func DefaultLayeringConfig() LayeringConfig {
+	return LayeringConfig{
+		Restricted: map[string][]string{
+			"odp/internal/transport": {
+				"odp", // the platform façade assembles the stack
+				"odp/internal/rpc",
+				"odp/internal/core",
+				"odp/internal/capsule",
+				"odp/internal/netsim",
+			},
+			"odp/internal/netsim": {
+				"odp", // façade-level fabric construction only
+			},
+		},
+		LowLayer: map[string][]string{
+			"odp/internal/wire":      {},
+			"odp/internal/transport": {},
+			"odp/internal/netsim":    {"odp/internal/transport"},
+			"odp/internal/clock":     {},
+		},
+	}
+}
+
+// NewLayering creates the import-graph pass.
+func NewLayering(cfg LayeringConfig) Analyzer { return &layering{cfg: cfg} }
+
+type layering struct {
+	cfg LayeringConfig
+}
+
+func (*layering) Name() string { return "layering" }
+
+func (a *layering) Run(pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	lowAllowed, isLow := a.cfg.LowLayer[pkg.Path]
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if allowed, ok := a.cfg.Restricted[path]; ok && pkg.Path != path && !contains(allowed, pkg.Path) {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(imp.Pos()),
+					Pass: a.Name(),
+					Message: fmt.Sprintf(
+						"%s imports %s directly: only %s may bypass the proxy layers",
+						pkg.Path, path, strings.Join(allowed, ", ")),
+				})
+			}
+			if isLow && isModuleInternal(path, pkg.Path) && !contains(lowAllowed, path) {
+				diags = append(diags, Diagnostic{
+					Pos:  pkg.Fset.Position(imp.Pos()),
+					Pass: a.Name(),
+					Message: fmt.Sprintf(
+						"low-layer package %s imports %s: lower layers must not reach upward",
+						pkg.Path, path),
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// isModuleInternal reports whether path belongs to the same module as
+// pkgPath (shares the first path element).
+func isModuleInternal(path, pkgPath string) bool {
+	mod := pkgPath
+	if i := strings.Index(pkgPath, "/"); i >= 0 {
+		mod = pkgPath[:i]
+	}
+	return path == mod || strings.HasPrefix(path, mod+"/")
+}
+
+func contains(xs []string, x string) bool {
+	for _, e := range xs {
+		if e == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+// Package lint is the platform's custom static-analysis suite.
+//
+// The value of the ODP engineering model is that its transparency
+// machinery — proxies, channels, capsules — is modular and selective.
+// That claim only holds as long as no code path quietly bypasses a layer,
+// blocks the world inside a critical section, or lets the wire codec
+// drift away from the data model it carries. Each analyzer here encodes
+// one such invariant, previously enforced only by convention and review:
+//
+//   - mutexheld: no channel send/receive, select, WaitGroup.Wait or
+//     network transmission (transport send, RPC invoke, capsule invoke)
+//     while a sync.Mutex or sync.RWMutex is held. Functions whose name
+//     ends in "Locked" or whose doc comment says "called with ... held"
+//     are analyzed as if a lock were held on entry.
+//   - detclock: outside the sanctioned gateways (internal/clock, the
+//     netsim fabric, the benchmark harness), no direct use of time.Now,
+//     time.Sleep, timers, tickers or the global math/rand source, so that
+//     time-driven mechanisms stay deterministic under test.
+//   - layering: the import graph respects the engineering model — the
+//     computational layers reach the network only through the rpc/core
+//     proxy layers, and the low layers (wire, transport, netsim) never
+//     import upward.
+//   - wiretotal: the wire codecs stay total over the computational data
+//     model — every value kind is handled by every encoder and decoder,
+//     and every exported field of the reference type survives both
+//     codecs.
+//
+// The suite is built on the standard library only: go/parser, go/ast and
+// go/types with a source importer. It is wired into tier-1 via
+// lint_test.go (the repo must produce zero diagnostics) and is runnable
+// standalone as cmd/odplint.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	// Pos locates the finding.
+	Pos token.Position
+	// Pass names the analyzer that produced it.
+	Pass string
+	// Message describes the violated invariant.
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Message)
+}
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports violations.
+type Analyzer interface {
+	// Name identifies the pass in diagnostics.
+	Name() string
+	// Run analyzes one package.
+	Run(pkg *Package) []Diagnostic
+}
+
+// DefaultAnalyzers returns the full suite configured for this repository.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		NewMutexHeld(DefaultMutexHeldConfig()),
+		NewDetClock(DefaultDetClockConfig()),
+		NewLayering(DefaultLayeringConfig()),
+		NewWireTotal(),
+	}
+}
+
+// Run applies each analyzer to each package and returns all diagnostics
+// sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags = append(diags, a.Run(pkg)...)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pass < b.Pass
+	})
+	return diags
+}

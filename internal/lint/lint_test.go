@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepoIsClean runs the full analysis suite over the entire module and
+// requires zero diagnostics. This is a tier-1 invariant: the engineering
+// model rules the passes encode (no blocking under a mutex, no wall-clock
+// reads in simulation-driven packages, no layer bypass, total codecs)
+// hold everywhere, forever. A failure here is a real defect in whatever
+// code tripped it, not in this test.
+func TestRepoIsClean(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader found no packages")
+	}
+	for _, d := range Run(pkgs, DefaultAnalyzers()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// fixtureCase is one known-bad corpus package with its exact expected
+// diagnostics, rendered "file.go:line: [pass] message".
+type fixtureCase struct {
+	dir      string
+	asPath   string // synthetic import path the fixture is loaded under
+	analyzer Analyzer
+	want     []string
+}
+
+func fixtureCases() []fixtureCase {
+	return []fixtureCase{
+		{
+			dir: "locksend", asPath: "odp/internal/locksend",
+			analyzer: NewMutexHeld(DefaultMutexHeldConfig()),
+			want: []string{
+				"locksend.go:17: [mutexheld] channel send while q.mu is held",
+			},
+		},
+		{
+			dir: "lockrecv", asPath: "odp/internal/lockrecv",
+			analyzer: NewMutexHeld(DefaultMutexHeldConfig()),
+			want: []string{
+				"lockrecv.go:18: [mutexheld] channel receive while q.mu is held",
+				"lockrecv.go:24: [mutexheld] call to sync.WaitGroup.Wait while q.mu is held",
+			},
+		},
+		{
+			dir: "lockedctx", asPath: "odp/internal/lockedctx",
+			analyzer: NewMutexHeld(DefaultMutexHeldConfig()),
+			want: []string{
+				"lockedctx.go:14: [mutexheld] channel receive while (caller's mutex) is held",
+				"lockedctx.go:19: [mutexheld] channel send while (caller's mutex) is held",
+			},
+		},
+		{
+			dir: "timecall", asPath: "odp/internal/timecall",
+			analyzer: NewDetClock(DefaultDetClockConfig()),
+			want: []string{
+				"timecall.go:9: [detclock] time.Now in simulation-driven package odp/internal/timecall: take the time from internal/clock",
+				"timecall.go:14: [detclock] time.Sleep in simulation-driven package odp/internal/timecall: take the time from internal/clock",
+			},
+		},
+		{
+			dir: "randtick", asPath: "odp/internal/randtick",
+			analyzer: NewDetClock(DefaultDetClockConfig()),
+			want: []string{
+				"randtick.go:12: [detclock] global rand.Int63n in simulation-driven package odp/internal/randtick: use a seeded rand.New(rand.NewSource(...))",
+				"randtick.go:17: [detclock] time.NewTicker in simulation-driven package odp/internal/randtick: take the time from internal/clock",
+			},
+		},
+		{
+			// Loaded as a computational-model package: the direct
+			// transport import must be rejected.
+			dir: "transportimport", asPath: "odp/internal/order",
+			analyzer: NewLayering(DefaultLayeringConfig()),
+			want: []string{
+				"transportimport.go:7: [layering] odp/internal/order imports odp/internal/transport directly: only odp, odp/internal/rpc, odp/internal/core, odp/internal/capsule, odp/internal/netsim may bypass the proxy layers",
+			},
+		},
+		{
+			// Loaded as a low-layer package: its module-internal import
+			// points upward.
+			dir: "lowreach", asPath: "odp/internal/clock",
+			analyzer: NewLayering(DefaultLayeringConfig()),
+			want: []string{
+				"lowreach.go:6: [layering] low-layer package odp/internal/clock imports odp/internal/wire: lower layers must not reach upward",
+			},
+		},
+		{
+			dir: "kindmiss", asPath: "odp/internal/kindmiss",
+			analyzer: NewWireTotal(),
+			want: []string{
+				"kindmiss.go:46: [wiretotal] Encode: encoder type switch misses data-model type int64",
+				"kindmiss.go:60: [wiretotal] Decode: decoder kind switch misses KindInt",
+			},
+		},
+		{
+			dir: "refdrift", asPath: "odp/internal/refdrift",
+			analyzer: NewWireTotal(),
+			want: []string{
+				"refdrift.go:30: [wiretotal] taggedRef lacks field Epoch declared on Ref",
+				"refdrift.go:54: [wiretotal] decoder Decode does not cover field Ref.Epoch: codec and type have drifted",
+			},
+		},
+	}
+}
+
+// TestFixtures proves each pass fires on its known-bad corpus, producing
+// exactly the expected diagnostics — no more, no fewer, no drift in
+// position or wording.
+func TestFixtures(t *testing.T) {
+	for _, c := range fixtureCases() {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			l, err := NewLoader(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", c.dir), c.asPath)
+			if err != nil {
+				t.Fatalf("loading fixture: %v", err)
+			}
+			var got []string
+			for _, d := range Run([]*Package{pkg}, []Analyzer{c.analyzer}) {
+				got = append(got, fmt.Sprintf("%s:%d: [%s] %s",
+					filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pass, d.Message))
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("got %d diagnostics, want %d:\ngot:  %q\nwant: %q",
+					len(got), len(c.want), got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, got[i], c.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSelectWithDefaultIsNonBlocking pins the exemption that keeps
+// clock.Fake.Advance legal: a select with a default clause cannot block,
+// so it is allowed under a held mutex.
+func TestSelectWithDefaultIsNonBlocking(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("odp/internal/clock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run([]*Package{pkg}, []Analyzer{NewMutexHeld(DefaultMutexHeldConfig())}) {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

@@ -1,0 +1,68 @@
+// Package kindmiss is a known-bad wiretotal fixture: a codec-shaped
+// package whose encoder type switch misses a data-model type and whose
+// decoder kind switch misses a Kind constant.
+package kindmiss
+
+import "errors"
+
+// Kind classifies model values.
+type Kind int
+
+// Kinds of the miniature data model.
+const (
+	KindNil Kind = iota
+	KindBool
+	KindInt
+)
+
+// Errors mirroring the wire package's sentinels.
+var (
+	ErrBadValue = errors.New("kindmiss: bad value")
+	ErrCorrupt  = errors.New("kindmiss: corrupt")
+)
+
+// Ref is the reference type.
+type Ref struct {
+	ID string
+}
+
+// KindOf classifies v.
+func KindOf(v any) (Kind, error) {
+	switch v.(type) {
+	case nil:
+		return KindNil, nil
+	case bool:
+		return KindBool, nil
+	case int64:
+		return KindInt, nil
+	}
+	return 0, ErrBadValue
+}
+
+// Encode serialises v. Its type switch has drifted: int64 joined the
+// data model but never got an encoding case.
+func Encode(v any, r Ref) (byte, error) {
+	_ = r.ID
+	switch v.(type) {
+	case nil:
+		return 0, nil
+	case bool:
+		return 1, nil
+	default:
+		return 0, ErrBadValue
+	}
+}
+
+// Decode rebuilds a value of kind k. Its kind switch has drifted the
+// same way: KindInt decodes as corruption.
+func Decode(k Kind, r Ref) (any, error) {
+	_ = r.ID
+	switch k {
+	case KindNil:
+		return nil, nil
+	case KindBool:
+		return false, nil
+	default:
+		return nil, ErrCorrupt
+	}
+}

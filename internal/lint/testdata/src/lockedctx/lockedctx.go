@@ -1,0 +1,20 @@
+// Package lockedctx is a known-bad mutexheld fixture: functions whose
+// name or doc comment declares a lock-held calling contract perform
+// channel operations.
+package lockedctx
+
+// S holds a channel drained by lock-held helpers.
+type S struct {
+	ch chan int
+}
+
+// drainLocked pops one element. The "Locked" suffix declares that the
+// caller holds s.mu, so the receive blocks with that lock held.
+func (s *S) drainLocked() int {
+	return <-s.ch
+}
+
+// push appends one element. Called with s.mu held.
+func (s *S) push(v int) {
+	s.ch <- v
+}

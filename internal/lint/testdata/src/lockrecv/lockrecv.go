@@ -1,0 +1,26 @@
+// Package lockrecv is a known-bad mutexheld fixture: it receives from a
+// channel and waits on a WaitGroup while holding a mutex.
+package lockrecv
+
+import "sync"
+
+// Q is a queue guarded by a mutex.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// Get dequeues under q.mu — the receive blocks with the lock held.
+func (q *Q) Get() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch
+}
+
+// Flush waits for in-flight workers under q.mu.
+func (q *Q) Flush() {
+	q.mu.Lock()
+	q.wg.Wait()
+	q.mu.Unlock()
+}

@@ -1,0 +1,27 @@
+// Package locksend is a known-bad mutexheld fixture: it sends on a
+// channel while holding a mutex.
+package locksend
+
+import "sync"
+
+// Q is a queue guarded by a mutex.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Put enqueues v while still holding q.mu — the send can block forever
+// with the lock held.
+func (q *Q) Put(v int) {
+	q.mu.Lock()
+	q.ch <- v
+	q.mu.Unlock()
+}
+
+// PutSafe is the clean shape: the send happens outside the lock.
+func (q *Q) PutSafe(v int) {
+	q.mu.Lock()
+	ch := q.ch
+	q.mu.Unlock()
+	ch <- v
+}

@@ -1,0 +1,9 @@
+// Package lowreach is a known-bad layering fixture: the test loads it
+// under a low-layer import path, so its module-internal import points
+// upward through the layering.
+package lowreach
+
+import "odp/internal/wire"
+
+// Value re-exports the data model from below — an inverted dependency.
+type Value = wire.Value

@@ -1,0 +1,22 @@
+// Package randtick is a known-bad detclock fixture: it draws from the
+// global math/rand source and starts a wall-clock ticker.
+package randtick
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter returns a random duration below d from the shared global source.
+func Jitter(d time.Duration) time.Duration {
+	return time.Duration(rand.Int63n(int64(d)))
+}
+
+// Poll runs f on a wall-clock cadence.
+func Poll(interval time.Duration, f func()) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		f()
+	}
+}

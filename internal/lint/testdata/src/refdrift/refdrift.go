@@ -1,0 +1,63 @@
+// Package refdrift is a known-bad wiretotal fixture: Ref gained an
+// exported field (Epoch) that the decoder never restores and the textual
+// mirror struct never received.
+package refdrift
+
+import "errors"
+
+// Kind classifies model values.
+type Kind int
+
+// Kinds of the miniature data model.
+const (
+	// KindRef tags references.
+	KindRef Kind = iota
+)
+
+// Errors mirroring the wire package's sentinels.
+var (
+	ErrBadValue = errors.New("refdrift: bad value")
+	ErrCorrupt  = errors.New("refdrift: corrupt")
+)
+
+// Ref is the reference type.
+type Ref struct {
+	ID    string
+	Epoch uint32
+}
+
+// taggedRef is the textual mirror of Ref; it lost the Epoch field.
+type taggedRef struct {
+	ID string
+}
+
+// KindOf classifies v.
+func KindOf(v any) (Kind, error) {
+	switch v.(type) {
+	case Ref:
+		return KindRef, nil
+	}
+	return 0, ErrBadValue
+}
+
+// Encode serialises v, covering every Ref field.
+func Encode(v any) (string, error) {
+	switch t := v.(type) {
+	case Ref:
+		return t.ID + string(rune(t.Epoch)), nil
+	default:
+		return "", ErrBadValue
+	}
+}
+
+// Decode rebuilds a Ref; it never restores Epoch.
+func Decode(k Kind, s string) (Ref, error) {
+	switch k {
+	case KindRef:
+		return Ref{ID: s}, nil
+	default:
+		return Ref{}, ErrCorrupt
+	}
+}
+
+var _ = taggedRef{}

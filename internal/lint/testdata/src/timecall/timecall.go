@@ -1,0 +1,15 @@
+// Package timecall is a known-bad detclock fixture: a simulation-driven
+// package reading and advancing the wall clock directly.
+package timecall
+
+import "time"
+
+// Deadline computes an expiry from the wall clock.
+func Deadline(ttl time.Duration) time.Time {
+	return time.Now().Add(ttl)
+}
+
+// Pause stalls the caller on the wall clock.
+func Pause(d time.Duration) {
+	time.Sleep(d)
+}

@@ -1,0 +1,12 @@
+// Package transportimport is a known-bad layering fixture: a
+// computational-model package reaching the transport layer directly
+// instead of going through the rpc/core proxy layers. The test loads it
+// under a computational import path.
+package transportimport
+
+import "odp/internal/transport"
+
+// Send bypasses the proxy layers entirely.
+func Send(ep transport.Endpoint, to string, pkt []byte) error {
+	return ep.Send(to, pkt)
+}

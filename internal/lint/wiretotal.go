@@ -1,0 +1,493 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// NewWireTotal creates the pass that keeps the wire codecs total over the
+// computational data model, so codec and types cannot drift apart. It
+// applies to any package shaped like a codec package — one declaring the
+// Kind enumeration, the KindOf classifier and the Ref reference type —
+// and checks:
+//
+//   - every encoder type switch (a type switch whose default clause
+//     rejects with ErrBadValue) covers exactly the dynamic types KindOf
+//     classifies;
+//   - every decoder kind switch (a switch over a Kind-typed tag whose
+//     default rejects with ErrCorrupt) covers every declared Kind
+//     constant;
+//   - every decoder name switch (a switch over a string tag whose
+//     default rejects with ErrCorrupt) covers exactly the names in the
+//     kindNames table, as must the kind tags emitted into the textual
+//     codec's tagged envelope;
+//   - every exported field of Ref is touched by every encoder and every
+//     decoder function, and the textual mirror struct (taggedRef) has
+//     exactly Ref's exported fields.
+func NewWireTotal() Analyzer { return &wireTotal{} }
+
+type wireTotal struct{}
+
+func (*wireTotal) Name() string { return "wiretotal" }
+
+// wireShape is what the pass discovers about a codec package.
+type wireShape struct {
+	modelTypes []string        // rendered case types of KindOf's type switch
+	kindConsts []string        // names of package-level Kind constants
+	kindNames  []string        // value strings of the kindNames table
+	refType    *types.Named    // the Ref struct
+	taggedType *types.Named    // the tagged envelope struct, if any
+	mirrorType *types.Named    // the taggedRef mirror struct, if any
+	encoders   []*ast.FuncDecl // functions with an ErrBadValue-default type switch
+	decoders   []*ast.FuncDecl // functions with an ErrCorrupt-default kind/name switch
+}
+
+func (a *wireTotal) Run(pkg *Package) []Diagnostic {
+	shape, ok := a.discover(pkg)
+	if !ok {
+		return nil
+	}
+	var diags []Diagnostic
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Pass:    a.Name(),
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkSwitches(pkg, shape, fd, report)
+		}
+	}
+	a.checkTaggedKinds(pkg, shape, report)
+	a.checkRefCoverage(pkg, shape, report)
+	a.checkMirror(shape, report)
+	return diags
+}
+
+// discover classifies pkg and gathers its model facts. ok is false when
+// the package is not codec-shaped.
+func (a *wireTotal) discover(pkg *Package) (*wireShape, bool) {
+	scope := pkg.Types.Scope()
+	kindObj, _ := scope.Lookup("Kind").(*types.TypeName)
+	kindOfObj, _ := scope.Lookup("KindOf").(*types.Func)
+	refObj, _ := scope.Lookup("Ref").(*types.TypeName)
+	if kindObj == nil || kindOfObj == nil || refObj == nil {
+		return nil, false
+	}
+	shape := &wireShape{}
+	if named, ok := refObj.Type().(*types.Named); ok {
+		if _, isStruct := named.Underlying().(*types.Struct); isStruct {
+			shape.refType = named
+		}
+	}
+	if shape.refType == nil {
+		return nil, false
+	}
+	if obj, ok := scope.Lookup("tagged").(*types.TypeName); ok {
+		shape.taggedType, _ = obj.Type().(*types.Named)
+	}
+	if obj, ok := scope.Lookup("taggedRef").(*types.TypeName); ok {
+		shape.mirrorType, _ = obj.Type().(*types.Named)
+	}
+
+	// Kind constants, in declaration order.
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && c.Type() == kindObj.Type() {
+			shape.kindConsts = append(shape.kindConsts, name)
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.Name == "KindOf" && d.Recv == nil && d.Body != nil {
+					shape.modelTypes = typeSwitchCases(pkg, d.Body)
+				}
+			case *ast.GenDecl:
+				shape.kindNames = append(shape.kindNames, kindNamesValues(d)...)
+			}
+		}
+	}
+	if len(shape.modelTypes) == 0 {
+		return nil, false
+	}
+
+	// Classify encoders and decoders.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name == "KindOf" {
+				continue
+			}
+			if hasSwitchWithDefaultError(pkg, fd, "ErrBadValue", true) {
+				shape.encoders = append(shape.encoders, fd)
+			}
+			if hasSwitchWithDefaultError(pkg, fd, "ErrCorrupt", false) {
+				shape.decoders = append(shape.decoders, fd)
+			}
+		}
+	}
+	return shape, true
+}
+
+// checkSwitches verifies totality of the model dispatches in fd.
+func (a *wireTotal) checkSwitches(pkg *Package, shape *wireShape, fd *ast.FuncDecl, report func(token.Pos, string, ...interface{})) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch sw := n.(type) {
+		case *ast.TypeSwitchStmt:
+			if !defaultMentions(sw.Body, "ErrBadValue") {
+				return true
+			}
+			got := typeSwitchCaseSet(pkg, sw)
+			diffSets(got, shape.modelTypes, func(missing string) {
+				report(sw.Switch, "%s: encoder type switch misses data-model type %s", fd.Name.Name, missing)
+			}, func(extra string) {
+				report(sw.Switch, "%s: encoder type switch handles %s, which KindOf does not classify", fd.Name.Name, extra)
+			})
+		case *ast.SwitchStmt:
+			if sw.Tag == nil || !defaultMentions(sw.Body, "ErrCorrupt") {
+				return true
+			}
+			tagType := pkg.Info.TypeOf(sw.Tag)
+			if tagType == nil {
+				return true
+			}
+			if named, ok := tagType.(*types.Named); ok && named.Obj().Name() == "Kind" && named.Obj().Pkg() == pkg.Types {
+				got := switchCaseIdents(sw)
+				diffSets(got, shape.kindConsts, func(missing string) {
+					report(sw.Switch, "%s: decoder kind switch misses %s", fd.Name.Name, missing)
+				}, func(extra string) {
+					report(sw.Switch, "%s: decoder kind switch handles unknown kind %s", fd.Name.Name, extra)
+				})
+			} else if basic, ok := tagType.Underlying().(*types.Basic); ok && basic.Kind() == types.String && len(shape.kindNames) > 0 {
+				got := switchCaseStrings(sw)
+				diffSets(got, shape.kindNames, func(missing string) {
+					report(sw.Switch, "%s: decoder name switch misses kind %q", fd.Name.Name, missing)
+				}, func(extra string) {
+					report(sw.Switch, "%s: decoder name switch handles unknown kind %q", fd.Name.Name, extra)
+				})
+			}
+		}
+		return true
+	})
+}
+
+// checkTaggedKinds verifies that the kind tags written into the tagged
+// envelope (field K) are exactly the kindNames set.
+func (a *wireTotal) checkTaggedKinds(pkg *Package, shape *wireShape, report func(token.Pos, string, ...interface{})) {
+	if shape.taggedType == nil || len(shape.kindNames) == 0 {
+		return
+	}
+	emitted := map[string]bool{}
+	var first token.Pos
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok || namedOf(pkg.Info.TypeOf(lit)) != shape.taggedType {
+				return true
+			}
+			if first == token.NoPos {
+				first = lit.Pos()
+			}
+			for _, el := range lit.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "K" {
+					continue
+				}
+				if s, ok := stringLit(kv.Value); ok {
+					emitted[s] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(emitted) == 0 {
+		return
+	}
+	var got []string
+	for s := range emitted {
+		got = append(got, s)
+	}
+	diffSets(got, shape.kindNames, func(missing string) {
+		report(first, "textual encoder emits no tagged value for kind %q", missing)
+	}, func(extra string) {
+		report(first, "textual encoder emits unknown kind tag %q", extra)
+	})
+}
+
+// checkRefCoverage verifies every exported Ref field is read or written
+// by every encoder and decoder.
+func (a *wireTotal) checkRefCoverage(pkg *Package, shape *wireShape, report func(token.Pos, string, ...interface{})) {
+	fields := exportedFields(shape.refType)
+	if len(fields) == 0 {
+		return
+	}
+	check := func(fds []*ast.FuncDecl, role string) {
+		for _, fd := range fds {
+			used := refFieldUses(pkg, shape.refType, fd)
+			for _, f := range fields {
+				if !used[f] {
+					report(fd.Pos(), "%s %s does not cover field %s.%s: codec and type have drifted",
+						role, fd.Name.Name, shape.refType.Obj().Name(), f)
+				}
+			}
+		}
+	}
+	check(shape.encoders, "encoder")
+	check(shape.decoders, "decoder")
+}
+
+// checkMirror verifies the textual mirror struct declares exactly Ref's
+// exported fields.
+func (a *wireTotal) checkMirror(shape *wireShape, report func(token.Pos, string, ...interface{})) {
+	if shape.mirrorType == nil {
+		return
+	}
+	diffSets(exportedFields(shape.mirrorType), exportedFields(shape.refType), func(missing string) {
+		report(shape.mirrorType.Obj().Pos(), "%s lacks field %s declared on %s",
+			shape.mirrorType.Obj().Name(), missing, shape.refType.Obj().Name())
+	}, func(extra string) {
+		report(shape.mirrorType.Obj().Pos(), "%s declares field %s that %s does not have",
+			shape.mirrorType.Obj().Name(), extra, shape.refType.Obj().Name())
+	})
+}
+
+// --- helpers ---
+
+// typeSwitchCases returns the rendered case types of the first type
+// switch in body.
+func typeSwitchCases(pkg *Package, body *ast.BlockStmt) []string {
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sw, ok := n.(*ast.TypeSwitchStmt); ok && out == nil {
+			out = typeSwitchCaseSet(pkg, sw)
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// typeSwitchCaseSet renders every case type of sw.
+func typeSwitchCaseSet(pkg *Package, sw *ast.TypeSwitchStmt) []string {
+	var out []string
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			out = append(out, renderExpr(pkg.Fset, e))
+		}
+	}
+	return out
+}
+
+// switchCaseIdents returns the identifier names used as cases of sw.
+func switchCaseIdents(sw *ast.SwitchStmt) []string {
+	var out []string
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if id, ok := e.(*ast.Ident); ok {
+				out = append(out, id.Name)
+			}
+		}
+	}
+	return out
+}
+
+// switchCaseStrings returns the string-literal cases of sw.
+func switchCaseStrings(sw *ast.SwitchStmt) []string {
+	var out []string
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if s, ok := stringLit(e); ok {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// stringLit unquotes e when it is a string literal.
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := e.(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// defaultMentions reports whether the switch body's default clause
+// references an identifier with the given name.
+func defaultMentions(body *ast.BlockStmt, name string) bool {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok || cc.List != nil {
+			continue
+		}
+		found := false
+		for _, st := range cc.Body {
+			ast.Inspect(st, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+				return !found
+			})
+		}
+		return found
+	}
+	return false
+}
+
+// hasSwitchWithDefaultError reports whether fd contains a qualifying
+// model dispatch: a type switch (typeSwitch true) or value switch whose
+// default clause references errName.
+func hasSwitchWithDefaultError(pkg *Package, fd *ast.FuncDecl, errName string, typeSwitch bool) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch sw := n.(type) {
+		case *ast.TypeSwitchStmt:
+			if typeSwitch && defaultMentions(sw.Body, errName) {
+				found = true
+			}
+		case *ast.SwitchStmt:
+			if !typeSwitch && sw.Tag != nil && defaultMentions(sw.Body, errName) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// kindNamesValues extracts the value strings of a `var kindNames =
+// map[...]string{...}` declaration.
+func kindNamesValues(d *ast.GenDecl) []string {
+	if d.Tok != token.VAR {
+		return nil
+	}
+	var out []string
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if name.Name != "kindNames" || i >= len(vs.Values) {
+				continue
+			}
+			lit, ok := vs.Values[i].(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, el := range lit.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if s, ok := stringLit(kv.Value); ok {
+						out = append(out, s)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// exportedFields lists the exported field names of a named struct type.
+func exportedFields(named *types.Named) []string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Exported() {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// refFieldUses collects which fields of refType fd touches, via selector
+// or composite-literal key.
+func refFieldUses(pkg *Package, refType *types.Named, fd *ast.FuncDecl) map[string]bool {
+	used := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch t := n.(type) {
+		case *ast.SelectorExpr:
+			if namedOf(pkg.Info.TypeOf(t.X)) == refType {
+				used[t.Sel.Name] = true
+			}
+		case *ast.CompositeLit:
+			if namedOf(pkg.Info.TypeOf(t)) == refType {
+				for _, el := range t.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							used[id.Name] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return used
+}
+
+// diffSets reports, deterministically, elements of want missing from got
+// and elements of got not in want.
+func diffSets(got, want []string, missing, extra func(string)) {
+	gs, ws := map[string]bool{}, map[string]bool{}
+	for _, g := range got {
+		gs[g] = true
+	}
+	for _, w := range want {
+		ws[w] = true
+	}
+	var miss, ext []string
+	for _, w := range want {
+		if !gs[w] {
+			miss = append(miss, w)
+		}
+	}
+	for _, g := range got {
+		if !ws[g] {
+			ext = append(ext, g)
+		}
+	}
+	sort.Strings(miss)
+	sort.Strings(ext)
+	for _, m := range miss {
+		missing(m)
+	}
+	for _, e := range ext {
+		extra(e)
+	}
+}

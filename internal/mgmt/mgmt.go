@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"odp/internal/capsule"
+	"odp/internal/clock"
 	"odp/internal/wire"
 )
 
@@ -35,6 +36,7 @@ type Registry struct {
 	gauges   map[string]float64
 	events   []Event
 	maxEv    int
+	clk      clock.Clock
 }
 
 // Event is one entry of the management event log.
@@ -55,8 +57,13 @@ func NewRegistry(maxEvents int) *Registry {
 		counters: make(map[string]uint64),
 		gauges:   make(map[string]float64),
 		maxEv:    maxEvents,
+		clk:      clock.Real{},
 	}
 }
+
+// SetClock replaces the registry's time source (default clock.Real{});
+// call before concurrent use.
+func (r *Registry) SetClock(c clock.Clock) { r.clk = c }
 
 // Add increments counter name by delta.
 func (r *Registry) Add(name string, delta uint64) {
@@ -89,7 +96,7 @@ func (r *Registry) Gauge(name string) float64 {
 // Log appends an event to the bounded event log.
 func (r *Registry) Log(what string) {
 	r.mu.Lock()
-	r.events = append(r.events, Event{At: time.Now(), What: what})
+	r.events = append(r.events, Event{At: r.clk.Now(), What: what})
 	if len(r.events) > r.maxEv {
 		r.events = r.events[len(r.events)-r.maxEv:]
 	}
@@ -124,13 +131,13 @@ func (r *Registry) Snapshot() wire.Record {
 func Instrument(r *Registry, prefix string) capsule.Interceptor {
 	return func(next capsule.Servant) capsule.Servant {
 		return capsule.ServantFunc(func(ctx context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
-			start := time.Now()
+			start := r.clk.Now()
 			outcome, results, err := next.Dispatch(ctx, op, args)
 			r.Add(prefix+".calls", 1)
 			if err != nil {
 				r.Add(prefix+".errors", 1)
 			}
-			r.Set(prefix+".last_us", float64(time.Since(start).Microseconds()))
+			r.Set(prefix+".last_us", float64(r.clk.Since(start).Microseconds()))
 			return outcome, results, err
 		})
 	}

@@ -64,28 +64,113 @@ const acceptorOp = "m!accept"
 
 // gate quiesces an object's dispatch path during a move: "it also allows
 // the object to delay the migration until a time convenient to other
-// activities using the object" (§5.5). Dispatches hold the read side; a
-// move takes the write side, so it waits for in-flight invocations to
-// drain and blocks new ones until the cut-over completes.
+// activities using the object" (§5.5). Dispatches register as in-flight;
+// a move quiesces the gate, which waits for in-flight invocations to
+// drain and holds new ones back until the cut-over commits or aborts.
+// The mutex only guards the counters — it is never held across a
+// dispatch or a network call (the remote accept runs with the gate
+// quiesced but unlocked, per the mutexheld invariant).
 type gate struct {
-	mu    sync.RWMutex
-	moved bool
-	fwd   wire.Ref
-	gone  bool // passivated or withdrawn
+	mu       sync.Mutex
+	cond     *sync.Cond // lazily created; signalled on drain and reopen
+	inflight int
+	quiesced bool // a move/passivation is holding new invocations back
+	moved    bool
+	fwd      wire.Ref
+	gone     bool // passivated or withdrawn
+}
+
+// condLocked returns the gate's condition variable. Called with g.mu held.
+func (g *gate) condLocked() *sync.Cond {
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	return g.cond
+}
+
+// enter admits one invocation, waiting out any quiesce in progress. It
+// returns the terminal redirect/tombstone error once the gate has closed.
+func (g *gate) enter() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.quiesced && !g.moved && !g.gone {
+		g.condLocked().Wait()
+	}
+	if g.moved {
+		return &rpc.MovedError{Forward: g.fwd}
+	}
+	if g.gone {
+		return rpc.ErrNoObject
+	}
+	g.inflight++
+	return nil
+}
+
+// exit retires one invocation admitted by enter.
+func (g *gate) exit() {
+	g.mu.Lock()
+	g.inflight--
+	if g.inflight == 0 {
+		g.condLocked().Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+// quiesce blocks new invocations and waits for in-flight ones to drain.
+// Exactly one of commitMoved, commitGone or reopen must follow. It fails
+// if the object has already moved or gone.
+func (g *gate) quiesce() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.quiesced {
+		g.condLocked().Wait() // another move is in progress; wait it out
+	}
+	if g.moved || g.gone {
+		return rpc.ErrNoObject
+	}
+	g.quiesced = true
+	for g.inflight > 0 {
+		g.condLocked().Wait()
+	}
+	return nil
+}
+
+// reopen aborts a quiesce, re-admitting held invocations.
+func (g *gate) reopen() {
+	g.mu.Lock()
+	g.quiesced = false
+	g.condLocked().Broadcast()
+	g.mu.Unlock()
+}
+
+// commitMoved closes the gate permanently: held and future invocations
+// bounce to fwd.
+func (g *gate) commitMoved(fwd wire.Ref) {
+	g.mu.Lock()
+	g.moved = true
+	g.fwd = fwd
+	g.quiesced = false
+	g.condLocked().Broadcast()
+	g.mu.Unlock()
+}
+
+// commitGone closes the gate permanently as passivated/withdrawn.
+func (g *gate) commitGone() {
+	g.mu.Lock()
+	g.gone = true
+	g.quiesced = false
+	g.condLocked().Broadcast()
+	g.mu.Unlock()
 }
 
 // interceptor returns the gate as a capsule interceptor.
 func (g *gate) interceptor() capsule.Interceptor {
 	return func(next capsule.Servant) capsule.Servant {
 		return capsule.ServantFunc(func(ctx context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
-			g.mu.RLock()
-			defer g.mu.RUnlock()
-			if g.moved {
-				return "", nil, &rpc.MovedError{Forward: g.fwd}
+			if err := g.enter(); err != nil {
+				return "", nil, err
 			}
-			if g.gone {
-				return "", nil, rpc.ErrNoObject
-			}
+			defer g.exit()
 			return next.Dispatch(ctx, op, args)
 		})
 	}
@@ -224,11 +309,15 @@ func (h *Host) Migrate(ctx context.Context, id string, dest wire.Ref) (wire.Ref,
 	}
 	// Quiesce: wait for in-flight invocations to drain and hold new ones
 	// back until the cut-over completes, so no mutation is lost between
-	// snapshot and forward.
-	m.gate.mu.Lock()
+	// snapshot and forward. No lock is held across the snapshot or the
+	// remote accept — the gate's quiesced state alone keeps new
+	// invocations out.
+	if err := m.gate.quiesce(); err != nil {
+		return wire.Ref{}, fmt.Errorf("%w: %q", ErrUnknownObject, id)
+	}
 	snap, err := m.servant.Snapshot()
 	if err != nil {
-		m.gate.mu.Unlock()
+		m.gate.reopen()
 		return wire.Ref{}, fmt.Errorf("migrate: snapshot %q: %w", id, err)
 	}
 	typeName := ""
@@ -241,16 +330,16 @@ func (h *Host) Migrate(ctx context.Context, id string, dest wire.Ref) (wire.Ref,
 		[]wire.Value{id, typeName, typeRec, snap, uint64(m.epoch + 1)},
 		capsule.WithQoS(rpc.QoS{Timeout: rpc.DefaultTimeout}))
 	if err != nil {
-		m.gate.mu.Unlock()
+		m.gate.reopen()
 		return wire.Ref{}, fmt.Errorf("migrate: accept at %v: %w", dest.Endpoints, err)
 	}
 	if outcome != "ok" {
-		m.gate.mu.Unlock()
+		m.gate.reopen()
 		return wire.Ref{}, fmt.Errorf("migrate: destination refused: %v", results)
 	}
 	newRef, ok := results[0].(wire.Ref)
 	if !ok {
-		m.gate.mu.Unlock()
+		m.gate.reopen()
 		return wire.Ref{}, fmt.Errorf("migrate: acceptor returned %T", results[0])
 	}
 	// Cut over: forward at the source, register the change, release any
@@ -259,9 +348,7 @@ func (h *Host) Migrate(ctx context.Context, id string, dest wire.Ref) (wire.Ref,
 	h.mu.Lock()
 	delete(h.objects, id)
 	h.mu.Unlock()
-	m.gate.moved = true
-	m.gate.fwd = newRef
-	m.gate.mu.Unlock()
+	m.gate.commitMoved(newRef)
 	if h.registrar != nil {
 		h.registrar.Register(newRef)
 	}

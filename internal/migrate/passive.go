@@ -18,11 +18,14 @@ func (h *Host) Passivate(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownObject, id)
 	}
-	// Quiesce in-flight invocations before taking the snapshot.
-	m.gate.mu.Lock()
-	defer m.gate.mu.Unlock()
+	// Quiesce in-flight invocations before taking the snapshot; the gate
+	// holds new ones back (no lock held) until we commit or reopen.
+	if err := m.gate.quiesce(); err != nil {
+		return fmt.Errorf("%w: %q", ErrUnknownObject, id)
+	}
 	snap, err := m.servant.Snapshot()
 	if err != nil {
+		m.gate.reopen()
 		return fmt.Errorf("migrate: passivate %q: %w", id, err)
 	}
 	var (
@@ -36,16 +39,18 @@ func (h *Host) Passivate(id string) error {
 	meta, err := wire.EncodeAll(wire.BinaryCodec{},
 		[]wire.Value{typeName, typeRec, snap, m.logged})
 	if err != nil {
+		m.gate.reopen()
 		return err
 	}
 	if err := h.store.PutBlob("passive/"+id, meta); err != nil {
+		m.gate.reopen()
 		return err
 	}
 	h.cap.Unexport(id)
 	h.mu.Lock()
 	delete(h.objects, id)
 	h.mu.Unlock()
-	m.gate.gone = true
+	m.gate.commitGone()
 	return nil
 }
 

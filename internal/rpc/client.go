@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"odp/internal/clock"
 	"odp/internal/transport"
 	"odp/internal/wire"
 )
@@ -55,6 +56,7 @@ type ClientStats struct {
 type Client struct {
 	ep    transport.Endpoint
 	codec wire.Codec
+	clk   clock.Clock
 
 	nextID atomic.Uint64
 
@@ -66,26 +68,36 @@ type Client struct {
 	stats   ClientStats
 }
 
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientClock sets the clock driving call timeouts and retransmission
+// intervals. Default clock.Real{}.
+func WithClientClock(c clock.Clock) ClientOption {
+	return func(cl *Client) { cl.clk = c }
+}
+
 // NewClient wraps ep. The client takes over the endpoint's handler; a
 // process that is both client and server should use a Peer (see
 // NewPeer) so requests and replies share one endpoint.
-func NewClient(ep transport.Endpoint, codec wire.Codec) *Client {
-	c := &Client{
-		ep:      ep,
-		codec:   codec,
-		pending: make(map[uint64]chan replyBody),
-	}
+func NewClient(ep transport.Endpoint, codec wire.Codec, opts ...ClientOption) *Client {
+	c := newClientNoHandler(ep, codec, opts...)
 	ep.SetHandler(c.onPacket)
 	return c
 }
 
 // newClientNoHandler is used by Peer, which demultiplexes packets itself.
-func newClientNoHandler(ep transport.Endpoint, codec wire.Codec) *Client {
-	return &Client{
+func newClientNoHandler(ep transport.Endpoint, codec wire.Codec, opts ...ClientOption) *Client {
+	c := &Client{
 		ep:      ep,
 		codec:   codec,
+		clk:     clock.Real{},
 		pending: make(map[uint64]chan replyBody),
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // Stats returns a snapshot of client counters.
@@ -150,9 +162,9 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 		return "", nil, err
 	}
 
-	deadline := time.NewTimer(qos.Timeout)
+	deadline := c.clk.NewTimer(qos.Timeout)
 	defer deadline.Stop()
-	retrans := time.NewTicker(qos.Retransmit)
+	retrans := c.clk.NewTicker(qos.Retransmit)
 	defer retrans.Stop()
 
 	for {
@@ -170,12 +182,12 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 			})
 			_ = c.ep.Send(dest, ack)
 			return c.interpret(rb)
-		case <-retrans.C:
+		case <-retrans.C():
 			c.count(func(s *ClientStats) { s.Retransmissions++ })
 			if err := c.ep.Send(dest, pkt); err != nil {
 				return "", nil, err
 			}
-		case <-deadline.C:
+		case <-deadline.C():
 			c.count(func(s *ClientStats) { s.Timeouts++ })
 			return "", nil, ErrTimeout
 		case <-ctx.Done():

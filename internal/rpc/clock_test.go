@@ -1,0 +1,91 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"odp/internal/clock"
+	"odp/internal/netsim"
+	"odp/internal/wire"
+)
+
+// TestReplyCacheExpiryFakeClock drives the server's reply-cache janitor
+// with a manual clock: the dedup entry for a completed call is evicted
+// exactly when logical time crosses its TTL, with no wall-clock sleeping
+// beyond goroutine-scheduling polls.
+func TestReplyCacheExpiryFakeClock(t *testing.T) {
+	f := netsim.NewFabric()
+	t.Cleanup(func() { _ = f.Close() })
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := f.Endpoint("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := clock.NewFake(time.Unix(1000, 0))
+	cli := NewClient(cep, codec)
+	t.Cleanup(func() { _ = cli.Close() })
+	srv := NewServer(sep, codec, echoHandler, WithReplyTTL(3*time.Second), WithClock(fake))
+	t.Cleanup(func() { _ = srv.Close() })
+
+	if _, _, err := cli.Call(context.Background(), "server", "obj", "echo",
+		[]wire.Value{int64(7)}, QoS{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The janitor ticks once per logical second. The entry expires at
+	// most TTL after completion (the client's Ack may shorten that to the
+	// ack grace), so a handful of one-second advances must evict it.
+	for i := 0; i < 50 && srv.Stats().CacheEvictions == 0; i++ {
+		fake.Advance(time.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := srv.Stats().CacheEvictions; got == 0 {
+		t.Fatal("reply-cache entry never evicted under fake clock")
+	}
+}
+
+// TestCallTimeoutFakeClock drives the client's QoS deadline with a manual
+// clock: a call into a black hole times out when logical time crosses
+// QoS.Timeout.
+func TestCallTimeoutFakeClock(t *testing.T) {
+	f := netsim.NewFabric()
+	t.Cleanup(func() { _ = f.Close() })
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Endpoint("blackhole"); err != nil { // exists, never answers
+		t.Fatal(err)
+	}
+	fake := clock.NewFake(time.Unix(0, 0))
+	cli := NewClient(cep, codec, WithClientClock(fake))
+	t.Cleanup(func() { _ = cli.Close() })
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := cli.Call(context.Background(), "blackhole", "obj", "noop", nil,
+			QoS{Timeout: 3 * time.Second, Retransmit: time.Second})
+		errCh <- err
+	}()
+	for i := 0; i < 200; i++ {
+		select {
+		case err := <-errCh:
+			if !errors.Is(err, ErrTimeout) {
+				t.Fatalf("err = %v, want ErrTimeout", err)
+			}
+			if cli.Stats().Timeouts != 1 {
+				t.Fatalf("Timeouts = %d, want 1", cli.Stats().Timeouts)
+			}
+			return
+		default:
+			fake.Advance(time.Second)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	t.Fatal("call never timed out under fake clock")
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"odp/internal/clock"
 	"odp/internal/transport"
 	"odp/internal/wire"
 )
@@ -55,6 +56,7 @@ type Server struct {
 	stop   chan struct{}
 
 	replyTTL time.Duration
+	clk      clock.Clock
 
 	statsMu sync.Mutex
 	stats   ServerStats
@@ -81,6 +83,13 @@ func WithReplyTTL(ttl time.Duration) ServerOption {
 	return func(s *Server) { s.replyTTL = ttl }
 }
 
+// WithClock sets the clock driving reply-cache TTLs and the janitor.
+// Default clock.Real{}; tests pass a clock.Fake to exercise expiry
+// deterministically.
+func WithClock(c clock.Clock) ServerOption {
+	return func(s *Server) { s.clk = c }
+}
+
 // NewServer wraps ep and dispatches to handler. The server takes over the
 // endpoint's handler; use a Peer for combined client/server endpoints.
 func NewServer(ep transport.Endpoint, codec wire.Codec, handler Handler, opts ...ServerOption) *Server {
@@ -97,6 +106,7 @@ func newServerNoHandler(ep transport.Endpoint, codec wire.Codec, handler Handler
 		calls:    make(map[callKey]*serverCall),
 		stop:     make(chan struct{}),
 		replyTTL: 5 * time.Second,
+		clk:      clock.Real{},
 	}
 	for _, o := range opts {
 		o(s)
@@ -174,7 +184,7 @@ func (s *Server) onRequest(from string, h header, body []byte) {
 		}
 		return
 	}
-	sc := &serverCall{expires: time.Now().Add(s.replyTTL)}
+	sc := &serverCall{expires: s.clk.Now().Add(s.replyTTL)}
 	s.calls[key] = sc
 	s.wg.Add(1)
 	s.mu.Unlock()
@@ -196,7 +206,7 @@ func (s *Server) onAnnounce(from string, h header, body []byte) {
 		s.count(func(st *ServerStats) { st.AnnounceDedup++ })
 		return
 	}
-	s.calls[key] = &serverCall{done: true, expires: time.Now().Add(s.replyTTL)}
+	s.calls[key] = &serverCall{done: true, expires: s.clk.Now().Add(s.replyTTL)}
 	s.wg.Add(1)
 	s.mu.Unlock()
 
@@ -214,7 +224,7 @@ func (s *Server) onAck(from string, h header) {
 	key := callKey{from: from, id: h.callID}
 	s.mu.Lock()
 	if sc, ok := s.calls[key]; ok && sc.done {
-		if exp := time.Now().Add(ackGrace); exp.Before(sc.expires) {
+		if exp := s.clk.Now().Add(ackGrace); exp.Before(sc.expires) {
 			sc.expires = exp
 		}
 	}
@@ -277,7 +287,7 @@ func (s *Server) execute(from string, h header, body []byte, key callKey, sc *se
 	s.mu.Lock()
 	sc.done = true
 	sc.reply = reply
-	sc.expires = time.Now().Add(s.replyTTL)
+	sc.expires = s.clk.Now().Add(s.replyTTL)
 	closed := s.closed
 	s.mu.Unlock()
 	if !closed {
@@ -289,13 +299,13 @@ func (s *Server) execute(from string, h header, body []byte, key callKey, sc *se
 // memory).
 func (s *Server) janitor() {
 	defer s.wg.Done()
-	ticker := time.NewTicker(time.Second)
+	ticker := s.clk.NewTicker(time.Second)
 	defer ticker.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
-		case now := <-ticker.C:
+		case now := <-ticker.C():
 			var evicted uint64
 			s.mu.Lock()
 			for k, sc := range s.calls {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"odp/internal/capsule"
+	"odp/internal/clock"
 	"odp/internal/rpc"
 	"odp/internal/wire"
 )
@@ -21,12 +22,12 @@ type Signer struct {
 	Seal bool
 
 	nonce atomic.Uint64
-	now   clock
+	now   func() time.Time
 }
 
 // NewSigner creates a signer for principal with its shared secret.
 func NewSigner(principal string, secret []byte) *Signer {
-	s := &Signer{principal: principal, now: time.Now}
+	s := &Signer{principal: principal, now: clock.Real{}.Now}
 	s.secret = make([]byte, len(secret))
 	copy(s.secret, secret)
 	// Start nonces at a random-ish point so two incarnations of the same
@@ -115,7 +116,7 @@ type Guard struct {
 	keys     *Keyring
 	policy   Policy
 	maxSkew  time.Duration
-	now      clock
+	now      func() time.Time
 	mu       sync.Mutex
 	seen     map[string]map[uint64]int64 // principal -> nonce -> expiry ms
 	statsMu  sync.Mutex
@@ -133,7 +134,7 @@ func NewGuard(keys *Keyring, policy Policy, maxSkew time.Duration) *Guard {
 		keys:    keys,
 		policy:  policy,
 		maxSkew: maxSkew,
-		now:     time.Now,
+		now:     clock.Real{}.Now,
 		seen:    make(map[string]map[uint64]int64),
 	}
 }

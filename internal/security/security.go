@@ -32,7 +32,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
 	"odp/internal/wire"
 )
@@ -181,9 +180,6 @@ func unseal(secret, sealed []byte) ([]byte, error) {
 	}
 	return pt, nil
 }
-
-// now is injectable for tests.
-type clock func() time.Time
 
 // cryptoRead fills b from the system entropy source.
 func cryptoRead(b []byte) (int, error) {

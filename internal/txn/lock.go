@@ -27,6 +27,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"odp/internal/clock"
 )
 
 // Lock modes.
@@ -75,13 +77,22 @@ type LockManager struct {
 	// maxWait bounds any single lock wait (cross-manager deadlock
 	// fallback).
 	maxWait time.Duration
+	clk     clock.Clock
 
 	deadlocks uint64
 }
 
+// LockManagerOption configures a LockManager.
+type LockManagerOption func(*LockManager)
+
+// WithLockClock sets the clock bounding lock waits (default clock.Real{}).
+func WithLockClock(c clock.Clock) LockManagerOption {
+	return func(lm *LockManager) { lm.clk = c }
+}
+
 // NewLockManager creates a lock manager. maxWait bounds individual lock
 // waits; zero means 5s.
-func NewLockManager(maxWait time.Duration) *LockManager {
+func NewLockManager(maxWait time.Duration, opts ...LockManagerOption) *LockManager {
 	if maxWait <= 0 {
 		maxWait = 5 * time.Second
 	}
@@ -89,8 +100,12 @@ func NewLockManager(maxWait time.Duration) *LockManager {
 		locks:    make(map[string]*lockState),
 		waitsFor: make(map[string]map[string]bool),
 		maxWait:  maxWait,
+		clk:      clock.Real{},
 	}
 	lm.cond = sync.NewCond(&lm.mu)
+	for _, o := range opts {
+		o(lm)
+	}
 	return lm
 }
 
@@ -111,7 +126,7 @@ func (lm *LockManager) Acquire(ctx context.Context, txnID, resource string, excl
 	if exclusive {
 		mode = lockExclusive
 	}
-	deadline := time.Now().Add(lm.maxWait)
+	deadline := lm.clk.Now().Add(lm.maxWait)
 
 	lm.mu.Lock()
 	defer lm.mu.Unlock()
@@ -145,7 +160,7 @@ func (lm *LockManager) Acquire(ctx context.Context, txnID, resource string, excl
 			delete(lm.waitsFor, txnID)
 			return ctx.Err()
 		}
-		if time.Now().After(deadline) {
+		if lm.clk.Now().After(deadline) {
 			delete(lm.waitsFor, txnID)
 			return fmt.Errorf("%w: %s on %s", ErrLockTimeout, txnID, resource)
 		}
@@ -161,7 +176,7 @@ func (lm *LockManager) waitWithWakeup() {
 	done := make(chan struct{})
 	go func() {
 		select {
-		case <-time.After(20 * time.Millisecond):
+		case <-lm.clk.After(20 * time.Millisecond):
 			lm.mu.Lock()
 			lm.cond.Broadcast()
 			lm.mu.Unlock()

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"odp/internal/capsule"
+	"odp/internal/clock"
 	"odp/internal/core"
 	"odp/internal/enterprise"
 	"odp/internal/federation"
@@ -425,4 +426,4 @@ func DefaultQoS() QoS {
 
 // WaitSettle is a convenience for examples and tests: it sleeps briefly
 // so announcements and background protocols settle.
-func WaitSettle() { time.Sleep(50 * time.Millisecond) }
+func WaitSettle() { clock.Real{}.Sleep(50 * time.Millisecond) }
