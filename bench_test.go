@@ -127,37 +127,15 @@ func mustCall(b *testing.B, p *odp.Proxy, op string, args ...odp.Value) odp.Outc
 }
 
 // ---- E1: access-transparency invocation ladder (§4.5) ----
+//
+// The hot-path benchmarks (E1, E4, E12) are defined once in
+// internal/bench and delegated to here, so `go test -bench` and the
+// BENCH_<seq>.json trajectory recorded by `odpbench -record` measure
+// the identical code.
 
-func BenchmarkE1DirectGoCall(b *testing.B) {
-	cell := newBenchCell(0)
-	ctx := context.Background()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := cell.Dispatch(ctx, "add", []odp.Value{int64(1)}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkE1CoLocatedOptimised(b *testing.B) {
-	r := newRig(b, odp.LinkProfile{})
-	ref := r.publish(b, "cell", odp.Object{Servant: newBenchCell(0)})
-	proxy := r.server.Bind(ref)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mustCall(b, proxy, "add", int64(1))
-	}
-}
-
-func BenchmarkE1RemoteLoopback(b *testing.B) {
-	r := newRig(b, odp.LinkProfile{})
-	ref := r.publish(b, "cell", odp.Object{Servant: newBenchCell(0)})
-	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mustCall(b, proxy, "add", int64(1))
-	}
-}
+func BenchmarkE1DirectGoCall(b *testing.B)       { bench.MicroE1DirectGoCall(b) }
+func BenchmarkE1CoLocatedOptimised(b *testing.B) { bench.MicroE1CoLocatedOptimised(b) }
+func BenchmarkE1RemoteLoopback(b *testing.B)     { bench.MicroE1RemoteLoopback(b) }
 
 func BenchmarkE1RemoteLAN(b *testing.B) {
 	r := newRig(b, odp.LAN)
@@ -231,27 +209,8 @@ func BenchmarkE3OneCallOfSixteen(b *testing.B) {
 
 // ---- E4: interrogation vs announcement (§5.1) ----
 
-func BenchmarkE4Interrogation(b *testing.B) {
-	r := newRig(b, odp.LAN)
-	ref := r.publish(b, "sink", odp.Object{Servant: newBenchCell(0)})
-	proxy := r.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mustCall(b, proxy, "add", int64(1))
-	}
-}
-
-func BenchmarkE4Announcement(b *testing.B) {
-	r := newRig(b, odp.LAN)
-	ref := r.publish(b, "sink", odp.Object{Servant: newBenchCell(0)})
-	proxy := r.client.Bind(ref)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := proxy.Announce("note"); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkE4Interrogation(b *testing.B) { bench.MicroE4Interrogation(b) }
+func BenchmarkE4Announcement(b *testing.B)  { bench.MicroE4Announcement(b) }
 
 // ---- E5: transactions (§5.2) ----
 
@@ -494,26 +453,7 @@ func BenchmarkE11AuthenticatedSealed(b *testing.B) { benchGuard(b, true) }
 
 // ---- E12: streams (§7.2) ----
 
-func BenchmarkE12FrameSend(b *testing.B) {
-	r := newRig(b, odp.LinkProfile{})
-	rx, err := odp.NewStreamReceiver(r.client, func(odp.StreamSpec) (odp.Sink, error) {
-		return odp.SinkFunc(func(odp.Frame) {}), nil
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	bind, err := odp.BindStream(r.server, rx.Ref(), odp.StreamSpec{Media: "data"})
-	if err != nil {
-		b.Fatal(err)
-	}
-	payload := make([]byte, 256)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if err := bind.Send(int64(i), payload); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkE12FrameSend(b *testing.B) { bench.MicroE12FrameSend(b) }
 
 // ---- E13: garbage collection (§7.3) ----
 

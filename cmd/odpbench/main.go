@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	odpbench            # run everything at full size
-//	odpbench -quick     # reduced iteration counts
-//	odpbench -run E1,E6 # selected experiments only
+//	odpbench                      # run everything at full size
+//	odpbench -quick               # reduced iteration counts
+//	odpbench -run E1,E6           # selected experiments only
+//	odpbench -record BENCH_2.json # hot-path micro-benchmarks → JSON
+//
+// -record runs the invocation hot-path micro-benchmarks (the same ones
+// `go test -bench` sees) and writes a machine-readable BENCH_<seq>.json
+// so successive PRs leave a comparable performance trajectory.
 package main
 
 import (
@@ -22,7 +27,15 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts")
 	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	recordPath := flag.String("record", "", "write hot-path micro-benchmark results to this JSON file and exit")
 	flag.Parse()
+	if *recordPath != "" {
+		if err := record(*recordPath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := runAll(*quick, *run); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"odp/internal/bench"
+)
+
+// benchRecord is one benchmark's measurement in the trajectory file.
+type benchRecord struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// benchFile is the BENCH_<seq>.json schema. Each PR appends one file, so
+// the sequence of files is the project's performance trajectory.
+type benchFile struct {
+	Schema     string                 `json:"schema"`
+	Date       string                 `json:"date"`
+	GoVersion  string                 `json:"go"`
+	GOOS       string                 `json:"goos"`
+	GOARCH     string                 `json:"goarch"`
+	CPUs       int                    `json:"cpus"`
+	Benchmarks map[string]benchRecord `json:"benchmarks"`
+}
+
+// record runs the hot-path micro-benchmarks through testing.Benchmark and
+// writes the machine-readable trajectory file.
+func record(path string) error {
+	out := benchFile{
+		Schema:     "odp-bench/v1",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		CPUs:       runtime.NumCPU(),
+		Benchmarks: make(map[string]benchRecord),
+	}
+	for _, mb := range bench.MicroBenchmarks() {
+		fmt.Printf("recording %-24s ", mb.Name)
+		r := testing.Benchmark(mb.Fn)
+		if r.N == 0 {
+			return fmt.Errorf("benchmark %s did not run (it probably failed)", mb.Name)
+		}
+		out.Benchmarks[mb.Name] = benchRecord{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		fmt.Printf("%12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
+			out.Benchmarks[mb.Name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"odp"
+)
+
+// This file holds the hot-path micro-benchmarks shared by two callers:
+// the repo-root Benchmark wrappers (so `go test -bench` still works) and
+// cmd/odpbench's -record mode, which runs them through
+// testing.Benchmark() and writes the BENCH_<seq>.json trajectory file.
+// Keeping one definition means the number in the JSON is the number the
+// benchmark prints — they cannot drift apart.
+
+// MicroBenchmarks lists the recorded hot-path benchmarks in a stable
+// order. Names match the root Benchmark functions minus the "Benchmark"
+// prefix.
+func MicroBenchmarks() []struct {
+	Name string
+	Fn   func(*testing.B)
+} {
+	return []struct {
+		Name string
+		Fn   func(*testing.B)
+	}{
+		{"E1DirectGoCall", MicroE1DirectGoCall},
+		{"E1CoLocatedOptimised", MicroE1CoLocatedOptimised},
+		{"E1RemoteLoopback", MicroE1RemoteLoopback},
+		{"E4Interrogation", MicroE4Interrogation},
+		{"E4Announcement", MicroE4Announcement},
+		{"E12FrameSend", MicroE12FrameSend},
+	}
+}
+
+// mustPair builds the standard two-node rig or aborts the benchmark.
+func mustPair(b *testing.B, profile odp.LinkProfile) *pair {
+	b.Helper()
+	p, err := newPair(profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func mustPublish(b *testing.B, p *pair, id string, obj odp.Object) odp.Ref {
+	b.Helper()
+	ref, err := p.server.Publish(id, obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ref
+}
+
+// MicroE1DirectGoCall is the floor of the E1 ladder: the servant invoked
+// as a plain Go call, no platform at all.
+func MicroE1DirectGoCall(b *testing.B) {
+	servant := newCell(0)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := servant.Dispatch(ctx, "add", []odp.Value{int64(1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroE1CoLocatedOptimised measures the §4.5 direct-local-access path:
+// proxy and servant share a capsule, the dispatcher short-circuits codec
+// and transport, arguments cross by copy only when mutable.
+func MicroE1CoLocatedOptimised(b *testing.B) {
+	p := mustPair(b, odp.LinkProfile{})
+	defer p.close()
+	ref := mustPublish(b, p, "cell", odp.Object{Servant: newCell(0)})
+	proxy := p.server.Bind(ref)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroE1RemoteLoopback measures the full protocol stack — codec, rpc,
+// simulated fabric — with zero network latency, so what remains is the
+// platform's own per-invocation cost.
+func MicroE1RemoteLoopback(b *testing.B) {
+	p := mustPair(b, odp.LinkProfile{})
+	defer p.close()
+	ref := mustPublish(b, p, "cell", odp.Object{Servant: newCell(0)})
+	proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroE4Interrogation is the request-reply half of the E4 comparison,
+// over a LAN-like link.
+func MicroE4Interrogation(b *testing.B) {
+	p := mustPair(b, odp.LAN)
+	defer p.close()
+	ref := mustPublish(b, p, "sink", odp.Object{Servant: newCell(0)})
+	proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroE4Announcement is the request-only half: no reply to wait for, so
+// the cost is encoding plus a send.
+func MicroE4Announcement(b *testing.B) {
+	p := mustPair(b, odp.LAN)
+	defer p.close()
+	ref := mustPublish(b, p, "sink", odp.Object{Servant: newCell(0)})
+	proxy := p.client.Bind(ref)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := proxy.Announce("note"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroE12FrameSend measures the stream fast path: one 256-byte frame
+// per op through the stream binding.
+func MicroE12FrameSend(b *testing.B) {
+	p := mustPair(b, odp.LinkProfile{})
+	defer p.close()
+	rx, err := odp.NewStreamReceiver(p.client, func(odp.StreamSpec) (odp.Sink, error) {
+		return odp.SinkFunc(func(odp.Frame) {}), nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bind, err := odp.BindStream(p.server, rx.Ref(), odp.StreamSpec{Media: "data"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bind.Send(int64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

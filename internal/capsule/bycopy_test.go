@@ -1,0 +1,105 @@
+package capsule
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"odp/internal/wire"
+)
+
+// waitFor spins until cond holds or a generous deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// stash keeps the argument list it was last given and hands its internal
+// list back as a result — a servant that would leak aliases if the
+// dispatcher let it.
+type stash struct {
+	kept wire.List
+}
+
+func (s *stash) Dispatch(_ context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
+	switch op {
+	case "put":
+		s.kept = args[0].(wire.List)
+		return "ok", nil, nil
+	case "get":
+		return "ok", []wire.Value{s.kept}, nil
+	}
+	return "", nil, nil
+}
+
+// TestCoLocatedByCopyDiscipline pins the §4.4 rule on the co-located fast
+// path: arguments and results cross the interface by copy, exactly as
+// they would through the codec. A caller mutating its argument after the
+// call, or a result after receiving it, must not reach the servant's
+// state — otherwise co-located and remote behaviour diverge, which is
+// precisely the access-transparency violation the optimisation must not
+// introduce.
+func TestCoLocatedByCopyDiscipline(t *testing.T) {
+	f := newFabric(t)
+	c := newCapsule(t, f, "n1")
+	sv := &stash{}
+	ref, err := c.Export(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	arg := wire.List{int64(1), int64(2)}
+	if _, _, err := c.Invoke(ctx, ref, "put", []wire.Value{arg}); err != nil {
+		t.Fatal(err)
+	}
+	arg[0] = int64(99) // caller scribbles on its own buffer after the call
+	if got := sv.kept[0].(int64); got != 1 {
+		t.Fatalf("servant saw caller's post-call mutation: kept[0] = %d", got)
+	}
+
+	_, res, err := c.Invoke(ctx, ref, "get", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res[0].(wire.List)
+	out[1] = int64(-7) // caller scribbles on the result
+	if got := sv.kept[1].(int64); got != 2 {
+		t.Fatalf("result aliased servant state: kept[1] = %d", got)
+	}
+}
+
+// TestLocalAnnouncementCopiesArgs pins that a locally-dispatched
+// announcement owns its arguments: the spawned activity runs after
+// Announce returns, when the caller is free to reuse its slice.
+func TestLocalAnnouncementCopiesArgs(t *testing.T) {
+	f := newFabric(t)
+	c := newCapsule(t, f, "n1")
+	cnt := &counter{}
+	ref, err := c.Export(cnt, WithType(counterType()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := []wire.Value{"first"}
+	if err := c.Announce(ref, "log", args); err != nil {
+		t.Fatal(err)
+	}
+	args[0] = "clobbered" // the detached activity must not see this
+	waitFor(t, func() bool {
+		cnt.mu.Lock()
+		defer cnt.mu.Unlock()
+		return len(cnt.logs) == 1
+	})
+	cnt.mu.Lock()
+	got := cnt.logs[0]
+	cnt.mu.Unlock()
+	if got != "first" {
+		t.Fatalf("announcement read mutated args: %q", got)
+	}
+}

@@ -286,9 +286,38 @@ func (c *Capsule) Objects() []string {
 	return ids
 }
 
-// handle is the rpc server handler: the dispatcher of §5.1.
+// handle is the rpc server handler: the dispatcher of §5.1. Arguments
+// arriving here were decoded off the wire and are already private copies,
+// so no by-copy discipline is needed.
 func (c *Capsule) handle(ctx context.Context, in *rpc.Incoming) (string, []wire.Value, error) {
 	return c.dispatchLocal(ctx, in.ObjID, in.Op, in.Args)
+}
+
+// tryLocal is the co-located fast path: one registry lookup under one
+// read lock, then direct dispatch — no codec, no transport, no protocol
+// state. handled is false when the object is not plainly hosted here
+// (absent, forwarded, or pending activation), in which case the caller
+// falls back to the full path, whose slow-path handling is unchanged.
+//
+// Access transparency demands that the caller cannot tell a co-located
+// servant from a remote one, and the remote path passes every argument
+// through the codec — by copy (§4.4). The fast path preserves that with
+// wire.CloneArgs, which deep-copies only mutable values: an all-scalar
+// vector crosses for free, which is the §4.5 "direct local access"
+// optimisation in its full form.
+func (c *Capsule) tryLocal(ctx context.Context, objID, op string, args []wire.Value) (outcome string, results []wire.Value, err error, handled bool) {
+	c.mu.RLock()
+	reg, ok := c.objects[objID]
+	closed := c.closed
+	c.mu.RUnlock()
+	if closed {
+		return "", nil, ErrClosed, true
+	}
+	if !ok {
+		return "", nil, nil, false
+	}
+	outcome, results, err = reg.chain.Dispatch(ctx, op, wire.CloneArgs(args))
+	return outcome, wire.CloneArgs(results), err, true
 }
 
 // dispatchLocal runs an invocation against a hosted object.
@@ -355,23 +384,45 @@ func typeChecked(objID string, typ types.Type, next Servant) Servant {
 }
 
 // InvokeOption configures one client-side invocation.
-type InvokeOption func(*invokeConfig)
+type InvokeOption func(*InvokeConfig)
 
-type invokeConfig struct {
-	qos         rpc.QoS
-	forceRemote bool
-	maxForwards int
+// InvokeConfig is the resolved form of a set of InvokeOptions. Callers
+// that invoke repeatedly with the same options (proxies, binders) should
+// resolve once with ResolveInvokeOptions and use InvokeWith/AnnounceWith:
+// applying closure options forces a heap allocation per call, resolved
+// configs travel by value.
+type InvokeConfig struct {
+	// QoS is the communications quality-of-service constraint.
+	QoS rpc.QoS
+	// ForceRemote disables the direct-local-access optimisation.
+	ForceRemote bool
+	// MaxForwards bounds forwarding-reference hops.
+	MaxForwards int
+}
+
+// DefaultInvokeConfig is the configuration of an option-less invocation.
+func DefaultInvokeConfig() InvokeConfig {
+	return InvokeConfig{MaxForwards: 3}
+}
+
+// ResolveInvokeOptions applies opts to the default configuration.
+func ResolveInvokeOptions(opts ...InvokeOption) InvokeConfig {
+	cfg := DefaultInvokeConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
 }
 
 // WithQoS sets the communications quality-of-service constraint.
 func WithQoS(q rpc.QoS) InvokeOption {
-	return func(cfg *invokeConfig) { cfg.qos = q }
+	return func(cfg *InvokeConfig) { cfg.QoS = q }
 }
 
 // ForceRemote disables the direct-local-access optimisation for this
 // invocation, pushing it through the full protocol stack.
 func ForceRemote() InvokeOption {
-	return func(cfg *invokeConfig) { cfg.forceRemote = true }
+	return func(cfg *InvokeConfig) { cfg.ForceRemote = true }
 }
 
 // Invoke performs an interrogation on ref. Co-located interfaces are
@@ -379,20 +430,25 @@ func ForceRemote() InvokeOption {
 // invocation protocol, trying each endpoint in preference order and
 // following up to three forwarding hops.
 func (c *Capsule) Invoke(ctx context.Context, ref wire.Ref, op string, args []wire.Value, opts ...InvokeOption) (string, []wire.Value, error) {
-	cfg := invokeConfig{maxForwards: 3}
-	for _, o := range opts {
-		o(&cfg)
+	if len(opts) == 0 {
+		// The common case takes the no-allocation path: resolving options
+		// pins the config to the heap (the closures take its address).
+		return c.InvokeWith(ctx, ref, op, args, DefaultInvokeConfig())
 	}
-	return c.invoke(ctx, ref, op, args, cfg)
+	return c.InvokeWith(ctx, ref, op, args, ResolveInvokeOptions(opts...))
 }
 
-func (c *Capsule) invoke(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg invokeConfig) (string, []wire.Value, error) {
-	if c.localOptimisation && !cfg.forceRemote && c.Hosts(ref.ID) {
-		return c.dispatchLocal(ctx, ref.ID, op, args)
+// InvokeWith is Invoke with a pre-resolved configuration: the repeated-
+// invocation hot path.
+func (c *Capsule) InvokeWith(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg InvokeConfig) (string, []wire.Value, error) {
+	if c.localOptimisation && !cfg.ForceRemote {
+		if outcome, results, err, handled := c.tryLocal(ctx, ref.ID, op, args); handled {
+			return outcome, results, err
+		}
 	}
 	if len(ref.Endpoints) == 0 {
 		if c.Hosts(ref.ID) { // local even though optimisation is off
-			return c.dispatchLocal(ctx, ref.ID, op, args)
+			return c.dispatchLocal(ctx, ref.ID, op, wire.CloneArgs(args))
 		}
 		return "", nil, ErrNoEndpoint
 	}
@@ -401,19 +457,22 @@ func (c *Capsule) invoke(ctx context.Context, ref wire.Ref, op string, args []wi
 		var outcome string
 		var results []wire.Value
 		var err error
-		if ep == c.ep.Addr() && !cfg.forceRemote && c.localOptimisation {
-			outcome, results, err = c.dispatchLocal(ctx, ref.ID, op, args)
+		if ep == c.ep.Addr() && !cfg.ForceRemote && c.localOptimisation {
+			// Not plainly hosted (tryLocal declined) but addressed to this
+			// capsule: run the full local dispatcher so forwarding and
+			// activation apply, still under by-copy discipline.
+			outcome, results, err = c.dispatchLocal(ctx, ref.ID, op, wire.CloneArgs(args))
 		} else {
-			outcome, results, err = c.peer.Client.Call(ctx, ep, ref.ID, op, args, cfg.qos)
+			outcome, results, err = c.peer.Client.Call(ctx, ep, ref.ID, op, args, cfg.QoS)
 		}
 		if err == nil {
 			return outcome, results, nil
 		}
 		var moved *rpc.MovedError
-		if errors.As(err, &moved) && cfg.maxForwards > 0 {
+		if errors.As(err, &moved) && cfg.MaxForwards > 0 {
 			next := cfg
-			next.maxForwards--
-			return c.invoke(ctx, moved.Forward, op, args, next)
+			next.MaxForwards--
+			return c.InvokeWith(ctx, moved.Forward, op, args, next)
 		}
 		lastErr = err
 		if errors.Is(err, rpc.ErrDenied) || ctx.Err() != nil {
@@ -425,19 +484,31 @@ func (c *Capsule) invoke(ctx context.Context, ref wire.Ref, op string, args []wi
 
 // Announce performs a request-only invocation on ref (§5.1).
 func (c *Capsule) Announce(ref wire.Ref, op string, args []wire.Value, opts ...InvokeOption) error {
-	var cfg invokeConfig
-	for _, o := range opts {
-		o(&cfg)
+	if len(opts) == 0 {
+		return c.AnnounceWith(ref, op, args, DefaultInvokeConfig())
 	}
-	if c.localOptimisation && !cfg.forceRemote && c.Hosts(ref.ID) {
-		// Spawn a new activity, as announcement semantics require.
+	return c.AnnounceWith(ref, op, args, ResolveInvokeOptions(opts...))
+}
+
+// AnnounceWith is Announce with a pre-resolved configuration.
+func (c *Capsule) AnnounceWith(ref wire.Ref, op string, args []wire.Value, cfg InvokeConfig) error {
+	if c.localOptimisation && !cfg.ForceRemote && c.Hosts(ref.ID) {
+		// Spawn a new activity, as announcement semantics require. The
+		// copy is taken before the goroutine starts: the caller owns its
+		// argument slice again the moment Announce returns. CloneArgs
+		// aliases all-scalar vectors (safe while the caller is blocked,
+		// wrong for a detached activity), so force a fresh slice header.
+		sent := wire.CloneArgs(args)
+		if len(args) != 0 && &sent[0] == &args[0] {
+			sent = append(make([]wire.Value, 0, len(args)), args...)
+		}
 		go func() {
-			_, _, _ = c.dispatchLocal(context.Background(), ref.ID, op, args)
+			_, _, _ = c.dispatchLocal(context.Background(), ref.ID, op, sent)
 		}()
 		return nil
 	}
 	if len(ref.Endpoints) == 0 {
 		return ErrNoEndpoint
 	}
-	return c.peer.Client.Announce(ref.Endpoints[0], ref.ID, op, args, cfg.qos)
+	return c.peer.Client.Announce(ref.Endpoints[0], ref.ID, op, args, cfg.QoS)
 }

@@ -196,6 +196,12 @@ func (p *Platform) Invoke(ctx context.Context, ref wire.Ref, op string, args []w
 	return p.binder.Invoke(ctx, ref, op, args, opts...)
 }
 
+// InvokeWith is Invoke with a pre-resolved configuration — the
+// per-proxy hot path, which applies no per-call options.
+func (p *Platform) InvokeWith(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg capsule.InvokeConfig) (string, []wire.Value, error) {
+	return p.binder.InvokeWith(ctx, ref, op, args, cfg)
+}
+
 // Announce performs a request-only invocation.
 func (p *Platform) Announce(ref wire.Ref, op string, args []wire.Value) error {
 	return p.Capsule.Announce(ref, op, args)

@@ -65,12 +65,14 @@ type Proxy struct {
 	p      *Platform
 	ref    wire.Ref
 	signer *security.Signer
-	opts   []capsule.InvokeOption
+	// cfg is resolved at construction: invocation options are applied
+	// once per proxy, not once per call, keeping Call allocation-free.
+	cfg capsule.InvokeConfig
 }
 
 // Bind creates a proxy for ref.
 func (p *Platform) Bind(ref wire.Ref) *Proxy {
-	return &Proxy{p: p, ref: ref}
+	return &Proxy{p: p, ref: ref, cfg: capsule.DefaultInvokeConfig()}
 }
 
 // Ref returns the bound reference.
@@ -87,7 +89,7 @@ func (pr *Proxy) WithSigner(s *security.Signer) *Proxy {
 // WithQoS returns a proxy with a default QoS constraint.
 func (pr *Proxy) WithQoS(q rpc.QoS) *Proxy {
 	cp := *pr
-	cp.opts = append(append([]capsule.InvokeOption(nil), pr.opts...), capsule.WithQoS(q))
+	cp.cfg.QoS = q
 	return &cp
 }
 
@@ -101,7 +103,7 @@ func (pr *Proxy) Call(ctx context.Context, op string, args ...wire.Value) (Outco
 		}
 		sendArgs = wrapped
 	}
-	name, results, err := pr.p.Invoke(ctx, pr.ref, op, sendArgs, pr.opts...)
+	name, results, err := pr.p.InvokeWith(ctx, pr.ref, op, sendArgs, pr.cfg)
 	if err != nil {
 		return Outcome{}, err
 	}
@@ -118,5 +120,5 @@ func (pr *Proxy) Announce(op string, args ...wire.Value) error {
 		}
 		sendArgs = wrapped
 	}
-	return pr.p.Announce(pr.ref, op, sendArgs)
+	return pr.p.Capsule.AnnounceWith(pr.ref, op, sendArgs, pr.cfg)
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"odp/internal/capsule"
 	"odp/internal/rpc"
@@ -96,8 +97,7 @@ type Binder struct {
 	mu    sync.RWMutex
 	cache map[string]wire.Ref
 
-	statsMu sync.Mutex
-	stats   BinderStats
+	stats binderCounters
 }
 
 // BinderStats counts binder events for the scaling experiment E7.
@@ -105,6 +105,15 @@ type BinderStats struct {
 	Invocations uint64
 	Relocations uint64 // relocator consultations
 	CacheHits   uint64
+}
+
+// binderCounters is the hot-path form of BinderStats: the binder sits on
+// every invocation, co-located ones included, so counting must not take a
+// lock.
+type binderCounters struct {
+	invocations atomic.Uint64
+	relocations atomic.Uint64
+	cacheHits   atomic.Uint64
 }
 
 // NewBinder creates a binder that resolves through the relocation service
@@ -119,14 +128,24 @@ func NewBinder(c *capsule.Capsule, relocator wire.Ref) *Binder {
 
 // Stats returns a snapshot of binder counters.
 func (b *Binder) Stats() BinderStats {
-	b.statsMu.Lock()
-	defer b.statsMu.Unlock()
-	return b.stats
+	return BinderStats{
+		Invocations: b.stats.invocations.Load(),
+		Relocations: b.stats.relocations.Load(),
+		CacheHits:   b.stats.cacheHits.Load(),
+	}
 }
 
 // Invoke performs an interrogation with relocation recovery.
 func (b *Binder) Invoke(ctx context.Context, ref wire.Ref, op string, args []wire.Value, opts ...capsule.InvokeOption) (string, []wire.Value, error) {
-	b.count(func(s *BinderStats) { s.Invocations++ })
+	if len(opts) == 0 {
+		return b.InvokeWith(ctx, ref, op, args, capsule.DefaultInvokeConfig())
+	}
+	return b.InvokeWith(ctx, ref, op, args, capsule.ResolveInvokeOptions(opts...))
+}
+
+// InvokeWith is Invoke with a pre-resolved configuration.
+func (b *Binder) InvokeWith(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg capsule.InvokeConfig) (string, []wire.Value, error) {
+	b.stats.invocations.Add(1)
 
 	// A cached relocation supersedes the caller's (possibly stale) ref.
 	b.mu.RLock()
@@ -135,10 +154,10 @@ func (b *Binder) Invoke(ctx context.Context, ref wire.Ref, op string, args []wir
 	attempt := ref
 	if hit && cached.Epoch >= ref.Epoch {
 		attempt = cached
-		b.count(func(s *BinderStats) { s.CacheHits++ })
+		b.stats.cacheHits.Add(1)
 	}
 
-	outcome, results, err := b.capsule.Invoke(ctx, attempt, op, args, opts...)
+	outcome, results, err := b.capsule.InvokeWith(ctx, attempt, op, args, cfg)
 	if err == nil || !isRelocatable(err) {
 		return outcome, results, err
 	}
@@ -150,12 +169,12 @@ func (b *Binder) Invoke(ctx context.Context, ref wire.Ref, op string, args []wir
 	b.mu.Lock()
 	b.cache[ref.ID] = fresh
 	b.mu.Unlock()
-	return b.capsule.Invoke(ctx, fresh, op, args, opts...)
+	return b.capsule.InvokeWith(ctx, fresh, op, args, cfg)
 }
 
 // resolve asks the relocation service for the current reference.
 func (b *Binder) resolve(ctx context.Context, id string) (wire.Ref, error) {
-	b.count(func(s *BinderStats) { s.Relocations++ })
+	b.stats.relocations.Add(1)
 	outcome, results, err := b.capsule.Invoke(ctx, b.relocator, "lookup", []wire.Value{id})
 	if err != nil {
 		return wire.Ref{}, err
@@ -178,8 +197,3 @@ func isRelocatable(err error) bool {
 		errors.Is(err, capsule.ErrNoEndpoint)
 }
 
-func (b *Binder) count(update func(*BinderStats)) {
-	b.statsMu.Lock()
-	update(&b.stats)
-	b.statsMu.Unlock()
-}

@@ -40,6 +40,19 @@ var (
 	LossyLAN = LinkProfile{Latency: 200 * time.Microsecond, Jitter: 100 * time.Microsecond, Loss: 0.05}
 )
 
+// pktPool recycles in-flight packet copies: the fabric copies every
+// packet on send (datagram semantics) and reclaims the copy after the
+// receiving handler returns.
+var pktPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// maxPooledPkt bounds retained packet-copy capacity.
+const maxPooledPkt = 64 << 10
+
 // Fabric is a set of interconnected simulated endpoints.
 type Fabric struct {
 	mu          sync.Mutex
@@ -204,12 +217,20 @@ func (f *Fabric) send(from, to string, pkt []byte) error {
 	}
 	f.count(func(s *Stats) { s.Sent++ })
 
-	// Copy: the sender may reuse its buffer.
-	cp := make([]byte, len(pkt))
-	copy(cp, pkt)
+	// Copy into a pooled buffer: the sender may reuse its buffer the
+	// moment Send returns, and the Handler contract forbids receivers
+	// retaining pkt, so the copy can be recycled after delivery.
+	cpp := pktPool.Get().(*[]byte)
+	cp := append((*cpp)[:0], pkt...)
 
 	deliver := func() {
 		defer f.wg.Done()
+		defer func() {
+			if cap(cp) <= maxPooledPkt {
+				*cpp = cp[:0]
+				pktPool.Put(cpp)
+			}
+		}()
 		f.mu.Lock()
 		cut := f.partitioned[pairKey(from, to)]
 		f.mu.Unlock()

@@ -49,23 +49,58 @@ type ClientStats struct {
 	Retransmissions uint64
 	Timeouts        uint64
 	Announcements   uint64
+	// BadReplies counts replies whose body failed to decode: without
+	// this counter, corrupt replies vanish silently.
+	BadReplies uint64
+	// OrphanReplies counts well-formed replies that matched no pending
+	// call — duplicates of already-completed interrogations, or replies
+	// from a confused peer.
+	OrphanReplies uint64
+}
+
+// clientCounters is the hot-path form of ClientStats: independent atomics
+// instead of one mutex, so concurrent calls do not serialize on counting.
+type clientCounters struct {
+	calls           atomic.Uint64
+	retransmissions atomic.Uint64
+	timeouts        atomic.Uint64
+	announcements   atomic.Uint64
+	badReplies      atomic.Uint64
+	orphanReplies   atomic.Uint64
+}
+
+// numShards splits the pending-call and server-call tables. Shard count
+// is a power of two so the selector is a mask, sized to exceed typical
+// core counts without bloating the fixed footprint.
+const numShards = 16
+
+// pendingShard is one stripe of the pending-call table.
+type pendingShard struct {
+	mu sync.Mutex
+	m  map[uint64]chan replyBody
+}
+
+// replyChPool recycles the one-slot reply channels of completed calls.
+// A channel is pooled only by the path that proved no sender can still
+// reference it (see Call), so a recycled channel can never deliver a
+// stale reply to a new call.
+var replyChPool = sync.Pool{
+	New: func() interface{} { return make(chan replyBody, 1) },
 }
 
 // Client issues invocations from one endpoint. It multiplexes any number
-// of concurrent calls.
+// of concurrent calls; concurrency is shard-level, so parallel calls only
+// contend when their ids collide modulo numShards.
 type Client struct {
 	ep    transport.Endpoint
 	codec wire.Codec
 	clk   clock.Clock
 
 	nextID atomic.Uint64
+	closed atomic.Bool
+	shards [numShards]pendingShard
 
-	mu      sync.Mutex
-	pending map[uint64]chan replyBody
-	closed  bool
-
-	statsMu sync.Mutex
-	stats   ClientStats
+	stats clientCounters
 }
 
 // ClientOption configures a Client.
@@ -89,10 +124,12 @@ func NewClient(ep transport.Endpoint, codec wire.Codec, opts ...ClientOption) *C
 // newClientNoHandler is used by Peer, which demultiplexes packets itself.
 func newClientNoHandler(ep transport.Endpoint, codec wire.Codec, opts ...ClientOption) *Client {
 	c := &Client{
-		ep:      ep,
-		codec:   codec,
-		clk:     clock.Real{},
-		pending: make(map[uint64]chan replyBody),
+		ep:    ep,
+		codec: codec,
+		clk:   clock.Real{},
+	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64]chan replyBody)
 	}
 	for _, o := range opts {
 		o(c)
@@ -100,27 +137,74 @@ func newClientNoHandler(ep transport.Endpoint, codec wire.Codec, opts ...ClientO
 	return c
 }
 
+// shard selects the pending stripe for a call id. Ids are sequential, so
+// the low bits alone spread consecutive calls across all stripes.
+func (c *Client) shard(id uint64) *pendingShard {
+	return &c.shards[id&(numShards-1)]
+}
+
 // Stats returns a snapshot of client counters.
 func (c *Client) Stats() ClientStats {
-	c.statsMu.Lock()
-	defer c.statsMu.Unlock()
-	return c.stats
+	return ClientStats{
+		Calls:           c.stats.calls.Load(),
+		Retransmissions: c.stats.retransmissions.Load(),
+		Timeouts:        c.stats.timeouts.Load(),
+		Announcements:   c.stats.announcements.Load(),
+		BadReplies:      c.stats.badReplies.Load(),
+		OrphanReplies:   c.stats.orphanReplies.Load(),
+	}
 }
 
 // Close releases the client. In-flight calls fail with ErrClosed.
 func (c *Client) Close() error {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	if c.closed.Swap(true) {
 		return nil
 	}
-	c.closed = true
-	for id, ch := range c.pending {
-		close(ch)
-		delete(c.pending, id)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		chans := make([]chan replyBody, 0, len(sh.m))
+		for id, ch := range sh.m {
+			chans = append(chans, ch)
+			delete(sh.m, id)
+		}
+		sh.mu.Unlock()
+		for _, ch := range chans {
+			close(ch)
+		}
 	}
-	c.mu.Unlock()
 	return nil
+}
+
+// register claims a reply channel for id. The closed check runs under the
+// shard lock, so a concurrent Close either sees the entry (and closes its
+// channel) or is observed here (and the call fails with ErrClosed).
+func (c *Client) register(id uint64) (chan replyBody, bool) {
+	ch := replyChPool.Get().(chan replyBody)
+	sh := c.shard(id)
+	sh.mu.Lock()
+	if c.closed.Load() {
+		sh.mu.Unlock()
+		replyChPool.Put(ch)
+		return nil, false
+	}
+	sh.m[id] = ch
+	sh.mu.Unlock()
+	return ch, true
+}
+
+// unregister removes id's entry if still present, reporting whether this
+// caller claimed it. A false return means a deliverer claimed the entry
+// and owns the (sole) send on the channel.
+func (c *Client) unregister(id uint64) bool {
+	sh := c.shard(id)
+	sh.mu.Lock()
+	_, present := sh.m[id]
+	if present {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	return present
 }
 
 // Call performs an interrogation of op on object objID at dest. It blocks
@@ -129,36 +213,33 @@ func (c *Client) Close() error {
 // non-nil only for system-level failures.
 func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.Value, qos QoS) (string, []wire.Value, error) {
 	qos = qos.withDefaults()
-	body, err := wire.EncodeAll(c.codec, args)
-	if err != nil {
-		return "", nil, err
-	}
+
+	// Header and argument vector encode into one pooled buffer, reused
+	// across retransmissions (transports do not retain packets).
+	bufp := wire.GetBuffer()
+	defer wire.PutBuffer(bufp)
 	id := c.nextID.Add(1)
-	pkt := encodeHeader(nil, header{
+	pkt := encodeHeader(*bufp, header{
 		version: protoVersion,
 		msgType: msgRequest,
 		callID:  id,
 		objID:   objID,
 		op:      op,
 	})
-	pkt = append(pkt, body...)
+	pkt, err := wire.EncodeAllInto(c.codec, pkt, args)
+	if err != nil {
+		return "", nil, err
+	}
+	*bufp = pkt
 
-	ch := make(chan replyBody, 1)
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	ch, ok := c.register(id)
+	if !ok {
 		return "", nil, ErrClosed
 	}
-	c.pending[id] = ch
-	c.mu.Unlock()
-	defer func() {
-		c.mu.Lock()
-		delete(c.pending, id)
-		c.mu.Unlock()
-	}()
 
-	c.count(func(s *ClientStats) { s.Calls++ })
+	c.stats.calls.Add(1)
 	if err := c.ep.Send(dest, pkt); err != nil {
+		c.abandon(id, ch)
 		return "", nil, err
 	}
 
@@ -169,50 +250,72 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 
 	for {
 		select {
-		case rb, ok := <-ch:
-			if !ok {
+		case rb, open := <-ch:
+			if !open {
 				return "", nil, ErrClosed
 			}
-			// Acknowledge so the server may evict its reply cache.
-			ack := encodeHeader(nil, header{
+			// The deliverer removed the pending entry before sending, so
+			// no other sender exists and the drained channel is safe to
+			// recycle.
+			replyChPool.Put(ch)
+			// Acknowledge so the server may evict its reply cache. The
+			// ack encodes into its own pooled buffer.
+			ackp := wire.GetBuffer()
+			ack := encodeHeader(*ackp, header{
 				version: protoVersion,
 				msgType: msgAck,
 				callID:  id,
 				objID:   objID,
 			})
 			_ = c.ep.Send(dest, ack)
+			*ackp = ack
+			wire.PutBuffer(ackp)
 			return c.interpret(rb)
 		case <-retrans.C():
-			c.count(func(s *ClientStats) { s.Retransmissions++ })
+			c.stats.retransmissions.Add(1)
 			if err := c.ep.Send(dest, pkt); err != nil {
+				c.abandon(id, ch)
 				return "", nil, err
 			}
 		case <-deadline.C():
-			c.count(func(s *ClientStats) { s.Timeouts++ })
+			c.stats.timeouts.Add(1)
+			c.abandon(id, ch)
 			return "", nil, ErrTimeout
 		case <-ctx.Done():
+			c.abandon(id, ch)
 			return "", nil, ctx.Err()
 		}
+	}
+}
+
+// abandon gives up on a call. If this caller still owned the pending
+// entry the channel provably has no sender and is recycled; otherwise a
+// deliverer is mid-send and the channel is left for the collector (its
+// buffered send cannot block).
+func (c *Client) abandon(id uint64, ch chan replyBody) {
+	if c.unregister(id) {
+		replyChPool.Put(ch)
 	}
 }
 
 // Announce performs a request-only invocation: no reply, no outcome, no
 // failure report (§5.1). QoS.Repeats extra copies are sent back to back.
 func (c *Client) Announce(dest, objID, op string, args []wire.Value, qos QoS) error {
-	body, err := wire.EncodeAll(c.codec, args)
-	if err != nil {
-		return err
-	}
-	id := c.nextID.Add(1)
-	pkt := encodeHeader(nil, header{
+	bufp := wire.GetBuffer()
+	defer wire.PutBuffer(bufp)
+	pkt := encodeHeader(*bufp, header{
 		version: protoVersion,
 		msgType: msgAnnounce,
-		callID:  id,
+		callID:  c.nextID.Add(1),
 		objID:   objID,
 		op:      op,
 	})
-	pkt = append(pkt, body...)
-	c.count(func(s *ClientStats) { s.Announcements++ })
+	pkt, err := wire.EncodeAllInto(c.codec, pkt, args)
+	if err != nil {
+		return err
+	}
+	*bufp = pkt
+	c.stats.announcements.Add(1)
 	for i := 0; i <= qos.Repeats; i++ {
 		if err := c.ep.Send(dest, pkt); err != nil {
 			return err
@@ -247,27 +350,28 @@ func (c *Client) onPacket(from string, pkt []byte) {
 	c.deliverReply(h, rest)
 }
 
-// deliverReply routes a decoded reply to the waiting call, dropping
-// duplicates (a retransmitted reply for a call that already completed).
+// deliverReply routes a decoded reply to the waiting call. Decoding is
+// synchronous (body aliases a transport buffer that is reused after this
+// returns) and fully copying. Undecodable and unmatched replies are
+// counted, not silently dropped. Claiming the pending entry before the
+// send makes this goroutine the channel's sole sender, which is what
+// lets completed calls recycle their channels.
 func (c *Client) deliverReply(h header, body []byte) {
 	rb, err := decodeReplyBody(c.codec, body)
 	if err != nil {
+		c.stats.badReplies.Add(1)
 		return
 	}
-	c.mu.Lock()
-	ch := c.pending[h.callID]
-	c.mu.Unlock()
-	if ch == nil {
+	sh := c.shard(h.callID)
+	sh.mu.Lock()
+	ch, ok := sh.m[h.callID]
+	if ok {
+		delete(sh.m, h.callID)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.stats.orphanReplies.Add(1)
 		return
 	}
-	select {
-	case ch <- rb:
-	default: // duplicate reply
-	}
-}
-
-func (c *Client) count(update func(*ClientStats)) {
-	c.statsMu.Lock()
-	update(&c.stats)
-	c.statsMu.Unlock()
+	ch <- rb // buffered, sole sender: never blocks
 }

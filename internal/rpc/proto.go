@@ -131,27 +131,31 @@ func decodeHeader(src []byte) (header, []byte, error) {
 //	Moved:    encoded forwarding ref
 //	Denied:   message string
 
-func encodeReplyBody(codec wire.Codec, status byte, outcome string, results []wire.Value, msg string, fwd wire.Ref) ([]byte, error) {
-	body := []byte{status}
+// appendReplyBody appends a reply body to dst, so header and body can
+// share one allocation.
+func appendReplyBody(codec wire.Codec, dst []byte, status byte, outcome string, results []wire.Value, msg string, fwd wire.Ref) ([]byte, error) {
+	dst = append(dst, status)
 	switch status {
 	case statusOK:
-		body = appendStr(body, outcome)
-		enc, err := wire.EncodeAll(codec, results)
-		if err != nil {
+		dst = appendStr(dst, outcome)
+		var err error
+		if dst, err = wire.EncodeAllInto(codec, dst, results); err != nil {
 			return nil, err
 		}
-		body = append(body, enc...)
 	case statusSysError, statusDenied:
-		body = appendStr(body, msg)
+		dst = appendStr(dst, msg)
 	case statusMoved:
-		enc, err := codec.Encode(nil, fwd)
-		if err != nil {
+		var err error
+		if dst, err = codec.Encode(dst, fwd); err != nil {
 			return nil, err
 		}
-		body = append(body, enc...)
 	case statusNoObject:
 	}
-	return body, nil
+	return dst, nil
+}
+
+func encodeReplyBody(codec wire.Codec, status byte, outcome string, results []wire.Value, msg string, fwd wire.Ref) ([]byte, error) {
+	return appendReplyBody(codec, nil, status, outcome, results, msg, fwd)
 }
 
 type replyBody struct {

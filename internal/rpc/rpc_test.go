@@ -199,9 +199,9 @@ func TestAtMostOnceUnderLoss(t *testing.T) {
 
 func TestAnnouncement(t *testing.T) {
 	_, cli, mkServer := setup(t)
-	got := make(chan *Incoming, 1)
+	got := make(chan Incoming, 1)
 	mkServer(func(_ context.Context, in *Incoming) (string, []wire.Value, error) {
-		got <- in
+		got <- *in // descriptors are pooled: copy, never retain
 		return "ignored", nil, nil
 	})
 	if err := cli.Announce("server", "o", "notify", []wire.Value{"event"}, QoS{}); err != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"odp/internal/clock"
@@ -11,7 +12,10 @@ import (
 	"odp/internal/wire"
 )
 
-// Incoming describes one inbound invocation as seen by a Handler.
+// Incoming describes one inbound invocation as seen by a Handler. The
+// descriptor itself is pooled: it is only valid for the duration of the
+// Handler call and must not be retained. Its Args slice is a private
+// decoded copy and may be kept or handed off freely.
 type Incoming struct {
 	// From is the transport address the invocation arrived from.
 	From string
@@ -42,29 +46,68 @@ type ServerStats struct {
 	CacheEvictions uint64
 }
 
+// serverCounters is the hot-path form of ServerStats: independent
+// atomics, so concurrent dispatches do not serialize on counting.
+type serverCounters struct {
+	requests       atomic.Uint64
+	duplicates     atomic.Uint64
+	repliesResent  atomic.Uint64
+	announcements  atomic.Uint64
+	announceDedup  atomic.Uint64
+	cacheEvictions atomic.Uint64
+}
+
+// callShard is one stripe of the at-most-once call table.
+type callShard struct {
+	mu sync.Mutex
+	m  map[callKey]*serverCall
+}
+
 // Server dispatches inbound invocations from one endpoint to a Handler,
-// enforcing at-most-once execution per (client, call id).
+// enforcing at-most-once execution per (client, call id). The call table
+// is sharded by call-key hash so concurrent clients contend only within
+// a stripe.
 type Server struct {
 	ep      transport.Endpoint
 	codec   wire.Codec
 	handler Handler
 
-	mu     sync.Mutex
-	calls  map[callKey]*serverCall
-	closed bool
+	closed atomic.Bool
+	shards [numShards]callShard
 	wg     sync.WaitGroup
 	stop   chan struct{}
 
 	replyTTL time.Duration
 	clk      clock.Clock
 
-	statsMu sync.Mutex
-	stats   ServerStats
+	stats serverCounters
 }
 
 type callKey struct {
 	from string
 	id   uint64
+}
+
+// shard selects the stripe for key by FNV-1a over its fields: ids alone
+// are sequential per client, so the source address must participate to
+// spread multiple clients.
+func (s *Server) shard(key callKey) *callShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.from); i++ {
+		h ^= uint64(key.from[i])
+		h *= prime64
+	}
+	id := key.id
+	for i := 0; i < 8; i++ {
+		h ^= id & 0xff
+		h *= prime64
+		id >>= 8
+	}
+	return &s.shards[h&(numShards-1)]
 }
 
 // serverCall tracks one at-most-once execution slot.
@@ -103,10 +146,12 @@ func newServerNoHandler(ep transport.Endpoint, codec wire.Codec, handler Handler
 		ep:       ep,
 		codec:    codec,
 		handler:  handler,
-		calls:    make(map[callKey]*serverCall),
 		stop:     make(chan struct{}),
 		replyTTL: 5 * time.Second,
 		clk:      clock.Real{},
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[callKey]*serverCall)
 	}
 	for _, o := range opts {
 		o(s)
@@ -118,21 +163,22 @@ func newServerNoHandler(ep transport.Endpoint, codec wire.Codec, handler Handler
 
 // Stats returns a snapshot of server counters.
 func (s *Server) Stats() ServerStats {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.stats
+	return ServerStats{
+		Requests:       s.stats.requests.Load(),
+		Duplicates:     s.stats.duplicates.Load(),
+		RepliesResent:  s.stats.repliesResent.Load(),
+		Announcements:  s.stats.announcements.Load(),
+		AnnounceDedup:  s.stats.announceDedup.Load(),
+		CacheEvictions: s.stats.cacheEvictions.Load(),
+	}
 }
 
 // Close stops the server and waits for running handlers.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
 	close(s.stop)
-	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
 }
@@ -146,7 +192,9 @@ func (s *Server) onPacket(from string, pkt []byte) {
 	s.dispatch(from, h, rest)
 }
 
-// dispatch routes one decoded message.
+// dispatch routes one decoded message. body aliases a transport buffer,
+// so everything that outlives this call must be decoded or copied before
+// it returns; argument decoding is therefore synchronous.
 func (s *Server) dispatch(from string, h header, body []byte) {
 	switch h.msgType {
 	case msgRequest:
@@ -158,60 +206,67 @@ func (s *Server) dispatch(from string, h header, body []byte) {
 	}
 }
 
+// claim reserves the at-most-once slot for key. It returns the new slot,
+// or nil when the key is a duplicate (dup reports which, and cached the
+// reply to resend when execution already finished).
+func (s *Server) claim(key callKey, done bool) (sc *serverCall, dup bool, resend []byte) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return nil, true, nil
+	}
+	if prev, ok := sh.m[key]; ok {
+		if prev.done {
+			resend = prev.reply
+		}
+		sh.mu.Unlock()
+		return nil, true, resend
+	}
+	sc = &serverCall{done: done, expires: s.clk.Now().Add(s.replyTTL)}
+	sh.m[key] = sc
+	s.wg.Add(1)
+	sh.mu.Unlock()
+	return sc, false, nil
+}
+
 func (s *Server) onRequest(from string, h header, body []byte) {
 	key := callKey{from: from, id: h.callID}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	if sc, ok := s.calls[key]; ok {
+	sc, dup, resend := s.claim(key, false)
+	if dup {
+		if sc == nil && resend == nil && s.closed.Load() {
+			return
+		}
 		// Duplicate: resend the cached reply if execution finished,
 		// otherwise suppress (the reply will go out when it does).
-		var reply []byte
-		if sc.done {
-			reply = sc.reply
-		}
-		s.mu.Unlock()
-		s.count(func(st *ServerStats) {
-			st.Duplicates++
-			if reply != nil {
-				st.RepliesResent++
-			}
-		})
-		if reply != nil {
-			_ = s.ep.Send(from, reply)
+		s.stats.duplicates.Add(1)
+		if resend != nil {
+			s.stats.repliesResent.Add(1)
+			_ = s.ep.Send(from, resend)
 		}
 		return
 	}
-	sc := &serverCall{expires: s.clk.Now().Add(s.replyTTL)}
-	s.calls[key] = sc
-	s.wg.Add(1)
-	s.mu.Unlock()
 
-	s.count(func(st *ServerStats) { st.Requests++ })
-	go s.execute(from, h, body, key, sc, false)
+	s.stats.requests.Add(1)
+	args, err := wire.DecodeAll(s.codec, body)
+	go s.execute(from, h, args, err, key, sc, false)
 }
 
 func (s *Server) onAnnounce(from string, h header, body []byte) {
 	key := callKey{from: from, id: h.callID}
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
-	if _, ok := s.calls[key]; ok {
+	sc, dup, _ := s.claim(key, true)
+	if dup {
+		if s.closed.Load() {
+			return
+		}
 		// Repeated announcement (QoS.Repeats): execute once only.
-		s.mu.Unlock()
-		s.count(func(st *ServerStats) { st.AnnounceDedup++ })
+		s.stats.announceDedup.Add(1)
 		return
 	}
-	s.calls[key] = &serverCall{done: true, expires: s.clk.Now().Add(s.replyTTL)}
-	s.wg.Add(1)
-	s.mu.Unlock()
 
-	s.count(func(st *ServerStats) { st.Announcements++ })
-	go s.execute(from, h, body, key, nil, true)
+	s.stats.announcements.Add(1)
+	args, err := wire.DecodeAll(s.codec, body)
+	go s.execute(from, h, args, err, key, sc, true)
 }
 
 // ackGrace is how long a completed call entry survives after the client's
@@ -222,33 +277,42 @@ const ackGrace = 250 * time.Millisecond
 
 func (s *Server) onAck(from string, h header) {
 	key := callKey{from: from, id: h.callID}
-	s.mu.Lock()
-	if sc, ok := s.calls[key]; ok && sc.done {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if sc, ok := sh.m[key]; ok && sc.done {
 		if exp := s.clk.Now().Add(ackGrace); exp.Before(sc.expires) {
 			sc.expires = exp
 		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 }
 
+// incomingPool recycles Handler call descriptors (handlers must not
+// retain them — see Incoming).
+var incomingPool = sync.Pool{New: func() interface{} { return new(Incoming) }}
+
 // execute runs the handler and, for interrogations, sends and caches the
-// reply.
-func (s *Server) execute(from string, h header, body []byte, key callKey, sc *serverCall, announcement bool) {
+// reply. args were decoded synchronously by the dispatcher; decodeErr
+// carries any failure into the reply path.
+func (s *Server) execute(from string, h header, args []wire.Value, decodeErr error, key callKey, sc *serverCall, announcement bool) {
 	defer s.wg.Done()
-	args, err := wire.DecodeAll(s.codec, body)
-	in := &Incoming{
-		From:         from,
-		ObjID:        h.objID,
-		Op:           h.op,
-		Args:         args,
-		Announcement: announcement,
-	}
 	var (
 		outcome string
 		results []wire.Value
+		err     = decodeErr
 	)
 	if err == nil {
+		in := incomingPool.Get().(*Incoming)
+		*in = Incoming{
+			From:         from,
+			ObjID:        h.objID,
+			Op:           h.op,
+			Args:         args,
+			Announcement: announcement,
+		}
 		outcome, results, err = s.handler(context.Background(), in)
+		*in = Incoming{}
+		incomingPool.Put(in)
 	}
 	if announcement {
 		return // nothing to report, by design
@@ -271,10 +335,9 @@ func (s *Server) execute(from string, h header, body []byte, key callKey, sc *se
 			status, msg = statusSysError, err.Error()
 		}
 	}
-	rb, encErr := encodeReplyBody(s.codec, status, outcome, results, msg, fwd)
-	if encErr != nil {
-		rb, _ = encodeReplyBody(s.codec, statusSysError, "", nil, "reply encoding: "+encErr.Error(), wire.Ref{})
-	}
+	// The reply packet is retained in the at-most-once cache for
+	// retransmission, so it is built in its own allocation, header and
+	// body in one buffer.
 	reply := encodeHeader(nil, header{
 		version: protoVersion,
 		msgType: msgReply,
@@ -282,15 +345,26 @@ func (s *Server) execute(from string, h header, body []byte, key callKey, sc *se
 		objID:   h.objID,
 		op:      h.op,
 	})
-	reply = append(reply, rb...)
+	reply, encErr := appendReplyBody(s.codec, reply, status, outcome, results, msg, fwd)
+	if encErr != nil {
+		reply = encodeHeader(reply[:0], header{
+			version: protoVersion,
+			msgType: msgReply,
+			callID:  h.callID,
+			objID:   h.objID,
+			op:      h.op,
+		})
+		reply, _ = appendReplyBody(s.codec, reply, statusSysError, "", nil,
+			"reply encoding: "+encErr.Error(), wire.Ref{})
+	}
 
-	s.mu.Lock()
+	sh := s.shard(key)
+	sh.mu.Lock()
 	sc.done = true
 	sc.reply = reply
 	sc.expires = s.clk.Now().Add(s.replyTTL)
-	closed := s.closed
-	s.mu.Unlock()
-	if !closed {
+	sh.mu.Unlock()
+	if !s.closed.Load() {
 		_ = s.ep.Send(from, reply)
 	}
 }
@@ -307,25 +381,22 @@ func (s *Server) janitor() {
 			return
 		case now := <-ticker.C():
 			var evicted uint64
-			s.mu.Lock()
-			for k, sc := range s.calls {
-				if sc.done && now.After(sc.expires) {
-					delete(s.calls, k)
-					evicted++
+			for i := range s.shards {
+				sh := &s.shards[i]
+				sh.mu.Lock()
+				for k, sc := range sh.m {
+					if sc.done && now.After(sc.expires) {
+						delete(sh.m, k)
+						evicted++
+					}
 				}
+				sh.mu.Unlock()
 			}
-			s.mu.Unlock()
 			if evicted > 0 {
-				s.count(func(st *ServerStats) { st.CacheEvictions += evicted })
+				s.stats.cacheEvictions.Add(evicted)
 			}
 		}
 	}
-}
-
-func (s *Server) count(update func(*ServerStats)) {
-	s.statsMu.Lock()
-	update(&s.stats)
-	s.statsMu.Unlock()
 }
 
 // Peer combines a Client and a Server on a single endpoint, so one

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -16,18 +17,53 @@ import (
 // Connections are cached per destination and re-dialled on failure. TCP's
 // reliability simply means the loss probability is zero; the invocation
 // protocol above is identical to the simulated case.
+//
+// Each cached connection owns a write mutex and a reusable frame buffer:
+// concurrent senders serialize per connection, so frames never interleave
+// (a single net.Conn.Write may issue several syscalls on partial writes)
+// and steady-state sends allocate nothing.
 type TCPEndpoint struct {
 	listener net.Listener
 	addr     string
 
 	mu      sync.Mutex
 	handler Handler
-	conns   map[string]net.Conn
+	conns   map[string]*tcpConn
 	closed  bool
 	wg      sync.WaitGroup
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
+
+// maxRetainedBuf bounds the frame and read buffers a connection keeps
+// between packets: one oversized frame must not pin its storage for the
+// connection's lifetime.
+const maxRetainedBuf = 64 << 10
+
+// tcpConn is one cached connection with its serialized write path.
+type tcpConn struct {
+	conn net.Conn
+
+	wmu  sync.Mutex
+	wbuf []byte // reusable frame buffer, guarded by wmu
+}
+
+// writeFrame frames and transmits one packet. The per-connection mutex
+// makes the frame atomic on the stream even when the kernel accepts the
+// buffer in several partial writes; the retained buffer makes the steady
+// state allocation-free.
+func (c *tcpConn) writeFrame(from string, pkt []byte) error {
+	c.wmu.Lock()
+	buf := appendFrame(c.wbuf[:0], from, pkt)
+	if cap(buf) <= maxRetainedBuf {
+		c.wbuf = buf
+	} else {
+		c.wbuf = nil
+	}
+	_, err := c.conn.Write(buf)
+	c.wmu.Unlock()
+	return err
+}
 
 // ListenTCP creates an endpoint bound to bind (e.g. "127.0.0.1:0"). The
 // advertised address is "tcp:" + the bound address.
@@ -39,7 +75,7 @@ func ListenTCP(bind string) (*TCPEndpoint, error) {
 	e := &TCPEndpoint{
 		listener: l,
 		addr:     "tcp:" + l.Addr().String(),
-		conns:    make(map[string]net.Conn),
+		conns:    make(map[string]*tcpConn),
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -70,15 +106,15 @@ func (e *TCPEndpoint) Send(to string, pkt []byte) error {
 		e.mu.Unlock()
 		return ErrClosed
 	}
-	conn := e.conns[to]
+	tc := e.conns[to]
 	e.mu.Unlock()
 
-	if conn == nil {
-		var err error
-		conn, err = net.Dial("tcp", hostport)
+	if tc == nil {
+		conn, err := net.Dial("tcp", hostport)
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrUnreachable, err)
 		}
+		tc = &tcpConn{conn: conn}
 		e.mu.Lock()
 		if e.closed {
 			e.mu.Unlock()
@@ -89,27 +125,26 @@ func (e *TCPEndpoint) Send(to string, pkt []byte) error {
 			// Raced with another sender; keep the first connection.
 			e.mu.Unlock()
 			_ = conn.Close()
-			conn = existing
+			tc = existing
 		} else {
-			e.conns[to] = conn
+			e.conns[to] = tc
 			e.mu.Unlock()
 			// Replies may come back on this same connection.
 			e.wg.Add(1)
-			go e.readLoop(conn, to)
+			go e.readLoop(tc, to)
 		}
 	}
 
-	frame := encodeFrame(e.addr, pkt)
-	if _, err := conn.Write(frame); err != nil {
+	if err := tc.writeFrame(e.addr, pkt); err != nil {
 		// Connection broke: forget it so the next send re-dials. The
 		// packet is lost — exactly the datagram semantics the protocol
 		// above expects.
 		e.mu.Lock()
-		if e.conns[to] == conn {
+		if e.conns[to] == tc {
 			delete(e.conns, to)
 		}
 		e.mu.Unlock()
-		_ = conn.Close()
+		_ = tc.conn.Close()
 		return nil
 	}
 	return nil
@@ -123,16 +158,16 @@ func (e *TCPEndpoint) Close() error {
 		return nil
 	}
 	e.closed = true
-	conns := make([]net.Conn, 0, len(e.conns))
+	conns := make([]*tcpConn, 0, len(e.conns))
 	for _, c := range e.conns {
 		conns = append(conns, c)
 	}
-	e.conns = make(map[string]net.Conn)
+	e.conns = make(map[string]*tcpConn)
 	e.mu.Unlock()
 
 	_ = e.listener.Close()
 	for _, c := range conns {
-		_ = c.Close()
+		_ = c.conn.Close()
 	}
 	e.wg.Wait()
 	return nil
@@ -153,28 +188,60 @@ func (e *TCPEndpoint) acceptLoop() {
 		}
 		e.wg.Add(1)
 		e.mu.Unlock()
-		go e.readLoop(conn, "")
+		go e.readLoop(&tcpConn{conn: conn}, "")
 	}
 }
 
 // readLoop consumes frames from one connection. cacheKey, when non-empty,
-// identifies the conns entry to clear when the connection dies.
-func (e *TCPEndpoint) readLoop(conn net.Conn, cacheKey string) {
+// identifies the conns entry to clear when the connection dies. The
+// length prefixes, source address and packet all read into buffers reused
+// across frames, so a settled connection allocates nothing per packet
+// (the Handler contract forbids retaining pkt).
+func (e *TCPEndpoint) readLoop(tc *tcpConn, cacheKey string) {
 	defer e.wg.Done()
+	conn := tc.conn
 	defer func() {
 		_ = conn.Close()
 		if cacheKey != "" {
 			e.mu.Lock()
-			if e.conns[cacheKey] == conn {
+			if e.conns[cacheKey] == tc {
 				delete(e.conns, cacheKey)
 			}
 			e.mu.Unlock()
 		}
 	}()
-	registered := false
+	var (
+		lenBuf     [4]byte
+		fromBuf    []byte
+		pktBuf     []byte
+		lastFrom   string // interned source address: one conn, one peer
+		registered bool
+	)
 	for {
-		from, pkt, err := readFrame(conn)
-		if err != nil {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		fl := binary.BigEndian.Uint32(lenBuf[:])
+		if fl > 4096 {
+			return // absurd from length: protocol confusion, drop the conn
+		}
+		fromBuf = growBuf(fromBuf, int(fl))
+		if _, err := io.ReadFull(conn, fromBuf[:fl]); err != nil {
+			return
+		}
+		if lastFrom == "" || !bytes.Equal(fromBuf[:fl], []byte(lastFrom)) {
+			lastFrom = string(fromBuf[:fl])
+		}
+		from := lastFrom
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		pl := binary.BigEndian.Uint32(lenBuf[:])
+		if pl > MaxPacket {
+			return // oversized frame: drop the conn
+		}
+		pktBuf = growBuf(pktBuf, int(pl))
+		if _, err := io.ReadFull(conn, pktBuf[:pl]); err != nil {
 			return
 		}
 		// First inbound frame tells us the peer's address, letting replies
@@ -184,7 +251,7 @@ func (e *TCPEndpoint) readLoop(conn net.Conn, cacheKey string) {
 			e.mu.Lock()
 			if !e.closed {
 				if _, exists := e.conns[from]; !exists {
-					e.conns[from] = conn
+					e.conns[from] = tc
 					if cacheKey == "" {
 						cacheKey = from
 					}
@@ -201,9 +268,21 @@ func (e *TCPEndpoint) readLoop(conn net.Conn, cacheKey string) {
 			return
 		}
 		if h != nil {
-			h(from, pkt)
+			h(from, pktBuf[:pl])
+		}
+		if cap(pktBuf) > maxRetainedBuf {
+			pktBuf = nil // do not pin one giant frame's storage
 		}
 	}
+}
+
+// growBuf returns a slice of at least n capacity, reusing buf when it
+// already fits.
+func growBuf(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
 }
 
 func stripScheme(addr string) (string, bool) {
@@ -214,41 +293,13 @@ func stripScheme(addr string) (string, bool) {
 	return addr[len(scheme):], true
 }
 
-func encodeFrame(from string, pkt []byte) []byte {
-	buf := make([]byte, 0, 8+len(from)+len(pkt))
+// appendFrame appends the wire framing of (from, pkt) to dst.
+func appendFrame(dst []byte, from string, pkt []byte) []byte {
 	var n [4]byte
 	binary.BigEndian.PutUint32(n[:], uint32(len(from)))
-	buf = append(buf, n[:]...)
-	buf = append(buf, from...)
+	dst = append(dst, n[:]...)
+	dst = append(dst, from...)
 	binary.BigEndian.PutUint32(n[:], uint32(len(pkt)))
-	buf = append(buf, n[:]...)
-	buf = append(buf, pkt...)
-	return buf
-}
-
-func readFrame(r io.Reader) (string, []byte, error) {
-	var n [4]byte
-	if _, err := io.ReadFull(r, n[:]); err != nil {
-		return "", nil, err
-	}
-	fl := binary.BigEndian.Uint32(n[:])
-	if fl > 4096 {
-		return "", nil, fmt.Errorf("transport: absurd from length %d", fl)
-	}
-	from := make([]byte, fl)
-	if _, err := io.ReadFull(r, from); err != nil {
-		return "", nil, err
-	}
-	if _, err := io.ReadFull(r, n[:]); err != nil {
-		return "", nil, err
-	}
-	pl := binary.BigEndian.Uint32(n[:])
-	if pl > MaxPacket {
-		return "", nil, fmt.Errorf("transport: frame of %d bytes exceeds max", pl)
-	}
-	pkt := make([]byte, pl)
-	if _, err := io.ReadFull(r, pkt); err != nil {
-		return "", nil, err
-	}
-	return string(from), pkt, nil
+	dst = append(dst, n[:]...)
+	return append(dst, pkt...)
 }

@@ -19,7 +19,10 @@ import (
 )
 
 // Handler consumes one inbound packet. Implementations are called from
-// transport goroutines and must not block for long.
+// transport goroutines and must not block for long. pkt is only valid
+// for the duration of the call: transports reuse delivery buffers, so a
+// handler that needs the bytes afterwards must copy them. (The rpc layer
+// satisfies this by decoding synchronously before any hand-off.)
 type Handler func(from string, pkt []byte)
 
 // Endpoint is a best-effort datagram endpoint with a stable address.

@@ -91,8 +91,9 @@ func (c BinaryCodec) encode(dst []byte, v Value, depth int) ([]byte, error) {
 		return dst, nil
 	case Record:
 		dst = appendU32(append(dst, byte(KindRecord)), uint32(len(t)))
+		var keyBuf [16]string
 		var err error
-		for _, k := range sortedKeys(t) {
+		for _, k := range sortedKeysInto(keyBuf[:0], t) {
 			dst = appendU32(dst, uint32(len(k)))
 			dst = append(dst, k...)
 			if dst, err = c.encode(dst, t[k], depth+1); err != nil {
@@ -258,19 +259,31 @@ func (c BinaryCodec) decode(src []byte, depth int) (Value, []byte, error) {
 	}
 }
 
-// EncodeAll encodes each value in vs back to back.
-func EncodeAll(c Codec, vs []Value) ([]byte, error) {
-	var (
-		dst []byte
-		err error
-	)
+// AppendValue appends the codec's representation of v to dst. It is the
+// append-style spelling of Codec.Encode, named for symmetry with
+// EncodeAllInto on the invocation hot path.
+func AppendValue(c Codec, dst []byte, v Value) ([]byte, error) {
+	return c.Encode(dst, v)
+}
+
+// EncodeAllInto appends the count-prefixed encoding of vs to dst and
+// returns the extended slice. The hot path encodes protocol header and
+// argument vector into one pooled buffer with this; EncodeAll is the
+// allocating convenience wrapper.
+func EncodeAllInto(c Codec, dst []byte, vs []Value) ([]byte, error) {
 	dst = appendU32(dst, uint32(len(vs)))
+	var err error
 	for _, v := range vs {
 		if dst, err = c.Encode(dst, v); err != nil {
 			return nil, err
 		}
 	}
 	return dst, nil
+}
+
+// EncodeAll encodes each value in vs back to back.
+func EncodeAll(c Codec, vs []Value) ([]byte, error) {
+	return EncodeAllInto(c, nil, vs)
 }
 
 // DecodeAll decodes a sequence written by EncodeAll.

@@ -1,0 +1,40 @@
+package wire
+
+import "sync"
+
+// Buffer pooling for the invocation hot path. A packet — protocol header
+// plus argument vector — is encoded into one pooled buffer, handed to the
+// transport, and recycled once nothing references it. Steady-state
+// invocation therefore allocates no encoding buffers at all; the
+// AllocsPerRun regression tests in alloc_test.go pin this.
+
+const (
+	// initialBufCap sizes fresh pooled buffers to hold a typical header
+	// plus a scalar argument vector without growing.
+	initialBufCap = 512
+	// maxPooledCap bounds retained capacity: one oversized packet must
+	// not pin its storage in the pool indefinitely.
+	maxPooledCap = 64 << 10
+)
+
+var bufPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, initialBufCap)
+		return &b
+	},
+}
+
+// GetBuffer returns an empty scratch buffer from the pool. Hand the same
+// pointer back to PutBuffer when done; the pointer indirection keeps the
+// pool itself allocation-free per cycle.
+func GetBuffer() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuffer recycles a buffer obtained from GetBuffer. The caller must
+// not touch the slice afterwards.
+func PutBuffer(b *[]byte) {
+	if b == nil || cap(*b) > maxPooledCap {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
+}

@@ -246,6 +246,29 @@ func Clone(v Value) Value {
 	}
 }
 
+// CloneArgs returns a vector whose mutable elements are deep-copied,
+// enforcing the by-copy passing discipline of §4.4 without the codec.
+// Vectors of constant-state values only — nil, bool, int, uint, float,
+// string, the common case on the co-located fast path — are returned
+// unchanged and allocation-free, the §4.5 engineering optimisation that
+// constant objects need no copy.
+func CloneArgs(vs []Value) []Value {
+	for i, v := range vs {
+		switch v.(type) {
+		case nil, bool, int64, uint64, float64, string:
+			continue
+		default:
+			out := make([]Value, len(vs))
+			copy(out, vs[:i])
+			for j := i; j < len(vs); j++ {
+				out[j] = Clone(vs[j])
+			}
+			return out
+		}
+	}
+	return vs
+}
+
 // sortedKeys returns the record's keys in sorted order, for deterministic
 // encoding.
 func sortedKeys(r Record) []string {
@@ -255,4 +278,21 @@ func sortedKeys(r Record) []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// sortedKeysInto appends the record's keys to buf in sorted order. Small
+// records fit a caller-supplied stack buffer, so steady-state encoding of
+// typical argument records allocates nothing; the insertion sort avoids
+// the sort package's interface boxing.
+func sortedKeysInto(buf []string, r Record) []string {
+	for k := range r {
+		i := len(buf)
+		buf = append(buf, k)
+		for i > 0 && buf[i-1] > k {
+			buf[i] = buf[i-1]
+			i--
+		}
+		buf[i] = k
+	}
+	return buf
 }
