@@ -1,5 +1,5 @@
 // Benchmarks for the evaluation suite: one testing.B target per
-// experiment E1–E15 (see DESIGN.md for the experiment index and
+// experiment E1–E16 (see DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded results). The row-printing counterpart
 // lives in cmd/odpbench; TestExperimentsQuick runs every experiment
 // end to end at reduced scale.
@@ -136,6 +136,7 @@ func mustCall(b *testing.B, p *odp.Proxy, op string, args ...odp.Value) odp.Outc
 func BenchmarkE1DirectGoCall(b *testing.B)       { bench.MicroE1DirectGoCall(b) }
 func BenchmarkE1CoLocatedOptimised(b *testing.B) { bench.MicroE1CoLocatedOptimised(b) }
 func BenchmarkE1RemoteLoopback(b *testing.B)     { bench.MicroE1RemoteLoopback(b) }
+func BenchmarkE1PipelinedLoopback(b *testing.B)  { bench.MicroE1PipelinedLoopback(b) }
 
 func BenchmarkE1RemoteLAN(b *testing.B) {
 	r := newRig(b, odp.LAN)
@@ -209,8 +210,9 @@ func BenchmarkE3OneCallOfSixteen(b *testing.B) {
 
 // ---- E4: interrogation vs announcement (§5.1) ----
 
-func BenchmarkE4Interrogation(b *testing.B) { bench.MicroE4Interrogation(b) }
-func BenchmarkE4Announcement(b *testing.B)  { bench.MicroE4Announcement(b) }
+func BenchmarkE4Interrogation(b *testing.B)      { bench.MicroE4Interrogation(b) }
+func BenchmarkE4Announcement(b *testing.B)       { bench.MicroE4Announcement(b) }
+func BenchmarkE4AnnounceConcurrent(b *testing.B) { bench.MicroE4AnnounceConcurrent(b) }
 
 // ---- E5: transactions (§5.2) ----
 

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// nsRegressionLimit is the tolerated ns/op growth between trajectory
+// files. Wall-time numbers jitter with machine load, so small movement is
+// noise; a quarter slower is a real regression and fails the gate.
+const nsRegressionLimit = 0.25
+
+// loadBenchFile reads one BENCH_<seq>.json trajectory file.
+func loadBenchFile(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != "odp-bench/v1" {
+		return nil, fmt.Errorf("%s: unknown schema %q", path, f.Schema)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &f, nil
+}
+
+// compare diffs the trajectory files at oldPath and newPath (when
+// newPath is empty, the micro-benchmarks are run live instead) and
+// enforces the regression gate: any benchmark more than 25% slower in
+// ns/op, or allocating more per op, fails the comparison. Benchmarks
+// present on only one side are reported but never fail the gate — the
+// suite is allowed to grow.
+func compare(oldPath, newPath string) error {
+	old, err := loadBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var cur *benchFile
+	var curLabel string
+	if newPath != "" {
+		curLabel = newPath
+		if cur, err = loadBenchFile(newPath); err != nil {
+			return err
+		}
+	} else {
+		curLabel = "live run"
+		if cur, err = measure(); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range old.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Printf("comparing %s (old) vs %s (new)\n\n", oldPath, curLabel)
+	fmt.Printf("%-24s %12s %12s %8s %14s %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "allocs/op", "verdict")
+	var failures []string
+	for _, name := range names {
+		o, hasOld := old.Benchmarks[name]
+		n, hasNew := cur.Benchmarks[name]
+		switch {
+		case !hasOld:
+			fmt.Printf("%-24s %12s %12.1f %8s %14s %s\n",
+				name, "-", n.NsPerOp, "-", fmt.Sprintf("-> %d", n.AllocsPerOp), "(new)")
+		case !hasNew:
+			fmt.Printf("%-24s %12.1f %12s %8s %14s %s\n",
+				name, o.NsPerOp, "-", "-", fmt.Sprintf("%d ->", o.AllocsPerOp), "(gone)")
+		default:
+			delta := n.NsPerOp/o.NsPerOp - 1
+			verdict := "ok"
+			if delta > nsRegressionLimit {
+				verdict = fmt.Sprintf("FAIL: ns/op +%.0f%% exceeds +%.0f%% limit",
+					delta*100, nsRegressionLimit*100)
+				failures = append(failures, name+": "+verdict)
+			}
+			if n.AllocsPerOp > o.AllocsPerOp {
+				v := fmt.Sprintf("FAIL: allocs/op %d -> %d", o.AllocsPerOp, n.AllocsPerOp)
+				failures = append(failures, name+": "+v)
+				if verdict == "ok" {
+					verdict = v
+				} else {
+					verdict += "; " + v
+				}
+			}
+			fmt.Printf("%-24s %12.1f %12.1f %+7.1f%% %14s %s\n",
+				name, o.NsPerOp, n.NsPerOp, delta*100,
+				fmt.Sprintf("%d -> %d", o.AllocsPerOp, n.AllocsPerOp), verdict)
+		}
+	}
+	fmt.Println()
+	if len(failures) > 0 {
+		return fmt.Errorf("performance regression gate failed:\n  %s",
+			strings.Join(failures, "\n  "))
+	}
+	fmt.Println("regression gate passed")
+	return nil
+}

@@ -34,7 +34,26 @@ type benchFile struct {
 // record runs the hot-path micro-benchmarks through testing.Benchmark and
 // writes the machine-readable trajectory file.
 func record(path string) error {
-	out := benchFile{
+	out, err := measure()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// measure runs the hot-path micro-benchmarks and returns the results in
+// the trajectory-file schema without touching disk.
+func measure() (*benchFile, error) {
+	out := &benchFile{
 		Schema:     "odp-bench/v1",
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
@@ -47,7 +66,7 @@ func record(path string) error {
 		fmt.Printf("recording %-24s ", mb.Name)
 		r := testing.Benchmark(mb.Fn)
 		if r.N == 0 {
-			return fmt.Errorf("benchmark %s did not run (it probably failed)", mb.Name)
+			return nil, fmt.Errorf("benchmark %s did not run (it probably failed)", mb.Name)
 		}
 		out.Benchmarks[mb.Name] = benchRecord{
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
@@ -58,14 +77,5 @@ func record(path string) error {
 		fmt.Printf("%12.1f ns/op %8d B/op %6d allocs/op (n=%d)\n",
 			out.Benchmarks[mb.Name].NsPerOp, r.AllocedBytesPerOp(), r.AllocsPerOp(), r.N)
 	}
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
-	return nil
+	return out, nil
 }

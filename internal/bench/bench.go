@@ -1,5 +1,5 @@
 // Package bench is the evaluation harness: it regenerates the
-// constructed experiment tables E1–E15 of EXPERIMENTS.md, each keyed to a
+// constructed experiment tables E1–E16 of EXPERIMENTS.md, each keyed to a
 // claim of "The Challenge of ODP" (see DESIGN.md for the index).
 //
 // The paper itself has no tables or figures — it is a position paper —
@@ -63,6 +63,7 @@ func All() []Experiment {
 		{ID: "E13", Title: "Distributed garbage collection", Claim: "§7.3: lease-based GC reclaims exactly the unreferenced passive objects", Run: E13GC},
 		{ID: "E14", Title: "At-most-once under loss", Claim: "§5.1: invocation survives loss without duplicate execution", Run: E14Loss},
 		{ID: "E15", Title: "Selective transparency", Claim: "§3/§4.5: unused transparencies cost nothing; each is pay-as-you-go", Run: E15Selective},
+		{ID: "E16", Title: "Write coalescing amortisation", Claim: "§5.5: transparency is an effect of the channel — per-packet overhead batched away without touching the computational model", Run: E16Batching},
 	}
 }
 
@@ -143,6 +144,33 @@ func (p *pair) close() {
 	_ = p.client.Close()
 	_ = p.server.Close()
 	_ = p.fabric.Close()
+}
+
+// newBatchedPair is newPair with write coalescing enabled on both
+// nodes. Batching is negotiated in-band, so callers should run a few
+// warm-up invocations before measuring (the first call carries the
+// HELLO exchange).
+func newBatchedPair(profile odp.LinkProfile, opts ...odp.Option) (*pair, error) {
+	f := odp.NewFabric(odp.WithSeed(1), odp.WithDefaultLink(profile))
+	sep, err := f.Endpoint("server")
+	if err != nil {
+		return nil, err
+	}
+	server, err := odp.NewPlatform("server", sep,
+		append([]odp.Option{odp.WithBatching()}, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		return nil, err
+	}
+	client, err := odp.NewPlatform("client", cep,
+		odp.WithBatching(), odp.WithRelocator(server.RelocRef))
+	if err != nil {
+		return nil, err
+	}
+	return &pair{fabric: f, server: server, client: client}, nil
 }
 
 // timeOp measures the mean duration of n sequential executions of fn.

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"odp"
+)
+
+// E16Batching measures the write-coalescing layer (transport.Coalescer)
+// against the §5.5 claim that transparency — here, of channel cost — is
+// an effect of the channel, not the computational model: the same
+// proxies and servants run unchanged while the channel amortises
+// per-packet overhead across concurrent senders.
+//
+// The experiment's shape: with one sender batching can help only a
+// little (there is rarely anything to coalesce with), but as senders
+// multiply the batched channel carries materially fewer datagrams per
+// invocation (pkts/op falls, frames/batch rises) while the plain
+// channel pays full per-packet price for every message. Per-invocation
+// latency under load improves correspondingly.
+func E16Batching(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	perSender := iters(quick, 400)
+	var rows []Row
+	for _, batched := range []bool{false, true} {
+		for _, senders := range []int{1, 4, 16} {
+			var (
+				p   *pair
+				err error
+			)
+			if batched {
+				p, err = newBatchedPair(odp.LinkProfile{})
+			} else {
+				p, err = newPair(odp.LinkProfile{})
+			}
+			if err != nil {
+				return nil, err
+			}
+			ref, err := p.server.Publish("cell", odp.Object{Servant: newCell(0)})
+			if err != nil {
+				p.close()
+				return nil, err
+			}
+			proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+			// Warm up: settles the batching negotiation (HELLO
+			// exchange) and any lazy binding, so both modes measure
+			// steady state.
+			for i := 0; i < 16; i++ {
+				if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+					p.close()
+					return nil, err
+				}
+			}
+
+			base := p.fabric.Stats()
+			errs := make(chan error, senders)
+			var wg sync.WaitGroup
+			start := time.Now()
+			for g := 0; g < senders; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perSender; i++ {
+						if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			elapsed := time.Since(start)
+			select {
+			case err := <-errs:
+				p.close()
+				return nil, err
+			default:
+			}
+			after := p.fabric.Stats()
+
+			mode := "plain"
+			if batched {
+				mode = "batched"
+			}
+			param := fmt.Sprintf("senders=%d", senders)
+			ops := float64(senders * perSender)
+			rows = append(rows,
+				Row{Case: mode, Param: param, Metric: "latency", Value: float64(elapsed.Nanoseconds()) / ops, Unit: "ns/op"},
+				Row{Case: mode, Param: param, Metric: "datagrams", Value: float64(after.Sent-base.Sent) / ops, Unit: "pkts/op"})
+			if bst, ok := p.client.BatchStats(); ok && bst.BatchesSent > 0 {
+				rows = append(rows, Row{Case: mode, Param: param, Metric: "frames-per-batch",
+					Value: float64(bst.FramesBatched) / float64(bst.BatchesSent), Unit: "frames"})
+			}
+			p.close()
+		}
+	}
+	return rows, nil
+}

@@ -29,8 +29,10 @@ func MicroBenchmarks() []struct {
 		{"E1DirectGoCall", MicroE1DirectGoCall},
 		{"E1CoLocatedOptimised", MicroE1CoLocatedOptimised},
 		{"E1RemoteLoopback", MicroE1RemoteLoopback},
+		{"E1PipelinedLoopback", MicroE1PipelinedLoopback},
 		{"E4Interrogation", MicroE4Interrogation},
 		{"E4Announcement", MicroE4Announcement},
+		{"E4AnnounceConcurrent", MicroE4AnnounceConcurrent},
 		{"E12FrameSend", MicroE12FrameSend},
 	}
 }
@@ -104,6 +106,55 @@ func MicroE1RemoteLoopback(b *testing.B) {
 	}
 }
 
+// mustBatchedPair builds the two-node rig with write coalescing on both
+// sides and runs enough warm-up calls for the batching negotiation to
+// settle, so the measured region is pure steady state.
+func mustBatchedPair(b *testing.B, profile odp.LinkProfile, proxyQoS odp.QoS) (*pair, *odp.Proxy) {
+	b.Helper()
+	p, err := newBatchedPair(profile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ref, err := p.server.Publish("cell", odp.Object{Servant: newCell(0)})
+	if err != nil {
+		p.close()
+		b.Fatal(err)
+	}
+	proxy := p.client.Bind(ref).WithQoS(proxyQoS)
+	ctx := context.Background()
+	for i := 0; i < 16; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			p.close()
+			b.Fatal(err)
+		}
+	}
+	return p, proxy
+}
+
+// MicroE1PipelinedLoopback is the headline batching benchmark: 16
+// concurrent callers pipeline interrogations over one coalesced
+// loopback connection. Each caller still waits for its reply, but
+// requests, replies and piggybacked acks share BATCH datagrams, so the
+// per-packet channel overhead that dominates MicroE1RemoteLoopback is
+// amortised across the callers and the ns/op reported here is the
+// throughput-side cost of an invocation under load.
+func MicroE1PipelinedLoopback(b *testing.B) {
+	p, proxy := mustBatchedPair(b, odp.LinkProfile{}, odp.QoS{Timeout: 30 * time.Second})
+	defer p.close()
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // MicroE4Interrogation is the request-reply half of the E4 comparison,
 // over a LAN-like link.
 func MicroE4Interrogation(b *testing.B) {
@@ -135,6 +186,27 @@ func MicroE4Announcement(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// MicroE4AnnounceConcurrent measures announcement throughput with 16
+// concurrent senders sharing one coalesced connection — the
+// scaling-with-senders headline of the batching layer. Announcements
+// are fire-and-forget, so every sender runs flat out and the coalescer
+// packs their bursts into shared datagrams.
+func MicroE4AnnounceConcurrent(b *testing.B) {
+	p, proxy := mustBatchedPair(b, odp.LAN, odp.QoS{Timeout: 30 * time.Second})
+	defer p.close()
+	b.ReportAllocs()
+	b.SetParallelism(16)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := proxy.Announce("note"); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // MicroE12FrameSend measures the stream fast path: one 256-byte frame

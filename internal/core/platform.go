@@ -72,6 +72,9 @@ type Platform struct {
 	RelocRef wire.Ref
 
 	binder *naming.Binder
+	// coalescer is non-nil when WithBatching wrapped the endpoint; the
+	// platform owns it and Close drains it.
+	coalescer *transport.Coalescer
 }
 
 // platformConfig collects construction options.
@@ -84,6 +87,8 @@ type platformConfig struct {
 	hostRelocator bool
 	traderContext string
 	capsuleOpts   []capsule.Option
+	batching      bool
+	batchOpts     []transport.CoalescerOption
 }
 
 // Option configures NewPlatform.
@@ -127,6 +132,20 @@ func WithCapsuleOptions(opts ...capsule.Option) Option {
 	return func(cfg *platformConfig) { cfg.capsuleOpts = append(cfg.capsuleOpts, opts...) }
 }
 
+// WithBatching wraps the node's endpoint in a write coalescer
+// (transport.Coalescer): frames that concurrent invocations address to
+// the same destination pack into single BATCH datagrams, amortising
+// per-packet channel overhead. Batching is negotiated in-band, so a
+// batching node interoperates transparently with plain ones. The
+// platform owns the wrapper; Close flushes and closes it (and with it
+// the endpoint).
+func WithBatching(opts ...transport.CoalescerOption) Option {
+	return func(cfg *platformConfig) {
+		cfg.batching = true
+		cfg.batchOpts = append(cfg.batchOpts, opts...)
+	}
+}
+
 // NewPlatform assembles a node on ep.
 func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform, error) {
 	cfg := platformConfig{
@@ -146,6 +165,10 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 		Registry: mgmt.NewRegistry(0),
 		Keys:     security.NewKeyring(),
 		Types:    types.NewManager(),
+	}
+	if cfg.batching {
+		p.coalescer = transport.NewCoalescer(ep, cfg.batchOpts...)
+		ep = p.coalescer
 	}
 	p.Capsule = capsule.New(name, ep, cfg.codec, cfg.capsuleOpts...)
 	p.Coordinator = txn.NewCoordinator(p.Capsule, cfg.store)
@@ -185,9 +208,25 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 	return p, nil
 }
 
-// Close shuts the platform down.
+// Close shuts the platform down. A batching platform drains and closes
+// its coalescer (and with it the wrapped endpoint) after the capsule.
 func (p *Platform) Close() error {
-	return p.Capsule.Close()
+	err := p.Capsule.Close()
+	if p.coalescer != nil {
+		if cerr := p.coalescer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// BatchStats reports write-coalescing counters when the platform was
+// built WithBatching; ok is false otherwise.
+func (p *Platform) BatchStats() (transport.CoalescerStats, bool) {
+	if p.coalescer == nil {
+		return transport.CoalescerStats{}, false
+	}
+	return p.coalescer.BatchStats(), true
 }
 
 // Invoke performs an interrogation through the platform's binder:

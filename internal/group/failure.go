@@ -268,7 +268,7 @@ func (m *Member) Join(ctx context.Context, seed wire.Ref) error {
 }
 
 // onJoin handles a join request at the sequencer.
-func (m *Member) onJoin(ctx context.Context, args []wire.Value) (string, []wire.Value, error) {
+func (m *Member) onJoin(_ context.Context, args []wire.Value) (string, []wire.Value, error) {
 	rec, ok := args[0].(wire.Record)
 	if !ok {
 		return "", nil, fmt.Errorf("group: join wants a member record, got %T", args[0])

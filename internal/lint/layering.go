@@ -38,8 +38,10 @@ func DefaultLayeringConfig() LayeringConfig {
 			},
 		},
 		LowLayer: map[string][]string{
-			"odp/internal/wire":      {},
-			"odp/internal/transport": {},
+			"odp/internal/wire": {},
+			// The write coalescer's max-delay flush window is clock
+			// driven so fake-clock tests stay deterministic.
+			"odp/internal/transport": {"odp/internal/clock"},
 			"odp/internal/netsim":    {"odp/internal/transport"},
 			"odp/internal/clock":     {},
 		},

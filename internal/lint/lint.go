@@ -24,6 +24,10 @@
 //     model — every value kind is handled by every encoder and decoder,
 //     and every exported field of the reference type survives both
 //     codecs.
+//   - ctxdrop: a function that binds a context.Context parameter to a
+//     name must read it — otherwise the cancellation chain is silently
+//     cut. Implementations that genuinely ignore cancellation declare
+//     it by naming the parameter _.
 //
 // The suite is built on the standard library only: go/parser, go/ast and
 // go/types with a source importer. It is wired into tier-1 via
@@ -68,6 +72,7 @@ func DefaultAnalyzers() []Analyzer {
 		NewDetClock(DefaultDetClockConfig()),
 		NewLayering(DefaultLayeringConfig()),
 		NewWireTotal(),
+		NewCtxDrop(),
 	}
 }
 

@@ -98,6 +98,14 @@ func fixtureCases() []fixtureCase {
 			},
 		},
 		{
+			dir: "ctxdrop", asPath: "odp/internal/ctxdrop",
+			analyzer: NewCtxDrop(),
+			want: []string{
+				`ctxdrop.go:9: [ctxdrop] context parameter "ctx" is dropped by Dropped: propagate it or rename it to _`,
+				`ctxdrop.go:20: [ctxdrop] context parameter "ctx" is dropped by function literal: propagate it or rename it to _`,
+			},
+		},
+		{
 			dir: "kindmiss", asPath: "odp/internal/kindmiss",
 			analyzer: NewWireTotal(),
 			want: []string{

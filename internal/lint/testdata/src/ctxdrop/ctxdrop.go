@@ -1,0 +1,40 @@
+// Package ctxdrop is a known-bad ctxdrop fixture: context parameters
+// bound to names and then ignored, cutting the cancellation chain.
+package ctxdrop
+
+import "context"
+
+// Dropped names its context and never reads it: the caller's deadline
+// cannot reach the work below.
+func Dropped(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+// DroppedInLiteral propagates correctly itself but spawns a literal
+// that drops its own context.
+func DroppedInLiteral(ctx context.Context) error {
+	run := func(ctx context.Context) error {
+		return nil
+	}
+	return run(ctx)
+}
+
+// Used propagates the context: legal.
+func Used(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Captured uses the context only inside a closure — capture is
+// propagation, so this is legal.
+func Captured(ctx context.Context) func() error {
+	return func() error { return ctx.Err() }
+}
+
+// Blank declares in the signature that cancellation is ignored: legal.
+func Blank(_ context.Context) int {
+	return 1
+}

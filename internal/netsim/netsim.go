@@ -26,6 +26,13 @@ type LinkProfile struct {
 	Jitter time.Duration
 	// Loss is the probability in [0,1] that a packet is silently dropped.
 	Loss float64
+	// PerPacket is a fixed processing cost charged per datagram,
+	// independent of size — the framing/syscall/wakeup overhead a real
+	// stack pays for every packet. A coalesced BATCH frame (see
+	// transport.Coalescer) is one datagram and so pays it once however
+	// many sub-frames it carries, which is the amortisation the E16
+	// experiment measures.
+	PerPacket time.Duration
 }
 
 // Profiles for common environments, used throughout the benchmarks.
@@ -204,7 +211,7 @@ func (f *Fabric) send(from, to string, pkt []byte) error {
 	drop := profile.Loss > 0 && f.rng.Float64() < profile.Loss
 	var delay time.Duration
 	if !drop {
-		delay = profile.Latency
+		delay = profile.Latency + profile.PerPacket
 		if profile.Jitter > 0 {
 			delay += time.Duration(f.rng.Int63n(int64(profile.Jitter)))
 		}

@@ -81,6 +81,26 @@ func TestLatencyApplied(t *testing.T) {
 	}
 }
 
+// TestPerPacketOverheadApplied: the per-datagram cost is charged once
+// per Send, so a BATCH frame carrying many sub-frames pays it once —
+// the amortisation model the batching experiments rely on.
+func TestPerPacketOverheadApplied(t *testing.T) {
+	f := NewFabric(WithDefaultLink(LinkProfile{PerPacket: 30 * time.Millisecond}))
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan time.Time, 1)
+	b.SetHandler(func(string, []byte) { got <- time.Now() })
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	at := <-got
+	if d := at.Sub(start); d < 25*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~30ms of per-packet cost", d)
+	}
+}
+
 func TestLossStatistics(t *testing.T) {
 	f := NewFabric(WithSeed(42), WithDefaultLink(LinkProfile{Loss: 0.5}))
 	a, _ := f.Endpoint("a")

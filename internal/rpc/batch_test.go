@@ -1,0 +1,212 @@
+// Tests for the rpc layer's interaction with the write coalescer
+// (transport.Coalescer): ack piggybacking onto batches, the bounded
+// announcement dedup structures behind the E4 fix, and handler-context
+// cancellation on Close.
+package rpc
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"odp/internal/netsim"
+	"odp/internal/transport"
+	"odp/internal/wire"
+)
+
+// setupBatched wires a client and server whose shared fabric endpoints
+// are wrapped in coalescers pre-marked as mutually capable, so every
+// send takes the batching path from the first frame.
+func setupBatched(t *testing.T) (*Client, func(Handler) *Server) {
+	t.Helper()
+	f := netsim.NewFabric()
+	t.Cleanup(func() { _ = f.Close() })
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := f.Endpoint("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cco := transport.NewCoalescer(cep)
+	sco := transport.NewCoalescer(sep)
+	t.Cleanup(func() {
+		_ = cco.Close()
+		_ = sco.Close()
+	})
+	cco.MarkBatching("server")
+	sco.MarkBatching("client")
+	cli := NewClient(cco, codec)
+	t.Cleanup(func() { _ = cli.Close() })
+	mkServer := func(h Handler) *Server {
+		srv := NewServer(sco, codec, h)
+		t.Cleanup(func() { _ = srv.Close() })
+		return srv
+	}
+	return cli, mkServer
+}
+
+// TestCallsOverCoalescedEndpoints: the whole interrogation protocol —
+// request, reply, ack, dedup — works unchanged when both directions are
+// batched, and the traffic demonstrably went through BATCH frames.
+func TestCallsOverCoalescedEndpoints(t *testing.T) {
+	cli, mkServer := setupBatched(t)
+	srv := mkServer(echoHandler)
+	for i := 0; i < 20; i++ {
+		outcome, results, err := cli.Call(context.Background(), "server", "obj", "reverse",
+			[]wire.Value{int64(i), "x"}, QoS{Timeout: 5 * time.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcome != "ok" || len(results) != 2 || results[1] != int64(i) {
+			t.Fatalf("call %d: outcome=%q results=%v", i, outcome, results)
+		}
+	}
+	if st := srv.Stats(); st.Requests != 20 {
+		t.Fatalf("server executed %d requests, want 20", st.Requests)
+	}
+	bst, ok := cli.BatchStats()
+	if !ok {
+		t.Fatal("client on a Coalescer must report batch stats")
+	}
+	if bst.BatchesSent == 0 || bst.FramesBatched == 0 {
+		t.Fatalf("no batches on the wire: %+v", bst)
+	}
+}
+
+// TestAckPiggybackOnBatches: on a batching endpoint acks are deferred
+// and flushed ahead of the next send to the same destination, so they
+// share its batch; none are lost (the server still evicts), and Close
+// flushes the tail.
+func TestAckPiggybackOnBatches(t *testing.T) {
+	cli, mkServer := setupBatched(t)
+	mkServer(echoHandler)
+	const calls = 6
+	for i := 0; i < calls; i++ {
+		if _, _, err := cli.Call(context.Background(), "server", "obj", "reverse",
+			[]wire.Value{int64(i)}, QoS{Timeout: 5 * time.Second}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := cli.Stats()
+	if st.AcksDeferred != calls {
+		t.Fatalf("AcksDeferred = %d, want %d (every ack deferred on a batching endpoint)",
+			st.AcksDeferred, calls)
+	}
+	// All but the last call's ack had a later send to piggyback on.
+	if st.AcksPiggybacked < calls-1 {
+		t.Fatalf("AcksPiggybacked = %d, want >= %d", st.AcksPiggybacked, calls-1)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := cli.Stats(); st.AcksPiggybacked != calls {
+		t.Fatalf("Close must flush the deferred tail: piggybacked %d of %d",
+			st.AcksPiggybacked, calls)
+	}
+}
+
+// TestAcksImmediateWithoutBatching: on a plain endpoint the deferral
+// machinery stays out of the way entirely.
+func TestAcksImmediateWithoutBatching(t *testing.T) {
+	_, cli, mkServer := setup(t)
+	mkServer(echoHandler)
+	if _, _, err := cli.Call(context.Background(), "server", "obj", "reverse",
+		[]wire.Value{int64(1)}, QoS{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := cli.Stats(); st.AcksDeferred != 0 || st.AcksPiggybacked != 0 {
+		t.Fatalf("plain endpoint deferred acks: %+v", st)
+	}
+	if _, ok := cli.BatchStats(); ok {
+		t.Fatal("plain endpoint must not report batch stats")
+	}
+}
+
+// TestAnnouncementDedupBounded is the E4 regression test: the server's
+// announcement dedup state must stay O(1) in announcement volume — the
+// unbounded map growth it replaces is what made E4Announcement ns/op a
+// function of b.N.
+func TestAnnouncementDedupBounded(t *testing.T) {
+	_, cli, mkServer := setup(t)
+	srv := mkServer(func(_ context.Context, _ *Incoming) (string, []wire.Value, error) {
+		return "", nil, nil
+	})
+
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := cli.Announce("server", "obj", "note", nil, QoS{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pollUntil(t, "announcements delivered", func() bool {
+		return srv.Stats().Announcements == n
+	})
+
+	var ringKeys, callEntries, ackQueue int
+	for i := range srv.shards {
+		sh := &srv.shards[i]
+		sh.mu.Lock()
+		ringKeys += len(sh.ringSet)
+		callEntries += len(sh.cur) + len(sh.prev)
+		ackQueue += len(sh.ackq)
+		sh.mu.Unlock()
+	}
+	if max := numShards * announceRingSize; ringKeys > max {
+		t.Fatalf("announcement dedup window grew past its bound: %d > %d", ringKeys, max)
+	}
+	if callEntries != 0 || ackQueue != 0 {
+		t.Fatalf("announcements leaked call-table state: %d entries, %d queued acks",
+			callEntries, ackQueue)
+	}
+
+	// The bounded window must still deduplicate a Repeats burst.
+	before := srv.Stats()
+	if err := cli.Announce("server", "obj", "note", nil, QoS{Repeats: 4}); err != nil {
+		t.Fatal(err)
+	}
+	pollUntil(t, "repeat burst deduplicated", func() bool {
+		st := srv.Stats()
+		return st.Announcements == before.Announcements+1 &&
+			st.AnnounceDedup == before.AnnounceDedup+4
+	})
+}
+
+// TestServerCloseCancelsHandlerCtx: the context handed to handlers is
+// cancelled by Close, so a handler blocked on it unwinds and Close's
+// wg.Wait can return — cancellation propagates instead of being
+// dropped at the dispatch boundary.
+func TestServerCloseCancelsHandlerCtx(t *testing.T) {
+	f := netsim.NewFabric()
+	t.Cleanup(func() { _ = f.Close() })
+	cep, _ := f.Endpoint("client")
+	sep, _ := f.Endpoint("server")
+	cli := NewClient(cep, codec)
+	t.Cleanup(func() { _ = cli.Close() })
+
+	entered := make(chan struct{})
+	srv := NewServer(sep, codec, func(ctx context.Context, _ *Incoming) (string, []wire.Value, error) {
+		close(entered)
+		<-ctx.Done() // blocks forever unless Close cancels
+		return "", nil, ctx.Err()
+	})
+
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _, _ = cli.Call(ctx, "server", "obj", "block", nil, QoS{Timeout: 5 * time.Second})
+	}()
+	<-entered
+
+	done := make(chan struct{})
+	go func() {
+		_ = srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: handler context was not cancelled")
+	}
+}

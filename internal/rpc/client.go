@@ -56,6 +56,13 @@ type ClientStats struct {
 	// call — duplicates of already-completed interrogations, or replies
 	// from a confused peer.
 	OrphanReplies uint64
+	// AcksDeferred counts acks queued for piggybacking instead of sent
+	// in their own datagram (batching endpoints only).
+	AcksDeferred uint64
+	// AcksPiggybacked counts deferred acks later flushed ahead of a
+	// request, retransmission or announcement to the same destination,
+	// so they shared that send's batch.
+	AcksPiggybacked uint64
 }
 
 // clientCounters is the hot-path form of ClientStats: independent atomics
@@ -67,6 +74,8 @@ type clientCounters struct {
 	announcements   atomic.Uint64
 	badReplies      atomic.Uint64
 	orphanReplies   atomic.Uint64
+	acksDeferred    atomic.Uint64
+	acksPiggybacked atomic.Uint64
 }
 
 // numShards splits the pending-call and server-call tables. Shard count
@@ -100,8 +109,30 @@ type Client struct {
 	closed atomic.Bool
 	shards [numShards]pendingShard
 
+	// batching is set when ep coalesces writes (transport.Batcher):
+	// acks are then deferred and flushed just before the next
+	// substantive send to the same destination, so they ride in that
+	// send's batch instead of paying for their own datagram.
+	batching bool
+	ackMu    sync.Mutex
+	acks     []pendingAck
+
 	stats clientCounters
 }
+
+// pendingAck is one deferred acknowledgement awaiting piggybacking.
+type pendingAck struct {
+	dest  string
+	objID string
+	id    uint64
+}
+
+// ackFlushBound caps the deferred-ack queue: reaching it flushes
+// everything, so acks to a destination the client never contacts again
+// still leave within a bounded number of calls (and at the latest on
+// Close). The server's reply cache tolerates the added latency — it
+// holds unacked replies for a full replyTTL anyway.
+const ackFlushBound = 32
 
 // ClientOption configures a Client.
 type ClientOption func(*Client)
@@ -128,6 +159,7 @@ func newClientNoHandler(ep transport.Endpoint, codec wire.Codec, opts ...ClientO
 		codec: codec,
 		clk:   clock.Real{},
 	}
+	_, c.batching = ep.(transport.Batcher)
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64]chan replyBody)
 	}
@@ -152,7 +184,18 @@ func (c *Client) Stats() ClientStats {
 		Announcements:   c.stats.announcements.Load(),
 		BadReplies:      c.stats.badReplies.Load(),
 		OrphanReplies:   c.stats.orphanReplies.Load(),
+		AcksDeferred:    c.stats.acksDeferred.Load(),
+		AcksPiggybacked: c.stats.acksPiggybacked.Load(),
 	}
+}
+
+// BatchStats reports the endpoint's write-coalescing counters, when the
+// client rides a batching endpoint (see transport.Coalescer).
+func (c *Client) BatchStats() (transport.CoalescerStats, bool) {
+	if b, ok := c.ep.(transport.Batcher); ok {
+		return b.BatchStats(), true
+	}
+	return transport.CoalescerStats{}, false
 }
 
 // Close releases the client. In-flight calls fail with ErrClosed.
@@ -160,6 +203,7 @@ func (c *Client) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	c.flushAcks("")
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -238,6 +282,11 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 	}
 
 	c.stats.calls.Add(1)
+	if c.batching {
+		// Deferred acks for this destination leave now, packed into the
+		// same batch as the request about to go out.
+		c.flushAcks(dest)
+	}
 	if err := c.ep.Send(dest, pkt); err != nil {
 		c.abandon(id, ch)
 		return "", nil, err
@@ -258,21 +307,16 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 			// no other sender exists and the drained channel is safe to
 			// recycle.
 			replyChPool.Put(ch)
-			// Acknowledge so the server may evict its reply cache. The
-			// ack encodes into its own pooled buffer.
-			ackp := wire.GetBuffer()
-			ack := encodeHeader(*ackp, header{
-				version: protoVersion,
-				msgType: msgAck,
-				callID:  id,
-				objID:   objID,
-			})
-			_ = c.ep.Send(dest, ack)
-			*ackp = ack
-			wire.PutBuffer(ackp)
+			// Acknowledge so the server may evict its reply cache. On a
+			// batching endpoint the ack is deferred to piggyback on the
+			// next outgoing batch; otherwise it is sent immediately.
+			c.noteAck(dest, objID, id)
 			return c.interpret(rb)
 		case <-retrans.C():
 			c.stats.retransmissions.Add(1)
+			if c.batching {
+				c.flushAcks(dest)
+			}
 			if err := c.ep.Send(dest, pkt); err != nil {
 				c.abandon(id, ch)
 				return "", nil, err
@@ -298,6 +342,68 @@ func (c *Client) abandon(id uint64, ch chan replyBody) {
 	}
 }
 
+// noteAck acknowledges a completed call: immediately on a plain
+// endpoint, deferred onto the piggyback queue on a batching one.
+func (c *Client) noteAck(dest, objID string, id uint64) {
+	if !c.batching {
+		c.sendAck(dest, objID, id)
+		return
+	}
+	c.ackMu.Lock()
+	c.acks = append(c.acks, pendingAck{dest: dest, objID: objID, id: id})
+	n := len(c.acks)
+	c.ackMu.Unlock()
+	c.stats.acksDeferred.Add(1)
+	if n >= ackFlushBound {
+		c.flushAcks("")
+	}
+}
+
+// flushAcks sends deferred acks for dest (all destinations when dest is
+// empty). Callers invoke it immediately before a substantive send, so
+// the flushed acks and that send coalesce into one batch.
+func (c *Client) flushAcks(dest string) {
+	c.ackMu.Lock()
+	if len(c.acks) == 0 {
+		c.ackMu.Unlock()
+		return
+	}
+	var take []pendingAck
+	if dest == "" {
+		take = c.acks
+		c.acks = nil
+	} else {
+		kept := c.acks[:0]
+		for _, a := range c.acks {
+			if a.dest == dest {
+				take = append(take, a)
+			} else {
+				kept = append(kept, a)
+			}
+		}
+		c.acks = kept
+	}
+	c.ackMu.Unlock()
+	for _, a := range take {
+		c.sendAck(a.dest, a.objID, a.id)
+		c.stats.acksPiggybacked.Add(1)
+	}
+}
+
+// sendAck writes one ack packet from a pooled buffer.
+func (c *Client) sendAck(dest, objID string, id uint64) {
+	ackp := wire.GetBuffer()
+	ack := encodeHeader(*ackp, header{
+		version: protoVersion,
+		msgType: msgAck,
+		callID:  id,
+		objID:   objID,
+	})
+	_ = c.ep.Send(dest, ack)
+	*ackp = ack
+	wire.PutBuffer(ackp)
+}
+
 // Announce performs a request-only invocation: no reply, no outcome, no
 // failure report (§5.1). QoS.Repeats extra copies are sent back to back.
 func (c *Client) Announce(dest, objID, op string, args []wire.Value, qos QoS) error {
@@ -316,6 +422,9 @@ func (c *Client) Announce(dest, objID, op string, args []wire.Value, qos QoS) er
 	}
 	*bufp = pkt
 	c.stats.announcements.Add(1)
+	if c.batching {
+		c.flushAcks(dest)
+	}
 	for i := 0; i <= qos.Repeats; i++ {
 		if err := c.ep.Send(dest, pkt); err != nil {
 			return err

@@ -57,11 +57,40 @@ type serverCounters struct {
 	cacheEvictions atomic.Uint64
 }
 
-// callShard is one stripe of the at-most-once call table.
+// callShard is one stripe of the at-most-once call table. Interrogations
+// live in a two-generation map pair: claims go into cur, lookups consult
+// cur then prev, and the janitor rotates cur→prev every replyTTL, so a
+// done entry survives at least one full TTL and at most about two — with
+// O(1) work per rotation instead of a scan proportional to the table.
+// Announcements, which vastly outnumber interrogations in announcement-
+// heavy load (E4), use a fixed-capacity ring instead: the dedup window
+// the protocol needs only spans a QoS.Repeats burst, so a bounded
+// recent-keys set suffices and the shard's footprint stays constant no
+// matter how many announcements pass through (this is what made
+// E4Announcement ns/op grow with b.N before).
 type callShard struct {
-	mu sync.Mutex
-	m  map[callKey]*serverCall
+	mu   sync.Mutex
+	cur  map[callKey]*serverCall // current-generation interrogation slots
+	prev map[callKey]*serverCall // previous generation, read-only until swept
+	ackq []ackedKey              // acked entries awaiting their grace deadline
+
+	ring    []callKey       // recent announcement keys, oldest overwritten
+	ringSet map[callKey]int // ring membership → slot index
+	ringPos int
 }
+
+// ackedKey queues one acked interrogation for lazy eviction: the janitor
+// drains the queue instead of scanning every entry for expiry.
+type ackedKey struct {
+	key     callKey
+	expires time.Time
+}
+
+// announceRingSize is the per-shard announcement dedup window. Repeats
+// of one announcement arrive back to back, so a window thousands deep
+// (numShards × announceRingSize keys process-wide) is far wider than
+// any burst the QoS.Repeats lever can produce.
+const announceRingSize = 512
 
 // Server dispatches inbound invocations from one endpoint to a Handler,
 // enforcing at-most-once execution per (client, call id). The call table
@@ -76,6 +105,12 @@ type Server struct {
 	shards [numShards]callShard
 	wg     sync.WaitGroup
 	stop   chan struct{}
+
+	// ctx is the server-lifetime context handed to every handler; Close
+	// cancels it so blocking handlers can unwind instead of stranding
+	// Close in wg.Wait.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	replyTTL time.Duration
 	clk      clock.Clock
@@ -113,6 +148,7 @@ func (s *Server) shard(key callKey) *callShard {
 // serverCall tracks one at-most-once execution slot.
 type serverCall struct {
 	done    bool
+	acked   bool   // client confirmed receipt; queued on the shard's ackq
 	reply   []byte // full reply packet, cached for retransmission
 	expires time.Time
 }
@@ -150,8 +186,13 @@ func newServerNoHandler(ep transport.Endpoint, codec wire.Codec, handler Handler
 		replyTTL: 5 * time.Second,
 		clk:      clock.Real{},
 	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	for i := range s.shards {
-		s.shards[i].m = make(map[callKey]*serverCall)
+		sh := &s.shards[i]
+		sh.cur = make(map[callKey]*serverCall)
+		sh.prev = make(map[callKey]*serverCall)
+		sh.ring = make([]callKey, announceRingSize)
+		sh.ringSet = make(map[callKey]int, announceRingSize)
 	}
 	for _, o := range opts {
 		o(s)
@@ -178,6 +219,7 @@ func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
+	s.cancel()
 	close(s.stop)
 	s.wg.Wait()
 	return nil
@@ -206,35 +248,69 @@ func (s *Server) dispatch(from string, h header, body []byte) {
 	}
 }
 
-// claim reserves the at-most-once slot for key. It returns the new slot,
-// or nil when the key is a duplicate (dup reports which, and cached the
-// reply to resend when execution already finished).
-func (s *Server) claim(key callKey, done bool) (sc *serverCall, dup bool, resend []byte) {
+// claimRequest reserves the at-most-once slot for an interrogation key
+// in the current generation. It returns the new slot, or nil when the
+// key is a duplicate (dup reports which, and resend carries the cached
+// reply when execution already finished). closed reports a shut server.
+func (s *Server) claimRequest(key callKey) (sc *serverCall, dup bool, resend []byte, closed bool) {
 	sh := s.shard(key)
 	sh.mu.Lock()
 	if s.closed.Load() {
 		sh.mu.Unlock()
-		return nil, true, nil
+		return nil, true, nil, true
 	}
-	if prev, ok := sh.m[key]; ok {
-		if prev.done {
-			resend = prev.reply
+	old, ok := sh.cur[key]
+	if !ok {
+		old, ok = sh.prev[key]
+	}
+	if ok {
+		if old.done {
+			resend = old.reply
 		}
 		sh.mu.Unlock()
-		return nil, true, resend
+		return nil, true, resend, false
 	}
-	sc = &serverCall{done: done, expires: s.clk.Now().Add(s.replyTTL)}
-	sh.m[key] = sc
+	sc = &serverCall{expires: s.clk.Now().Add(s.replyTTL)}
+	sh.cur[key] = sc
 	s.wg.Add(1)
 	sh.mu.Unlock()
-	return sc, false, nil
+	return sc, false, nil, false
+}
+
+// claimAnnounce reserves the dedup slot for an announcement key in the
+// shard's fixed ring, displacing the oldest remembered key. No per-call
+// state outlives the ring slot, so announcement throughput costs O(1)
+// memory regardless of volume.
+func (s *Server) claimAnnounce(key callKey) (dup, closed bool) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if s.closed.Load() {
+		sh.mu.Unlock()
+		return false, true
+	}
+	if _, seen := sh.ringSet[key]; seen {
+		sh.mu.Unlock()
+		return true, false
+	}
+	if old := sh.ring[sh.ringPos]; old != (callKey{}) {
+		delete(sh.ringSet, old)
+	}
+	sh.ring[sh.ringPos] = key
+	sh.ringSet[key] = sh.ringPos
+	sh.ringPos++
+	if sh.ringPos == len(sh.ring) {
+		sh.ringPos = 0
+	}
+	s.wg.Add(1)
+	sh.mu.Unlock()
+	return false, false
 }
 
 func (s *Server) onRequest(from string, h header, body []byte) {
 	key := callKey{from: from, id: h.callID}
-	sc, dup, resend := s.claim(key, false)
+	sc, dup, resend, closed := s.claimRequest(key)
 	if dup {
-		if sc == nil && resend == nil && s.closed.Load() {
+		if closed {
 			return
 		}
 		// Duplicate: resend the cached reply if execution finished,
@@ -254,11 +330,11 @@ func (s *Server) onRequest(from string, h header, body []byte) {
 
 func (s *Server) onAnnounce(from string, h header, body []byte) {
 	key := callKey{from: from, id: h.callID}
-	sc, dup, _ := s.claim(key, true)
+	dup, closed := s.claimAnnounce(key)
+	if closed {
+		return
+	}
 	if dup {
-		if s.closed.Load() {
-			return
-		}
 		// Repeated announcement (QoS.Repeats): execute once only.
 		s.stats.announceDedup.Add(1)
 		return
@@ -266,7 +342,7 @@ func (s *Server) onAnnounce(from string, h header, body []byte) {
 
 	s.stats.announcements.Add(1)
 	args, err := wire.DecodeAll(s.codec, body)
-	go s.execute(from, h, args, err, key, sc, true)
+	go s.execute(from, h, args, err, key, nil, true)
 }
 
 // ackGrace is how long a completed call entry survives after the client's
@@ -279,10 +355,20 @@ func (s *Server) onAck(from string, h header) {
 	key := callKey{from: from, id: h.callID}
 	sh := s.shard(key)
 	sh.mu.Lock()
-	if sc, ok := sh.m[key]; ok && sc.done {
+	sc, ok := sh.cur[key]
+	if !ok {
+		sc, ok = sh.prev[key]
+	}
+	if ok && sc.done && !sc.acked {
+		sc.acked = true
 		if exp := s.clk.Now().Add(ackGrace); exp.Before(sc.expires) {
 			sc.expires = exp
 		}
+		// Queue for lazy eviction: the janitor drains this instead of
+		// scanning the whole table. The entry stays resendable until
+		// the clock actually passes the grace deadline, so a straggling
+		// retransmission still hits the cache.
+		sh.ackq = append(sh.ackq, ackedKey{key: key, expires: sc.expires})
 	}
 	sh.mu.Unlock()
 }
@@ -310,7 +396,10 @@ func (s *Server) execute(from string, h header, args []wire.Value, decodeErr err
 			Args:         args,
 			Announcement: announcement,
 		}
-		outcome, results, err = s.handler(context.Background(), in)
+		// Handlers get the server-lifetime context: Close cancels it,
+		// so a handler that blocks (on locks, channels, or nested
+		// invocations) can select on ctx.Done() and unwind.
+		outcome, results, err = s.handler(s.ctx, in)
 		*in = Incoming{}
 		incomingPool.Put(in)
 	}
@@ -369,26 +458,63 @@ func (s *Server) execute(from string, h header, args []wire.Value, decodeErr err
 	}
 }
 
-// janitor evicts expired reply-cache entries (lost Acks must not leak
-// memory).
+// janitor evicts reply-cache entries (lost Acks must not leak memory).
+// Acked entries drain from the per-shard ack queue once their grace
+// passes; everything else ages out by generation rotation every
+// replyTTL, which retires a whole map at once instead of scanning every
+// entry — janitor cost no longer grows with call volume.
 func (s *Server) janitor() {
 	defer s.wg.Done()
-	ticker := s.clk.NewTicker(time.Second)
+	tick := time.Second
+	if s.replyTTL < tick {
+		tick = s.replyTTL
+	}
+	ticker := s.clk.NewTicker(tick)
 	defer ticker.Stop()
+	lastRotate := s.clk.Now()
 	for {
 		select {
 		case <-s.stop:
 			return
 		case now := <-ticker.C():
+			rotate := now.Sub(lastRotate) >= s.replyTTL
+			if rotate {
+				lastRotate = now
+			}
 			var evicted uint64
 			for i := range s.shards {
 				sh := &s.shards[i]
 				sh.mu.Lock()
-				for k, sc := range sh.m {
-					if sc.done && now.After(sc.expires) {
-						delete(sh.m, k)
+				// Drain acked entries whose grace deadline passed.
+				kept := sh.ackq[:0]
+				for _, a := range sh.ackq {
+					if !now.After(a.expires) {
+						kept = append(kept, a)
+						continue
+					}
+					if sc, ok := sh.cur[a.key]; ok && sc.acked {
+						delete(sh.cur, a.key)
+						evicted++
+					} else if sc, ok := sh.prev[a.key]; ok && sc.acked {
+						delete(sh.prev, a.key)
 						evicted++
 					}
+				}
+				sh.ackq = kept
+				if rotate {
+					// Generation sweep: everything in prev is at least
+					// one TTL old. Done entries go; still-running
+					// interrogations carry forward, preserving
+					// at-most-once for arbitrarily slow handlers.
+					evicted += uint64(len(sh.prev))
+					for k, sc := range sh.prev {
+						if !sc.done {
+							sh.cur[k] = sc
+							evicted--
+						}
+					}
+					sh.prev = sh.cur
+					sh.cur = make(map[callKey]*serverCall)
 				}
 				sh.mu.Unlock()
 			}

@@ -1,0 +1,578 @@
+// Write coalescing: adaptive frame batching on shared connections.
+//
+// PR 2 drove per-call allocations to near zero, which left the E1
+// loopback cost dominated by per-packet overhead — framing, syscalls
+// (TCP) or per-delivery goroutines (netsim), and scheduler wakeups.
+// That is channel overhead, not computational-model overhead, so per
+// §5.5 of the paper it belongs to the channel: the Coalescer wraps any
+// Endpoint and packs frames that concurrent senders address to the same
+// destination into a single BATCH datagram, amortising the per-packet
+// cost across all of them without the layers above changing at all.
+//
+// Flush policy (natural batching, in the group-commit tradition):
+//
+//   - a dedicated flusher per destination drains the pending buffer as
+//     fast as the inner endpoint accepts it; whatever accumulated while
+//     the previous write was in flight forms the next batch, so batch
+//     size adapts to load with no added latency under light load;
+//   - a size threshold forces a flush when the pending buffer is big
+//     enough that waiting would not improve amortisation;
+//   - an optional max-delay (off by default) holds sub-threshold
+//     batches for a bounded window, trading latency for packing. It is
+//     driven by an injected clock.Clock so fake-clock tests exercise it
+//     deterministically.
+//
+// Interop is version-negotiated in-band. Control frames claim the first
+// byte 0xB7, which no rpc packet can start with (rpc packets start with
+// protoVersion, currently 1). Until a peer proves it understands
+// batching — by sending a BATCH/HELLO frame, or answering a HELLO probe
+// with a HELLO ack — every frame to it passes through unbatched, so a
+// batching endpoint degrades transparently against a plain one: the
+// plain peer's rpc layer drops the occasional probe as a malformed
+// packet, which best-effort datagram semantics already require it to
+// tolerate.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"odp/internal/clock"
+)
+
+// Batch wire format. A BATCH frame is one datagram carrying N complete
+// sub-frames:
+//
+//	[0xB7 'B' ver] [u32 count] count × ( [u32 len] [len bytes] )
+//
+// A HELLO frame negotiates capability:
+//
+//	[0xB7 'H' ver] [flag]     flag 0 = probe, 1 = ack
+const (
+	batchMagic   = 0xB7 // first byte of every coalescer control frame
+	batchKind    = 'B'
+	helloKind    = 'H'
+	batchVersion = 1
+
+	batchHdrLen = 3 + 4 // magic, kind, version + u32 sub-frame count
+	subHdrLen   = 4     // u32 length prefix per sub-frame
+
+	helloProbe = 0
+	helloAck   = 1
+
+	// helloEvery paces capability probes: one probe rides ahead of
+	// every helloEvery-th unbatched send to a peer not yet known to
+	// batch, so negotiation converges under loss without a probe storm.
+	helloEvery = 64
+
+	// Defaults; see the corresponding CoalescerOptions.
+	defaultFlushThreshold = 32 << 10
+	defaultMaxBatchFrames = 64
+	defaultPendingLimit   = 256 << 10
+)
+
+// ErrBatchCorrupt reports a BATCH frame whose structure is inconsistent
+// (truncated sub-frame, count mismatch, trailing bytes).
+var ErrBatchCorrupt = errors.New("transport: corrupt batch frame")
+
+// CoalescerStats is a snapshot of a Coalescer's counters.
+type CoalescerStats struct {
+	BatchesSent     uint64 // BATCH frames written to the inner endpoint
+	FramesBatched   uint64 // sub-frames carried inside those batches
+	SingleSends     uint64 // frames passed through unbatched
+	BatchesReceived uint64 // BATCH frames decoded from the wire
+	FramesUnpacked  uint64 // sub-frames delivered out of received batches
+	HellosSent      uint64 // HELLO probes and acks emitted
+	BadFrames       uint64 // corrupt or version-mismatched control frames dropped
+	Overflows       uint64 // frames dropped because a peer's pending queue was full
+	// FramesPerBatch is a histogram of sent batch sizes with buckets
+	// 1, 2–3, 4–7, 8–15 and ≥16 frames.
+	FramesPerBatch [5]uint64
+}
+
+// coalCounters is the atomic backing store for CoalescerStats.
+type coalCounters struct {
+	batchesSent, framesBatched, singleSends atomic.Uint64
+	batchesRecv, framesUnpacked             atomic.Uint64
+	hellosSent, badFrames, overflows        atomic.Uint64
+	buckets                                 [5]atomic.Uint64
+}
+
+func sizeBucket(n int) int {
+	switch {
+	case n <= 1:
+		return 0
+	case n <= 3:
+		return 1
+	case n <= 7:
+		return 2
+	case n <= 15:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// CoalescerOption configures a Coalescer.
+type CoalescerOption func(*Coalescer)
+
+// WithFlushThreshold sets the pending-buffer size (bytes) that forces an
+// immediate flush regardless of the max-delay window.
+func WithFlushThreshold(n int) CoalescerOption {
+	return func(c *Coalescer) {
+		if n > 0 {
+			c.threshold = n
+		}
+	}
+}
+
+// WithMaxBatchFrames caps the number of sub-frames packed into one
+// batch.
+func WithMaxBatchFrames(n int) CoalescerOption {
+	return func(c *Coalescer) {
+		if n > 0 {
+			c.maxFrames = n
+		}
+	}
+}
+
+// WithMaxDelay holds sub-threshold batches open for up to d, trading
+// bounded extra latency for better packing under light concurrency.
+// Zero (the default) flushes as soon as the flusher is idle: natural
+// batching only, no added latency.
+func WithMaxDelay(d time.Duration) CoalescerOption {
+	return func(c *Coalescer) { c.maxDelay = d }
+}
+
+// WithPendingLimit bounds the bytes queued per destination. When the
+// limit is reached further frames are dropped (and counted), matching
+// the best-effort contract of the endpoint beneath.
+func WithPendingLimit(n int) CoalescerOption {
+	return func(c *Coalescer) {
+		if n > 0 {
+			c.pendingLimit = n
+		}
+	}
+}
+
+// WithCoalescerClock injects the clock driving the max-delay window.
+func WithCoalescerClock(clk clock.Clock) CoalescerOption {
+	return func(c *Coalescer) {
+		if clk != nil {
+			c.clk = clk
+		}
+	}
+}
+
+// Coalescer wraps an Endpoint with per-destination write coalescing. It
+// is itself an Endpoint, so the layers above are oblivious; rpc detects
+// it through the Batcher interface to defer acks into batches.
+type Coalescer struct {
+	inner Endpoint
+	clk   clock.Clock
+
+	threshold    int
+	maxFrames    int
+	maxDelay     time.Duration
+	pendingLimit int
+
+	handler atomic.Value // Handler
+
+	mu     sync.Mutex
+	peers  map[string]*batchPeer
+	closed bool
+	stop   chan struct{}
+	wg     sync.WaitGroup
+
+	stats coalCounters
+}
+
+// Batcher is implemented by endpoints that coalesce outgoing frames
+// (see Coalescer). Layers above may use it to defer low-value traffic —
+// the rpc client queues acks so they ride in the same batch as the next
+// substantive send instead of paying for their own datagram.
+type Batcher interface {
+	Endpoint
+	BatchStats() CoalescerStats
+}
+
+var (
+	_ Endpoint = (*Coalescer)(nil)
+	_ Batcher  = (*Coalescer)(nil)
+)
+
+// NewCoalescer wraps ep. The Coalescer takes over ep's inbound handler;
+// install the application handler on the Coalescer, and close the
+// Coalescer (which closes ep) rather than ep directly.
+func NewCoalescer(ep Endpoint, opts ...CoalescerOption) *Coalescer {
+	c := &Coalescer{
+		inner:        ep,
+		clk:          clock.Real{},
+		threshold:    defaultFlushThreshold,
+		maxFrames:    defaultMaxBatchFrames,
+		pendingLimit: defaultPendingLimit,
+		peers:        make(map[string]*batchPeer),
+		stop:         make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.pendingLimit > MaxPacket {
+		c.pendingLimit = MaxPacket
+	}
+	ep.SetHandler(c.demux)
+	return c
+}
+
+// batchPeer is the per-destination coalescing state.
+type batchPeer struct {
+	c    *Coalescer
+	dest string
+
+	// capable flips once the peer proves it decodes batches; it never
+	// flips back (a restarted incompatible peer would present as a new
+	// address in this stack).
+	capable atomic.Bool
+	// sends counts unbatched sends, pacing HELLO probes.
+	sends atomic.Uint64
+
+	mu      sync.Mutex
+	pending []byte // batch under construction (batchHdrLen header + sub-frames)
+	count   int    // sub-frames in pending
+	firstAt time.Time
+	spare   []byte // recycled buffer, ping-ponged with pending
+
+	wake chan struct{} // 1-buffered flusher doorbell
+}
+
+// Addr implements Endpoint.
+func (c *Coalescer) Addr() string { return c.inner.Addr() }
+
+// SetHandler implements Endpoint.
+func (c *Coalescer) SetHandler(h Handler) { c.handler.Store(h) }
+
+func (c *Coalescer) loadHandler() Handler {
+	h, _ := c.handler.Load().(Handler)
+	return h
+}
+
+// Send implements Endpoint. Frames to peers that negotiated batching are
+// queued for the destination's flusher and the error reflects only local
+// admission; transmission failures then surface as drops, which is the
+// contract of the unreliable endpoint beneath. Frames to other peers
+// pass straight through.
+func (c *Coalescer) Send(to string, pkt []byte) error {
+	if len(pkt) > MaxPacket {
+		return ErrTooLarge
+	}
+	p := c.peer(to)
+	if p == nil {
+		return ErrClosed
+	}
+	if !p.capable.Load() {
+		if (p.sends.Add(1)-1)%helloEvery == 0 {
+			c.sendHello(to, helloProbe)
+		}
+		c.stats.singleSends.Add(1)
+		return c.inner.Send(to, pkt)
+	}
+	if batchHdrLen+subHdrLen+len(pkt) > c.pendingLimit {
+		// Too big to share a datagram with anything else; batching
+		// could not amortise it anyway.
+		c.stats.singleSends.Add(1)
+		return c.inner.Send(to, pkt)
+	}
+	return p.enqueue(pkt)
+}
+
+// Close flushes whatever is pending, stops the flushers and closes the
+// inner endpoint.
+func (c *Coalescer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+	return c.inner.Close()
+}
+
+// BatchStats implements Batcher.
+func (c *Coalescer) BatchStats() CoalescerStats {
+	s := CoalescerStats{
+		BatchesSent:     c.stats.batchesSent.Load(),
+		FramesBatched:   c.stats.framesBatched.Load(),
+		SingleSends:     c.stats.singleSends.Load(),
+		BatchesReceived: c.stats.batchesRecv.Load(),
+		FramesUnpacked:  c.stats.framesUnpacked.Load(),
+		HellosSent:      c.stats.hellosSent.Load(),
+		BadFrames:       c.stats.badFrames.Load(),
+		Overflows:       c.stats.overflows.Load(),
+	}
+	for i := range s.FramesPerBatch {
+		s.FramesPerBatch[i] = c.stats.buckets[i].Load()
+	}
+	return s
+}
+
+// PeerBatching reports whether addr has negotiated batching.
+func (c *Coalescer) PeerBatching(addr string) bool {
+	c.mu.Lock()
+	p := c.peers[addr]
+	c.mu.Unlock()
+	return p != nil && p.capable.Load()
+}
+
+// MarkBatching records out-of-band that addr understands batches,
+// skipping the HELLO exchange. Intended for static topologies and
+// tests; normal negotiation is automatic.
+func (c *Coalescer) MarkBatching(addr string) {
+	c.markCapable(addr)
+}
+
+// peer returns (creating if needed) the state for addr, or nil if the
+// coalescer is closed.
+func (c *Coalescer) peer(addr string) *batchPeer {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	p := c.peers[addr]
+	if p == nil {
+		p = &batchPeer{c: c, dest: addr, wake: make(chan struct{}, 1)}
+		c.peers[addr] = p
+	}
+	return p
+}
+
+// markCapable flips addr to the batching path, starting its flusher on
+// the first transition.
+func (c *Coalescer) markCapable(addr string) {
+	p := c.peer(addr)
+	if p == nil || p.capable.Swap(true) {
+		return
+	}
+	c.mu.Lock()
+	if !c.closed {
+		c.wg.Add(1)
+		go p.flusher()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coalescer) sendHello(to string, flag byte) {
+	c.stats.hellosSent.Add(1)
+	_ = c.inner.Send(to, []byte{batchMagic, helloKind, batchVersion, flag})
+}
+
+// demux is installed as the inner endpoint's handler: it intercepts
+// coalescer control frames and forwards everything else untouched.
+func (c *Coalescer) demux(from string, pkt []byte) {
+	if len(pkt) >= 3 && pkt[0] == batchMagic {
+		switch pkt[1] {
+		case batchKind:
+			if pkt[2] != batchVersion {
+				c.stats.badFrames.Add(1)
+				return
+			}
+			c.markCapable(from) // a batch is proof of capability
+			h := c.loadHandler()
+			n, err := DecodeBatch(pkt, func(sub []byte) {
+				if h != nil {
+					h(from, sub)
+				}
+			})
+			if err != nil {
+				c.stats.badFrames.Add(1)
+				return
+			}
+			c.stats.batchesRecv.Add(1)
+			c.stats.framesUnpacked.Add(uint64(n))
+		case helloKind:
+			if pkt[2] != batchVersion || len(pkt) < 4 {
+				c.stats.badFrames.Add(1)
+				return
+			}
+			c.markCapable(from)
+			if pkt[3] == helloProbe {
+				c.sendHello(from, helloAck)
+			}
+		default:
+			// Control frame from a future version: drop, stay compatible.
+			c.stats.badFrames.Add(1)
+		}
+		return
+	}
+	if h := c.loadHandler(); h != nil {
+		h(from, pkt)
+	}
+}
+
+// enqueue appends pkt to the destination's pending batch and rings the
+// flusher. Over the pending limit the frame is dropped (best-effort
+// semantics; the rpc layer's retransmission recovers interrogations).
+func (p *batchPeer) enqueue(pkt []byte) error {
+	c := p.c
+	p.mu.Lock()
+	if p.count == 0 {
+		if p.pending == nil {
+			p.pending, p.spare = p.spare, nil
+		}
+		p.pending = append(p.pending[:0],
+			batchMagic, batchKind, batchVersion, 0, 0, 0, 0)
+		p.firstAt = c.clk.Now()
+	}
+	if len(p.pending)+subHdrLen+len(pkt) > c.pendingLimit {
+		p.mu.Unlock()
+		c.stats.overflows.Add(1)
+		return nil
+	}
+	var lb [subHdrLen]byte
+	binary.BigEndian.PutUint32(lb[:], uint32(len(pkt)))
+	p.pending = append(p.pending, lb[:]...)
+	p.pending = append(p.pending, pkt...)
+	p.count++
+	p.mu.Unlock()
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// flusher drains one destination. It runs only once the peer is known
+// capable and exits when the coalescer stops, draining a final time so
+// Close does not strand queued frames.
+func (p *batchPeer) flusher() {
+	c := p.c
+	defer c.wg.Done()
+	for {
+		select {
+		case <-p.wake:
+		case <-c.stop:
+			p.flushNow()
+			return
+		}
+		for {
+			p.mu.Lock()
+			if p.count == 0 {
+				p.mu.Unlock()
+				break
+			}
+			// Below both limits with a max-delay window configured:
+			// hold the batch open for the remainder of the window so a
+			// trickle of senders still packs together.
+			if c.maxDelay > 0 && len(p.pending) < c.threshold && p.count < c.maxFrames {
+				wait := c.maxDelay - c.clk.Since(p.firstAt)
+				if wait > 0 {
+					p.mu.Unlock()
+					t := c.clk.NewTimer(wait)
+					select {
+					case <-t.C():
+					case <-p.wake:
+						// More frames arrived; re-evaluate thresholds.
+						t.Stop()
+					case <-c.stop:
+						t.Stop()
+						p.flushNow()
+						return
+					}
+					continue
+				}
+			}
+			buf, n := p.pending, p.count
+			p.pending, p.count = nil, 0
+			p.mu.Unlock()
+			c.writeBatch(p.dest, buf, n)
+			p.recycle(buf)
+		}
+	}
+}
+
+// flushNow synchronously drains whatever is pending (shutdown path).
+func (p *batchPeer) flushNow() {
+	p.mu.Lock()
+	buf, n := p.pending, p.count
+	p.pending, p.count = nil, 0
+	p.mu.Unlock()
+	if n > 0 {
+		p.c.writeBatch(p.dest, buf, n)
+	}
+}
+
+// recycle keeps one drained buffer for reuse unless it grew oversized.
+func (p *batchPeer) recycle(buf []byte) {
+	if cap(buf) > maxRetainedBuf {
+		return
+	}
+	p.mu.Lock()
+	if p.spare == nil && p.pending == nil {
+		p.spare = buf[:0]
+	} else if p.pending == nil {
+		p.pending = buf[:0]
+	}
+	p.mu.Unlock()
+}
+
+// writeBatch patches the sub-frame count into the header and sends. A
+// batch of one is still sent as a BATCH frame: the peer is known
+// capable, and rewriting the header back out of the buffer would cost
+// more than the 7 spare bytes.
+func (c *Coalescer) writeBatch(dest string, buf []byte, n int) {
+	binary.BigEndian.PutUint32(buf[3:batchHdrLen], uint32(n))
+	if err := c.inner.Send(dest, buf); err != nil {
+		return
+	}
+	c.stats.batchesSent.Add(1)
+	c.stats.framesBatched.Add(uint64(n))
+	c.stats.buckets[sizeBucket(n)].Add(1)
+}
+
+// DecodeBatch validates pkt as a BATCH frame and invokes fn once per
+// sub-frame, in order. The whole frame is validated before the first
+// callback, so a corrupt batch delivers nothing rather than a prefix.
+// Sub-frame slices alias pkt and are only valid during the callback
+// (the Handler contract). It returns the sub-frame count.
+func DecodeBatch(pkt []byte, fn func(sub []byte)) (int, error) {
+	if len(pkt) < batchHdrLen || pkt[0] != batchMagic || pkt[1] != batchKind {
+		return 0, ErrBatchCorrupt
+	}
+	if pkt[2] != batchVersion {
+		return 0, ErrBatchCorrupt
+	}
+	count := binary.BigEndian.Uint32(pkt[3:batchHdrLen])
+	// Validation pass: every sub-frame complete, nothing trailing.
+	off := batchHdrLen
+	for i := uint32(0); i < count; i++ {
+		if off+subHdrLen > len(pkt) {
+			return 0, ErrBatchCorrupt
+		}
+		n := int(binary.BigEndian.Uint32(pkt[off : off+subHdrLen]))
+		off += subHdrLen
+		if n < 0 || n > len(pkt)-off {
+			return 0, ErrBatchCorrupt
+		}
+		off += n
+	}
+	if off != len(pkt) {
+		return 0, ErrBatchCorrupt
+	}
+	// Delivery pass.
+	off = batchHdrLen
+	for i := uint32(0); i < count; i++ {
+		n := int(binary.BigEndian.Uint32(pkt[off : off+subHdrLen]))
+		off += subHdrLen
+		if fn != nil {
+			fn(pkt[off : off+n])
+		}
+		off += n
+	}
+	return int(count), nil
+}

@@ -1,0 +1,58 @@
+// Fuzzing for the BATCH frame decoder. The seed corpus covers the
+// structurally interesting shapes from the wire format's point of view:
+// nested length prefixes (a batch carrying a batch), truncation at every
+// layer, the zero-frame batch, and count/length lies. The decoder must
+// never panic, never read out of bounds, and — when it accepts a frame —
+// survive a decode/re-encode round trip.
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzBatchDecode(f *testing.F) {
+	// Well-formed batches.
+	f.Add(buildBatch(nil))                                             // zero-frame batch
+	f.Add(buildBatch([][]byte{[]byte("hello")}))                       // single frame
+	f.Add(buildBatch([][]byte{[]byte("a"), []byte("bb")}))             // two frames
+	f.Add(buildBatch([][]byte{{}, {}, {}}))                            // empty sub-frames
+	f.Add(buildBatch([][]byte{make([]byte, 1024)}))                    // larger body
+	f.Add(buildBatch([][]byte{buildBatch([][]byte{[]byte("inner")})})) // nested batch
+	f.Add(buildBatch([][]byte{
+		{batchMagic, helloKind, batchVersion, helloProbe}, // hello inside a batch
+		[]byte("payload"),
+	}))
+	// Malformed shapes.
+	valid := buildBatch([][]byte{[]byte("aa"), []byte("bbb")})
+	f.Add(valid[:len(valid)-1])                            // truncated body
+	f.Add(valid[:batchHdrLen+2])                           // truncated length prefix
+	f.Add(overwriteCount(valid, 100))                      // count lies high
+	f.Add(overwriteCount(valid, 1))                        // count lies low
+	f.Add(overwriteCount(buildBatch(nil), 0xFFFFFFFF))     // huge count, no body
+	f.Add([]byte{batchMagic, batchKind, batchVersion})     // header cut short
+	f.Add([]byte{batchMagic, batchKind, 0xFF, 0, 0, 0, 0}) // future version
+	f.Add([]byte{batchMagic, helloKind, batchVersion, helloAck})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var subs [][]byte
+		n, err := DecodeBatch(data, func(sub []byte) {
+			subs = append(subs, append([]byte(nil), sub...))
+		})
+		if err != nil {
+			if len(subs) != 0 {
+				t.Fatalf("rejected batch still delivered %d sub-frames", len(subs))
+			}
+			return
+		}
+		if n != len(subs) {
+			t.Fatalf("count %d != delivered %d", n, len(subs))
+		}
+		// Round trip: re-encoding the decoded sub-frames must
+		// reproduce the accepted input byte for byte.
+		if re := buildBatch(subs); !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch:\n in: % x\nout: % x", data, re)
+		}
+	})
+}

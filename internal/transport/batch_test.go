@@ -1,0 +1,457 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"odp/internal/clock"
+)
+
+// memEP is an in-memory Endpoint for coalescer tests: Send records the
+// frame and, when wired to a peer, delivers it synchronously.
+type memEP struct {
+	addr string
+
+	mu      sync.Mutex
+	handler Handler
+	sent    [][]byte
+	peers   map[string]*memEP
+	closed  bool
+}
+
+func newMemEP(addr string) *memEP {
+	return &memEP{addr: addr, peers: make(map[string]*memEP)}
+}
+
+// wire connects two memEPs so frames flow both ways.
+func wire(a, b *memEP) {
+	a.mu.Lock()
+	a.peers[b.addr] = b
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.peers[a.addr] = a
+	b.mu.Unlock()
+}
+
+func (m *memEP) Addr() string { return m.addr }
+
+func (m *memEP) SetHandler(h Handler) {
+	m.mu.Lock()
+	m.handler = h
+	m.mu.Unlock()
+}
+
+func (m *memEP) Send(to string, pkt []byte) error {
+	cp := append([]byte(nil), pkt...)
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.sent = append(m.sent, cp)
+	peer := m.peers[to]
+	m.mu.Unlock()
+	if peer != nil {
+		peer.mu.Lock()
+		h := peer.handler
+		peer.mu.Unlock()
+		if h != nil {
+			h(m.addr, cp)
+		}
+	}
+	return nil
+}
+
+func (m *memEP) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	return nil
+}
+
+// frames returns the raw frames Send has written so far.
+func (m *memEP) frames() [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([][]byte(nil), m.sent...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// countBatches splits captured frames into batches and passthroughs.
+func countBatches(frames [][]byte) (batches, singles int, subs [][]byte) {
+	for _, f := range frames {
+		if len(f) >= batchHdrLen && f[0] == batchMagic && f[1] == batchKind {
+			batches++
+			_, _ = DecodeBatch(f, func(sub []byte) {
+				subs = append(subs, append([]byte(nil), sub...))
+			})
+			continue
+		}
+		if len(f) >= 3 && f[0] == batchMagic && f[1] == helloKind {
+			continue
+		}
+		singles++
+		subs = append(subs, append([]byte(nil), f...))
+	}
+	return batches, singles, subs
+}
+
+// TestCoalescerPassthroughUntilNegotiated: frames to an unknown peer go
+// straight through, preceded by a paced HELLO probe.
+func TestCoalescerPassthroughUntilNegotiated(t *testing.T) {
+	inner := newMemEP("mem://a")
+	c := NewCoalescer(inner)
+	defer func() { _ = c.Close() }()
+
+	if err := c.Send("mem://b", []byte("plain")); err != nil {
+		t.Fatal(err)
+	}
+	frames := inner.frames()
+	if len(frames) != 2 {
+		t.Fatalf("want probe + passthrough, got %d frames", len(frames))
+	}
+	if frames[0][0] != batchMagic || frames[0][1] != helloKind || frames[0][3] != helloProbe {
+		t.Fatalf("first frame is not a HELLO probe: % x", frames[0])
+	}
+	if !bytes.Equal(frames[1], []byte("plain")) {
+		t.Fatalf("payload altered in passthrough: %q", frames[1])
+	}
+	st := c.BatchStats()
+	if st.SingleSends != 1 || st.HellosSent != 1 || st.BatchesSent != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestCoalescerNegotiation: two coalescers converge to batching via the
+// HELLO exchange riding ordinary traffic.
+func TestCoalescerNegotiation(t *testing.T) {
+	ia, ib := newMemEP("mem://a"), newMemEP("mem://b")
+	wire(ia, ib)
+	ca, cb := NewCoalescer(ia), NewCoalescer(ib)
+	defer func() { _ = ca.Close() }()
+	defer func() { _ = cb.Close() }()
+
+	var mu sync.Mutex
+	var got []string
+	cb.SetHandler(func(from string, pkt []byte) {
+		mu.Lock()
+		got = append(got, string(pkt))
+		mu.Unlock()
+	})
+	ca.SetHandler(func(string, []byte) {})
+
+	// First send carries the probe; the synchronous memEP wiring means
+	// the ack is back before Send returns.
+	if err := ca.Send("mem://b", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if !ca.PeerBatching("mem://b") {
+		t.Fatal("probe/ack exchange did not mark the peer capable")
+	}
+	if !cb.PeerBatching("mem://a") {
+		t.Fatal("receiving a probe did not mark the sender capable")
+	}
+	for i := 0; i < 10; i++ {
+		if err := ca.Send("mem://b", []byte(fmt.Sprintf("m%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "all frames delivered", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 11
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	for i, want := range append([]string{"one"}, func() []string {
+		var w []string
+		for i := 0; i < 10; i++ {
+			w = append(w, fmt.Sprintf("m%d", i))
+		}
+		return w
+	}()...) {
+		if got[i] != want {
+			t.Fatalf("frame %d: got %q want %q (order broken)", i, got[i], want)
+		}
+	}
+	if st := ca.BatchStats(); st.BatchesSent == 0 || st.FramesBatched != 10 {
+		t.Fatalf("post-negotiation sends not batched: %+v", st)
+	}
+}
+
+// TestCoalescerFallbackToPlainPeer: against a non-batching endpoint the
+// payload stream is unchanged; the peer only has to drop the occasional
+// unknown probe, which the datagram contract already demands.
+func TestCoalescerFallbackToPlainPeer(t *testing.T) {
+	ia, plain := newMemEP("mem://a"), newMemEP("mem://b")
+	wire(ia, plain)
+	ca := NewCoalescer(ia)
+	defer func() { _ = ca.Close() }()
+
+	var mu sync.Mutex
+	var payloads []string
+	var unknown int
+	plain.SetHandler(func(from string, pkt []byte) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(pkt) > 0 && pkt[0] == batchMagic {
+			unknown++ // a plain rpc stack drops these as malformed
+			return
+		}
+		payloads = append(payloads, string(pkt))
+	})
+	for i := 0; i < 100; i++ {
+		if err := ca.Send("mem://b", []byte(fmt.Sprintf("p%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(payloads) != 100 {
+		t.Fatalf("plain peer got %d payloads, want 100", len(payloads))
+	}
+	for i, p := range payloads {
+		if p != fmt.Sprintf("p%d", i) {
+			t.Fatalf("payload %d = %q", i, p)
+		}
+	}
+	if unknown == 0 || unknown > 100/helloEvery+1 {
+		t.Fatalf("probe pacing off: %d probes for 100 sends", unknown)
+	}
+	if ca.PeerBatching("mem://b") {
+		t.Fatal("silent peer must never be marked capable")
+	}
+}
+
+// TestCoalescerMaxDelayFakeClock: with a max-delay window and a huge
+// threshold, frames are held until the fake clock crosses the window,
+// then leave as one batch. This is the determinism the injected clock
+// buys: no real time passes.
+func TestCoalescerMaxDelayFakeClock(t *testing.T) {
+	fc := clock.NewFake(time.Unix(100, 0))
+	inner := newMemEP("mem://a")
+	c := NewCoalescer(inner,
+		WithCoalescerClock(fc),
+		WithMaxDelay(10*time.Millisecond),
+		WithFlushThreshold(1<<20),
+		WithMaxBatchFrames(1<<20))
+	defer func() { _ = c.Close() }()
+	c.MarkBatching("mem://b")
+
+	for i := 0; i < 3; i++ {
+		if err := c.Send("mem://b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Real time passes, fake time does not: nothing may flush.
+	time.Sleep(20 * time.Millisecond)
+	if st := c.BatchStats(); st.BatchesSent != 0 {
+		t.Fatalf("batch flushed before the fake clock advanced: %+v", st)
+	}
+	// The flusher may still be en route to arming its timer; advancing
+	// repeatedly is harmless (the window is measured from first
+	// enqueue, so once Since(firstAt) >= maxDelay it flushes with or
+	// without a timer).
+	waitFor(t, "flush after Advance", func() bool {
+		fc.Advance(10 * time.Millisecond)
+		return c.BatchStats().BatchesSent == 1
+	})
+	st := c.BatchStats()
+	if st.FramesBatched != 3 || st.FramesPerBatch[1] != 1 {
+		t.Fatalf("want one batch of 3 (bucket 2–3): %+v", st)
+	}
+	_, _, subs := countBatches(inner.frames())
+	if len(subs) != 3 || !bytes.Equal(subs[0], []byte{0}) || !bytes.Equal(subs[2], []byte{2}) {
+		t.Fatalf("decoded sub-frames wrong: %v", subs)
+	}
+}
+
+// TestCoalescerThresholdOverridesDelay: crossing the size threshold
+// flushes immediately even though the max-delay window is open and the
+// fake clock never advances.
+func TestCoalescerThresholdOverridesDelay(t *testing.T) {
+	fc := clock.NewFake(time.Unix(100, 0))
+	inner := newMemEP("mem://a")
+	c := NewCoalescer(inner,
+		WithCoalescerClock(fc),
+		WithMaxDelay(time.Hour),
+		WithFlushThreshold(1024))
+	defer func() { _ = c.Close() }()
+	c.MarkBatching("mem://b")
+
+	big := make([]byte, 2048)
+	if err := c.Send("mem://b", big); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "threshold flush", func() bool {
+		return c.BatchStats().BatchesSent == 1
+	})
+}
+
+// TestCoalescerNaturalBatching: with no max-delay the flusher never
+// waits, yet frames enqueued while a flush is in flight pack together.
+func TestCoalescerNaturalBatching(t *testing.T) {
+	inner := newMemEP("mem://a")
+	c := NewCoalescer(inner)
+	defer func() { _ = c.Close() }()
+	c.MarkBatching("mem://b")
+
+	const n = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n/4; i++ {
+				_ = c.Send("mem://b", []byte{byte(g), byte(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	waitFor(t, "all frames flushed", func() bool {
+		return c.BatchStats().FramesBatched == n
+	})
+	st := c.BatchStats()
+	if st.BatchesSent > n {
+		t.Fatalf("more batches than frames: %+v", st)
+	}
+}
+
+// TestCoalescerOversizePassthrough: frames too large to share a
+// datagram bypass the queue even on the batching path.
+func TestCoalescerOversizePassthrough(t *testing.T) {
+	inner := newMemEP("mem://a")
+	c := NewCoalescer(inner, WithPendingLimit(4096))
+	defer func() { _ = c.Close() }()
+	c.MarkBatching("mem://b")
+
+	big := make([]byte, 8192)
+	if err := c.Send("mem://b", big); err != nil {
+		t.Fatal(err)
+	}
+	st := c.BatchStats()
+	if st.SingleSends != 1 {
+		t.Fatalf("oversize frame not passed through: %+v", st)
+	}
+	if err := c.Send("mem://b", make([]byte, MaxPacket+1)); err != ErrTooLarge {
+		t.Fatalf("over-MaxPacket send: got %v want ErrTooLarge", err)
+	}
+}
+
+// TestCoalescerOverflowDrops: a stalled pending queue sheds load
+// instead of growing without bound.
+func TestCoalescerOverflowDrops(t *testing.T) {
+	fc := clock.NewFake(time.Unix(100, 0))
+	inner := newMemEP("mem://a")
+	c := NewCoalescer(inner,
+		WithCoalescerClock(fc),
+		WithMaxDelay(time.Hour), // flusher parks on the fake clock
+		WithFlushThreshold(1<<20),
+		WithPendingLimit(1024))
+	defer func() { _ = c.Close() }()
+	c.MarkBatching("mem://b")
+
+	for i := 0; i < 64; i++ {
+		if err := c.Send("mem://b", make([]byte, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := c.BatchStats(); st.Overflows == 0 {
+		t.Fatalf("no overflow drops recorded: %+v", st)
+	}
+}
+
+// TestCoalescerCloseDrains: Close flushes queued frames before closing
+// the inner endpoint, even when the max-delay window would have held
+// them.
+func TestCoalescerCloseDrains(t *testing.T) {
+	fc := clock.NewFake(time.Unix(100, 0))
+	inner := newMemEP("mem://a")
+	c := NewCoalescer(inner,
+		WithCoalescerClock(fc),
+		WithMaxDelay(time.Hour),
+		WithFlushThreshold(1<<20))
+	c.MarkBatching("mem://b")
+
+	for i := 0; i < 5; i++ {
+		if err := c.Send("mem://b", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.BatchStats()
+	if st.FramesBatched != 5 {
+		t.Fatalf("Close stranded frames: %+v", st)
+	}
+	if err := c.Send("mem://b", []byte("late")); err != ErrClosed {
+		t.Fatalf("send after close: got %v want ErrClosed", err)
+	}
+}
+
+// TestDecodeBatchRejectsCorrupt covers the structural validation, and
+// that a corrupt batch delivers no prefix of its sub-frames.
+func TestDecodeBatchRejectsCorrupt(t *testing.T) {
+	valid := buildBatch([][]byte{[]byte("aa"), []byte("bbb"), {}})
+	if n, err := DecodeBatch(valid, nil); err != nil || n != 3 {
+		t.Fatalf("valid batch: n=%d err=%v", n, err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"short header":     {batchMagic, batchKind},
+		"wrong magic":      append([]byte{0x01}, valid[1:]...),
+		"wrong kind":       {batchMagic, 'X', batchVersion, 0, 0, 0, 0},
+		"wrong version":    {batchMagic, batchKind, 9, 0, 0, 0, 0},
+		"truncated prefix": valid[:len(valid)-4],
+		"truncated body":   valid[:len(valid)-1],
+		"trailing bytes":   append(append([]byte(nil), valid...), 0xFF),
+		"count too high":   overwriteCount(valid, 4),
+		"count too low":    overwriteCount(valid, 2),
+		"huge count":       overwriteCount([]byte{batchMagic, batchKind, batchVersion, 0, 0, 0, 0}, 0xFFFFFFFF),
+	}
+	for name, pkt := range cases {
+		delivered := 0
+		if _, err := DecodeBatch(pkt, func([]byte) { delivered++ }); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+		if delivered != 0 {
+			t.Errorf("%s: corrupt batch delivered %d sub-frames", name, delivered)
+		}
+	}
+}
+
+// buildBatch assembles a BATCH frame from sub-frames (test helper, also
+// the fuzz re-encode oracle).
+func buildBatch(subs [][]byte) []byte {
+	buf := []byte{batchMagic, batchKind, batchVersion, 0, 0, 0, 0}
+	binary.BigEndian.PutUint32(buf[3:], uint32(len(subs)))
+	for _, s := range subs {
+		var lb [4]byte
+		binary.BigEndian.PutUint32(lb[:], uint32(len(s)))
+		buf = append(buf, lb[:]...)
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+func overwriteCount(pkt []byte, n uint32) []byte {
+	cp := append([]byte(nil), pkt...)
+	binary.BigEndian.PutUint32(cp[3:], n)
+	return cp
+}

@@ -184,6 +184,10 @@ var (
 	WithGCGrace = core.WithGCGrace
 	// WithCapsuleOptions forwards options to the capsule.
 	WithCapsuleOptions = core.WithCapsuleOptions
+	// WithBatching wraps the node's endpoint in a write coalescer:
+	// concurrent frames to one destination share BATCH datagrams,
+	// amortising per-packet channel overhead (experiment E16).
+	WithBatching = core.WithBatching
 	// CapsuleTypeChecking toggles dispatch-time signature checking
 	// (default on); pass through WithCapsuleOptions.
 	CapsuleTypeChecking = capsule.WithTypeChecking
@@ -196,10 +200,36 @@ var (
 type (
 	// Endpoint is a best-effort datagram endpoint.
 	Endpoint = transport.Endpoint
+	// Coalescer wraps an Endpoint with adaptive write coalescing; see
+	// WithBatching for the usual way to enable it on a platform.
+	Coalescer = transport.Coalescer
+	// CoalescerStats snapshots a Coalescer's counters.
+	CoalescerStats = transport.CoalescerStats
 	// Fabric is the simulated network.
 	Fabric = netsim.Fabric
 	// LinkProfile describes one direction of a simulated link.
 	LinkProfile = netsim.LinkProfile
+)
+
+// NewCoalescer wraps ep in a write coalescer directly (lower level than
+// WithBatching; useful when composing transports by hand).
+func NewCoalescer(ep Endpoint, opts ...transport.CoalescerOption) *Coalescer {
+	return transport.NewCoalescer(ep, opts...)
+}
+
+// Coalescer tuning options, passed to WithBatching or NewCoalescer.
+var (
+	// BatchFlushThreshold sets the pending-bytes level that forces a
+	// flush.
+	BatchFlushThreshold = transport.WithFlushThreshold
+	// BatchMaxDelay holds sub-threshold batches open for up to d.
+	BatchMaxDelay = transport.WithMaxDelay
+	// BatchMaxFrames caps sub-frames per batch.
+	BatchMaxFrames = transport.WithMaxBatchFrames
+	// BatchPendingLimit bounds bytes queued per destination.
+	BatchPendingLimit = transport.WithPendingLimit
+	// BatchClock injects the clock driving the max-delay window.
+	BatchClock = transport.WithCoalescerClock
 )
 
 // NewFabric creates a simulated network fabric.
