@@ -47,25 +47,12 @@ func run(name, listen, traderCtx, storeDir, relocator string, echoSvc bool) erro
 	if err != nil {
 		return err
 	}
-	opts := []odp.Option{}
-	if storeDir != "" {
-		store, err := odp.NewFileStore(storeDir)
-		if err != nil {
-			return err
-		}
-		opts = append(opts, odp.WithStore(store))
-	}
-	if traderCtx != "" {
-		opts = append(opts, odp.WithTrader(traderCtx))
-	}
-	if relocator != "" {
-		ref, err := odp.DecodeRef(relocator)
-		if err != nil {
-			return fmt.Errorf("bad -relocator: %w", err)
-		}
-		opts = append(opts, odp.WithRelocator(ref))
-	}
-	node, err := odp.NewPlatform(name, ep, opts...)
+	node, err := newNode(ep, nodeConfig{
+		name:      name,
+		traderCtx: traderCtx,
+		storeDir:  storeDir,
+		relocator: relocator,
+	})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+
+	"odp"
+)
+
+// nodeConfig collects the wiring inputs for one odpnode platform, so the
+// flag-driven main path and test harnesses build nodes the same way.
+type nodeConfig struct {
+	name      string
+	traderCtx string
+	storeDir  string
+	relocator string
+	// clk, when non-nil, drives the whole node in virtual time
+	// (odp.WithClock). Deterministic-simulation setups share one
+	// odp.FakeClock across every node and the fabric; the TCP main path
+	// leaves it nil for real time.
+	clk odp.Clock
+}
+
+// platformOptions translates a nodeConfig into platform construction
+// options.
+func platformOptions(cfg nodeConfig) ([]odp.Option, error) {
+	opts := []odp.Option{}
+	if cfg.storeDir != "" {
+		store, err := odp.NewFileStore(cfg.storeDir)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, odp.WithStore(store))
+	}
+	if cfg.traderCtx != "" {
+		opts = append(opts, odp.WithTrader(cfg.traderCtx))
+	}
+	if cfg.relocator != "" {
+		ref, err := odp.DecodeRef(cfg.relocator)
+		if err != nil {
+			return nil, fmt.Errorf("bad -relocator: %w", err)
+		}
+		opts = append(opts, odp.WithRelocator(ref))
+	}
+	if cfg.clk != nil {
+		opts = append(opts, odp.WithClock(cfg.clk))
+	}
+	return opts, nil
+}
+
+// newNode builds the platform for cfg on ep.
+func newNode(ep odp.Endpoint, cfg nodeConfig) (*odp.Platform, error) {
+	opts, err := platformOptions(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return odp.NewPlatform(cfg.name, ep, opts...)
+}

@@ -4,11 +4,14 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"odp"
+	"odp/internal/sim"
 )
 
 // vaultServant is the integration-test workload: a secured, migratable
@@ -212,29 +215,16 @@ func TestIntegrationFullLifecycle(t *testing.T) {
 
 // TestIntegrationPartitionHealing exercises the protocol stack across a
 // network partition: invocations stall during the cut and succeed after
-// healing, with no duplicate executions.
+// healing, with no duplicate executions. It runs under the deterministic
+// simulation harness — the partition window, retransmissions and the
+// heal are all virtual-time events, so the scenario completes in
+// milliseconds of wall time.
 func TestIntegrationPartitionHealing(t *testing.T) {
 	ctx := context.Background()
-	fabric := odp.NewFabric(odp.WithSeed(9))
-	t.Cleanup(func() { _ = fabric.Close() })
-	sep, err := fabric.Endpoint("server")
-	if err != nil {
-		t.Fatal(err)
-	}
-	server, err := odp.NewPlatform("server", sep)
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { _ = server.Close() })
-	cep, err := fabric.Endpoint("client")
-	if err != nil {
-		t.Fatal(err)
-	}
-	client, err := odp.NewPlatform("client", cep, odp.WithRelocator(server.RelocRef))
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { _ = client.Close() })
+	s := sim.New(9, sim.WithDefaultLink(odp.LinkProfile{Latency: 200 * time.Microsecond}))
+	t.Cleanup(s.Close)
+	server := simPlatform(t, s, "server")
+	client := simPlatform(t, s, "client", odp.WithRelocator(server.RelocRef))
 
 	counter := &countingServant{}
 	ref, err := server.Publish("ctr", odp.Object{Servant: counter})
@@ -243,33 +233,47 @@ func TestIntegrationPartitionHealing(t *testing.T) {
 	}
 
 	// Pre-partition sanity.
-	if _, err := client.Bind(ref).Call(ctx, "add"); err != nil {
+	if err := driveCall(t, s, 30*time.Second, func() error {
+		_, err := client.Bind(ref).Call(ctx, "add")
+		return err
+	}); err != nil {
 		t.Fatal(err)
 	}
 
 	// Cut the network mid-call: the call is issued, the partition opens,
 	// then heals while the client is still retransmitting.
-	fabric.Partition("client", "server", true)
+	s.Fabric.Partition("client", "server", true)
 	done := make(chan error, 1)
+	g0 := s.Clock.Gen()
 	go func() {
 		_, err := client.Bind(ref).
 			WithQoS(odp.QoS{Timeout: 10 * time.Second, Retransmit: 10 * time.Millisecond}).
 			Call(ctx, "add")
 		done <- err
 	}()
+	// Hold virtual time until the call has armed its timers, then sit
+	// out 150ms of virtual partition: every retransmission must be cut.
+	for s.Clock.Gen() == g0 {
+		runtime.Gosched()
+	}
+	s.RunFor(150 * time.Millisecond)
 	select {
 	case err := <-done:
 		t.Fatalf("call completed across a partition: %v", err)
-	case <-time.After(150 * time.Millisecond):
+	default:
 	}
-	fabric.Partition("client", "server", false)
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatalf("call failed after heal: %v", err)
+	s.Fabric.Partition("client", "server", false)
+	var healErr error
+	s.Run(t, 30*time.Second, func() bool {
+		select {
+		case healErr = <-done:
+			return true
+		default:
+			return false
 		}
-	case <-time.After(10 * time.Second):
-		t.Fatal("call never completed after heal")
+	})
+	if healErr != nil {
+		t.Fatalf("call failed after heal: %v", healErr)
 	}
 	if got := counter.load(); got != 2 {
 		t.Fatalf("executions = %d, want 2 (no duplicates across partition)", got)
@@ -296,60 +300,65 @@ func (c *countingServant) load() int64 {
 
 // TestIntegrationReplicatedSecuredDirectory layers replication and
 // trading together: a replicated directory traded and imported by
-// signature, surviving the loss of a member mid-use.
+// signature, surviving the loss of a member mid-use. It runs under the
+// simulation harness: heartbeats, the failure detector and the retry
+// loop all tick in virtual time.
 func TestIntegrationReplicatedTradedDirectory(t *testing.T) {
 	ctx := context.Background()
-	fabric := odp.NewFabric(odp.WithSeed(11), odp.WithDefaultLink(odp.LinkProfile{Latency: 100 * time.Microsecond}))
-	t.Cleanup(func() { _ = fabric.Close() })
-	mk := func(name string, opts ...odp.Option) *odp.Platform {
-		ep, err := fabric.Endpoint(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		p, err := odp.NewPlatform(name, ep, opts...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { _ = p.Close() })
-		return p
+	s := sim.New(11)
+	t.Cleanup(s.Close)
+	nodes := []*odp.Platform{
+		simPlatform(t, s, "n0", odp.WithTrader("hq")),
+		simPlatform(t, s, "n1"),
+		simPlatform(t, s, "n2"),
 	}
-	nodes := []*odp.Platform{mk("n0", odp.WithTrader("hq")), mk("n1"), mk("n2")}
-	client := mk("client", odp.WithRelocator(nodes[0].RelocRef))
+	client := simPlatform(t, s, "client", odp.WithRelocator(nodes[0].RelocRef))
 
-	rep, err := odp.PublishReplicated(nodes, odp.ReplicaSpec{
-		GroupID:           "dir",
-		Mode:              odp.ModeActive,
-		HeartbeatInterval: 25 * time.Millisecond,
-		FailureTimeout:    200 * time.Millisecond,
-	}, func() odp.Servant { return newVault() })
-	if err != nil {
+	var rep *odp.Replicated
+	if err := driveCall(t, s, 30*time.Second, func() error {
+		var err error
+		rep, err = odp.PublishReplicated(nodes, odp.ReplicaSpec{
+			GroupID:           "dir",
+			Mode:              odp.ModeActive,
+			HeartbeatInterval: 25 * time.Millisecond,
+			FailureTimeout:    200 * time.Millisecond,
+		}, func() odp.Servant { return newVault() })
+		return err
+	}); err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(rep.Stop)
+	t.Cleanup(func() { s.Drain(rep.Stop) })
 
 	// Trade the group reference like any singleton.
 	if _, err := nodes[0].Trader.Advertise(vaultType, rep.Ref(), nil); err != nil {
 		t.Fatal(err)
 	}
-	tc := odp.NewTraderClient(client, nodes[0].Trader.Ref())
-	offer, err := tc.ImportOne(ctx, odp.ImportSpec{Requirement: vaultType})
-	if err != nil {
+	var offer odp.Offer
+	if err := driveCall(t, s, 30*time.Second, func() error {
+		tc := odp.NewTraderClient(client, nodes[0].Trader.Ref())
+		var err error
+		offer, err = tc.ImportOne(ctx, odp.ImportSpec{Requirement: vaultType})
+		return err
+	}); err != nil {
 		t.Fatal(err)
 	}
 
 	write := func(k string, v int64) error {
-		deadline := time.Now().Add(10 * time.Second)
+		deadline := s.Clock.Now().Add(10 * time.Second)
 		for {
-			_, err := client.Bind(offer.Ref).
-				WithQoS(odp.QoS{Timeout: 400 * time.Millisecond}).
-				Call(ctx, "put", k, v)
+			err := driveCall(t, s, 15*time.Second, func() error {
+				_, err := client.Bind(offer.Ref).
+					WithQoS(odp.QoS{Timeout: 400 * time.Millisecond}).
+					Call(ctx, "put", k, v)
+				return err
+			})
 			if err == nil {
 				return nil
 			}
-			if time.Now().After(deadline) {
+			if s.Clock.Now().After(deadline) {
 				return err
 			}
-			time.Sleep(20 * time.Millisecond)
+			s.RunFor(20 * time.Millisecond)
 		}
 	}
 	for i := 0; i < 5; i++ {
@@ -359,43 +368,35 @@ func TestIntegrationReplicatedTradedDirectory(t *testing.T) {
 	}
 	// Kill a backup (not the sequencer): service continues unaffected.
 	rep.Members[2].Stop()
-	fabric.Isolate("n2", true)
+	s.Fabric.Isolate("n2", true)
 	if err := write("after-backup-loss", 99); err != nil {
 		t.Fatal(err)
 	}
-	out, err := client.Bind(offer.Ref).WithQoS(odp.QoS{Timeout: 2 * time.Second}).Call(ctx, "get", "k3")
-	if err != nil || !out.Is("ok") {
-		t.Fatalf("read after backup loss: %+v %v", out, err)
+	if err := driveCall(t, s, 30*time.Second, func() error {
+		out, err := client.Bind(offer.Ref).WithQoS(odp.QoS{Timeout: 2 * time.Second}).Call(ctx, "get", "k3")
+		if err != nil || !out.Is("ok") {
+			return fmt.Errorf("read after backup loss: %+v %v", out, err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
 	}
 }
 
 // TestSoakMixedWorkload runs a sustained mixed workload — plain invokes,
 // transactions, announcements, migrations and sweeps concurrently — as a
-// whole-platform shakedown. Guarded by -short.
+// whole-platform shakedown. The workload window is measured in virtual
+// time under the simulation harness, so the soak's seconds of protocol
+// time cost a fraction of that in wall time (E17).
 func TestSoakMixedWorkload(t *testing.T) {
-	if testing.Short() {
-		t.Skip("soak test")
-	}
 	ctx := context.Background()
-	fabric := odp.NewFabric(odp.WithSeed(21), odp.WithDefaultLink(odp.LinkProfile{
+	s := sim.New(21, sim.WithDefaultLink(odp.LinkProfile{
 		Latency: 100 * time.Microsecond, Jitter: 100 * time.Microsecond,
 	}))
-	t.Cleanup(func() { _ = fabric.Close() })
-	mk := func(name string, opts ...odp.Option) *odp.Platform {
-		ep, err := fabric.Endpoint(name)
-		if err != nil {
-			t.Fatal(err)
-		}
-		p, err := odp.NewPlatform(name, ep, opts...)
-		if err != nil {
-			t.Fatal(err)
-		}
-		t.Cleanup(func() { _ = p.Close() })
-		return p
-	}
-	nodeA := mk("na", odp.WithGCGrace(50*time.Millisecond))
-	nodeB := mk("nb", odp.WithRelocator(nodeA.RelocRef))
-	client := mk("nc", odp.WithRelocator(nodeA.RelocRef))
+	t.Cleanup(s.Close)
+	nodeA := simPlatform(t, s, "na", odp.WithGCGrace(50*time.Millisecond))
+	nodeB := simPlatform(t, s, "nb", odp.WithRelocator(nodeA.RelocRef))
+	client := simPlatform(t, s, "nc", odp.WithRelocator(nodeA.RelocRef))
 	odp.RegisterFactory(nodeA, "Vault", func() odp.MovableServant { return newVault() })
 	odp.RegisterFactory(nodeB, "Vault", func() odp.MovableServant { return newVault() })
 
@@ -426,25 +427,30 @@ func TestSoakMixedWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The workload window is virtual: each goroutine runs until the
+	// shared fake clock passes the deadline, parking inside calls while
+	// the test goroutine advances time.
 	var wg sync.WaitGroup
 	errCh := make(chan error, 16)
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := s.Clock.Now().Add(time.Second)
+	var plainN, txnN, hotN int64
 
 	wg.Add(1)
 	go func() { // plain traffic
 		defer wg.Done()
-		for time.Now().Before(deadline) {
+		for s.Clock.Now().Before(deadline) {
 			if _, err := client.Bind(plainRef).WithQoS(odp.QoS{Timeout: 5 * time.Second}).
 				Call(ctx, "hit"); err != nil {
 				errCh <- fmt.Errorf("plain: %w", err)
 				return
 			}
+			atomic.AddInt64(&plainN, 1)
 		}
 	}()
 	wg.Add(1)
 	go func() { // transactional traffic
 		defer wg.Done()
-		for i := 0; time.Now().Before(deadline); i++ {
+		for i := 0; s.Clock.Now().Before(deadline); i++ {
 			tx := client.Coordinator.Begin()
 			_, _, err := tx.Invoke(ctx, txRefA, "put", []odp.Value{"k", int64(i)})
 			if err == nil {
@@ -458,13 +464,14 @@ func TestSoakMixedWorkload(t *testing.T) {
 				errCh <- fmt.Errorf("commit: %w", err)
 				return
 			}
+			atomic.AddInt64(&txnN, 1)
 		}
 	}()
 	wg.Add(1)
 	go func() { // migrating object with live readers
 		defer wg.Done()
 		at := "na"
-		for i := 0; time.Now().Before(deadline); i++ {
+		for i := 0; s.Clock.Now().Before(deadline); i++ {
 			if _, err := client.Bind(hotRef).WithQoS(odp.QoS{Timeout: 5 * time.Second}).
 				Call(ctx, "put", fmt.Sprintf("k%d", i), int64(i)); err != nil {
 				errCh <- fmt.Errorf("hot put: %w", err)
@@ -485,11 +492,25 @@ func TestSoakMixedWorkload(t *testing.T) {
 					at = "na"
 				}
 			}
+			atomic.AddInt64(&hotN, 1)
 		}
 	}()
-	wg.Wait()
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	s.Run(t, 30*time.Second, func() bool {
+		select {
+		case <-finished:
+			return true
+		default:
+			return false
+		}
+	})
 	close(errCh)
 	for err := range errCh {
 		t.Fatal(err)
 	}
+	if atomic.LoadInt64(&plainN) == 0 || atomic.LoadInt64(&txnN) == 0 || atomic.LoadInt64(&hotN) == 0 {
+		t.Fatalf("a workload made no progress: plain=%d txn=%d hot=%d", plainN, txnN, hotN)
+	}
+	t.Logf("soak: %v virtual, plain=%d txn=%d hot=%d", s.Elapsed(), plainN, txnN, hotN)
 }

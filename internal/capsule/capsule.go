@@ -27,6 +27,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"odp/internal/clock"
 	"odp/internal/rpc"
 	"odp/internal/transport"
 	"odp/internal/types"
@@ -98,6 +99,9 @@ type Capsule struct {
 	// localOptimisation short-circuits invocations of co-located
 	// interfaces (§4.5 "direct local access ... for co-located data").
 	localOptimisation bool
+	// clk, when non-nil, drives the peer's timeouts, retransmission and
+	// reply-cache lifecycle (virtual time under the sim harness).
+	clk clock.Clock
 }
 
 // Option configures a capsule.
@@ -116,6 +120,12 @@ func WithLocalOptimisation(on bool) Option {
 	return func(c *Capsule) { c.localOptimisation = on }
 }
 
+// WithClock drives the capsule's protocol peer — call timeouts,
+// retransmission, reply caching — from clk instead of real time.
+func WithClock(clk clock.Clock) Option {
+	return func(c *Capsule) { c.clk = clk }
+}
+
 // New creates a capsule on ep. name scopes generated object identifiers.
 func New(name string, ep transport.Endpoint, codec wire.Codec, opts ...Option) *Capsule {
 	c := &Capsule{
@@ -130,7 +140,11 @@ func New(name string, ep transport.Endpoint, codec wire.Codec, opts ...Option) *
 	for _, o := range opts {
 		o(c)
 	}
-	c.peer = rpc.NewPeer(ep, codec, c.handle)
+	var popts []rpc.PeerOption
+	if c.clk != nil {
+		popts = append(popts, rpc.WithPeerClock(c.clk))
+	}
+	c.peer = rpc.NewPeer(ep, codec, c.handle, popts...)
 	return c
 }
 

@@ -4,16 +4,17 @@
 // Every transparency mechanism that reasons about elapsed time — the RPC
 // reply-cache janitor, the transaction lock-wait bound, the group failure
 // detector, lease-based collection — takes a Clock instead of calling the
-// time package directly, so that tests (and, eventually, a virtual-time
-// netsim) can drive those mechanisms deterministically. The detclock
+// time package directly, so that tests (and the virtual-time netsim, see
+// internal/sim) can drive those mechanisms deterministically. The detclock
 // static-analysis pass (internal/lint) enforces the discipline: outside
-// this package, netsim and the benchmark harness, mentions of time.Now,
-// time.Sleep, timers, tickers or the global math/rand source are
-// diagnostics.
+// this package, the sim harness, the single real-time netsim file and the
+// benchmark harness, mentions of time.Now, time.Sleep, timers, tickers or
+// the global math/rand source are diagnostics.
 package clock
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,6 +28,9 @@ type Clock interface {
 	Sleep(d time.Duration)
 	// After returns a channel that delivers the instant after d elapses.
 	After(d time.Duration) <-chan time.Time
+	// AfterFunc runs f in its own goroutine after d elapses, returning a
+	// Timer whose Stop cancels the pending run.
+	AfterFunc(d time.Duration, f func()) Timer
 	// NewTicker returns a ticker firing every d.
 	NewTicker(d time.Duration) Ticker
 	// NewTimer returns a one-shot timer firing after d.
@@ -63,6 +67,11 @@ func (Real) Sleep(d time.Duration) { time.Sleep(d) }
 // After implements Clock.
 func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
 
+// AfterFunc implements Clock.
+func (Real) AfterFunc(d time.Duration, f func()) Timer {
+	return realTimer{time.AfterFunc(d, f)}
+}
+
 // NewTicker implements Clock.
 func (Real) NewTicker(d time.Duration) Ticker { return realTicker{time.NewTicker(d)} }
 
@@ -79,20 +88,51 @@ type realTimer struct{ t *time.Timer }
 func (t realTimer) C() <-chan time.Time { return t.t.C }
 func (t realTimer) Stop() bool          { return t.t.Stop() }
 
-// Fake is a manually advanced clock for deterministic tests. Time stands
-// still until Advance is called; timers and tickers whose deadlines fall
-// inside an advance fire in deadline order, observing the fired instant.
+// Fake is a manually advanced clock for deterministic tests and the
+// virtual-time simulation harness. Time stands still until Advance is
+// called; timers and tickers whose deadlines fall inside an advance fire
+// in deadline order, observing the fired instant. Like the real clock, a
+// one-shot timer (or After/Sleep) with a non-positive duration fires
+// immediately rather than parking until the next Advance.
+//
+// AfterFunc callbacks run off the caller's goroutine, like
+// time.AfterFunc — but sequentially, in firing order, on a single runner
+// goroutine. Real timers give no ordering guarantee for coincident
+// deadlines; the fake resolves the tie deterministically (registration
+// order), which is what lets a simulation replay a seed exactly when a
+// packet delivery and a fault-plan step share an instant. The price is a
+// contract: a callback must never block on work only a *later* callback
+// can do (none of this platform's callbacks block at all — they enqueue,
+// spawn, or flip state and return). A callback that schedules further
+// work lands it after the Advance call that fired it; drivers that must
+// observe such rescheduling (the sim harness) advance deadline-by-
+// deadline and let the system settle between steps rather than jumping a
+// whole window at once.
 type Fake struct {
 	mu      sync.Mutex
 	now     time.Time
 	waiters []*fakeWaiter
+
+	// gen counts scheduling-state changes (waiter added, stopped, fired,
+	// callback completed); pollers use it to detect quiescence.
+	gen atomic.Uint64
+	// firing counts AfterFunc callbacks that have been enqueued but have
+	// not yet returned.
+	firing atomic.Int64
+
+	// cbMu guards the callback FIFO; cbBusy is true while the runner
+	// goroutine is draining it.
+	cbMu   sync.Mutex
+	cbQ    []func()
+	cbBusy bool
 }
 
-// fakeWaiter is one pending timer or ticker channel.
+// fakeWaiter is one pending timer, ticker channel or callback.
 type fakeWaiter struct {
 	deadline time.Time
 	interval time.Duration // 0 for one-shot timers
 	ch       chan time.Time
+	fn       func() // non-nil for AfterFunc waiters; ch is then unused
 	stopped  bool
 }
 
@@ -114,12 +154,18 @@ func (f *Fake) Now() time.Time {
 func (f *Fake) Since(t time.Time) time.Duration { return f.Now().Sub(t) }
 
 // Sleep implements Clock: it blocks until another goroutine advances the
-// clock past d.
+// clock past d. Sleep(0) and negative durations return immediately.
 func (f *Fake) Sleep(d time.Duration) { <-f.After(d) }
 
-// After implements Clock.
+// After implements Clock. After(0) delivers the current instant at once.
 func (f *Fake) After(d time.Duration) <-chan time.Time {
-	return f.addWaiter(d, 0).ch
+	return f.addWaiter(d, 0, nil).ch
+}
+
+// AfterFunc implements Clock. A non-positive duration runs fn immediately
+// in its own goroutine.
+func (f *Fake) AfterFunc(d time.Duration, fn func()) Timer {
+	return &fakeTimer{fakeStopper{f: f, w: f.addWaiter(d, 0, fn)}}
 }
 
 // NewTicker implements Clock.
@@ -127,31 +173,86 @@ func (f *Fake) NewTicker(d time.Duration) Ticker {
 	if d <= 0 {
 		panic("clock: non-positive ticker interval")
 	}
-	return &fakeTicker{fakeStopper{f: f, w: f.addWaiter(d, d)}}
+	return &fakeTicker{fakeStopper{f: f, w: f.addWaiter(d, d, nil)}}
 }
 
-// NewTimer implements Clock.
+// NewTimer implements Clock. A non-positive duration fires immediately,
+// like the real clock.
 func (f *Fake) NewTimer(d time.Duration) Timer {
-	return &fakeTimer{fakeStopper{f: f, w: f.addWaiter(d, 0)}}
+	return &fakeTimer{fakeStopper{f: f, w: f.addWaiter(d, 0, nil)}}
 }
 
-func (f *Fake) addWaiter(d, interval time.Duration) *fakeWaiter {
+func (f *Fake) addWaiter(d, interval time.Duration, fn func()) *fakeWaiter {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	w := &fakeWaiter{
 		deadline: f.now.Add(d),
 		interval: interval,
+		fn:       fn,
 		ch:       make(chan time.Time, 1),
 	}
+	if d <= 0 && interval == 0 {
+		// The deadline has already passed: fire now instead of parking
+		// until the next Advance, matching time.NewTimer(0)/time.After(0).
+		w.stopped = true
+		now := f.now
+		f.mu.Unlock()
+		if fn != nil {
+			f.spawn(fn)
+		} else {
+			w.ch <- now
+		}
+		f.bump()
+		return w
+	}
 	f.waiters = append(f.waiters, w)
+	f.mu.Unlock()
+	f.bump()
 	return w
 }
 
-// Advance moves the clock forward by d, firing every timer and ticker
-// whose deadline is reached, in deadline order.
+// spawn enqueues an AfterFunc callback for the runner goroutine, tracked
+// by the firing counter so quiescence pollers can wait it out. Callbacks
+// execute strictly in enqueue order, one at a time — coincident-deadline
+// ties resolve the same way every run.
+func (f *Fake) spawn(fn func()) {
+	f.firing.Add(1)
+	f.cbMu.Lock()
+	f.cbQ = append(f.cbQ, fn)
+	if f.cbBusy {
+		f.cbMu.Unlock()
+		return
+	}
+	f.cbBusy = true
+	f.cbMu.Unlock()
+	go f.runCallbacks()
+}
+
+func (f *Fake) runCallbacks() {
+	for {
+		f.cbMu.Lock()
+		if len(f.cbQ) == 0 {
+			f.cbBusy = false
+			f.cbMu.Unlock()
+			return
+		}
+		fn := f.cbQ[0]
+		f.cbQ = f.cbQ[1:]
+		f.cbMu.Unlock()
+		fn()
+		f.firing.Add(-1)
+		f.bump()
+	}
+}
+
+func (f *Fake) bump() { f.gen.Add(1) }
+
+// Advance moves the clock forward by d, firing every timer, ticker and
+// callback whose deadline is reached, in deadline order. Channel sends
+// that find a full buffer are dropped, like time.Ticker; callbacks are
+// handed to the sequential runner goroutine and may still be running
+// when Advance returns (see FiringCallbacks).
 func (f *Fake) Advance(d time.Duration) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	target := f.now.Add(d)
 	for {
 		var next *fakeWaiter
@@ -167,6 +268,11 @@ func (f *Fake) Advance(d time.Duration) {
 			break
 		}
 		f.now = next.deadline
+		if next.fn != nil {
+			next.stopped = true
+			f.spawn(next.fn)
+			continue
+		}
 		select {
 		case next.ch <- f.now:
 		default: // receiver hasn't drained the last tick; drop, like time.Ticker
@@ -179,7 +285,52 @@ func (f *Fake) Advance(d time.Duration) {
 	}
 	f.now = target
 	f.gcLocked()
+	f.mu.Unlock()
+	f.bump()
 }
+
+// NextDeadline reports the earliest pending waiter deadline, if any: the
+// instant a driver must advance to for the next scheduled event to fire.
+func (f *Fake) NextDeadline() (time.Time, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var best time.Time
+	found := false
+	for _, w := range f.waiters {
+		if w.stopped {
+			continue
+		}
+		if !found || w.deadline.Before(best) {
+			best = w.deadline
+			found = true
+		}
+	}
+	return best, found
+}
+
+// PendingWaiters reports how many timers, tickers and callbacks are
+// scheduled.
+func (f *Fake) PendingWaiters() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, w := range f.waiters {
+		if !w.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// FiringCallbacks reports AfterFunc callbacks spawned but not yet
+// returned.
+func (f *Fake) FiringCallbacks() int { return int(f.firing.Load()) }
+
+// Gen returns a counter that changes whenever the scheduling state does:
+// a waiter is added, stopped or fired, or a callback completes. Pollers
+// (the sim harness's settle loop) treat an unchanged Gen alongside zero
+// FiringCallbacks as evidence of quiescence.
+func (f *Fake) Gen() uint64 { return f.gen.Load() }
 
 // gcLocked drops stopped waiters. Called with f.mu held.
 func (f *Fake) gcLocked() {
@@ -202,9 +353,10 @@ func (s *fakeStopper) C() <-chan time.Time { return s.w.ch }
 
 func (s *fakeStopper) stop() bool {
 	s.f.mu.Lock()
-	defer s.f.mu.Unlock()
 	was := !s.w.stopped
 	s.w.stopped = true
+	s.f.mu.Unlock()
+	s.f.bump()
 	return was
 }
 

@@ -1,6 +1,8 @@
 package clock
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 )
@@ -125,4 +127,158 @@ func TestRealClockBasics(t *testing.T) {
 	}
 	tk := c.NewTicker(time.Hour)
 	tk.Stop()
+}
+
+func TestFakeZeroDurationFiresImmediately(t *testing.T) {
+	f := NewFake(time.Unix(100, 0))
+	// After(0): the instant is already due; no Advance needed.
+	select {
+	case at := <-f.After(0):
+		if !at.Equal(time.Unix(100, 0)) {
+			t.Fatalf("After(0) delivered %v, want now", at)
+		}
+	default:
+		t.Fatal("After(0) parked until the next Advance")
+	}
+	// Negative durations behave the same way.
+	select {
+	case <-f.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) parked until the next Advance")
+	}
+	// NewTimer(0) fires at once and reports already-fired from Stop.
+	tm := f.NewTimer(0)
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("NewTimer(0) parked until the next Advance")
+	}
+	if tm.Stop() {
+		t.Fatal("Stop on an immediately-fired timer = true")
+	}
+	// Sleep(0) returns without an Advance (would deadlock before the fix).
+	done := make(chan struct{})
+	go func() {
+		f.Sleep(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep(0) did not return")
+	}
+}
+
+func TestFakeAfterFunc(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	fired := make(chan struct{})
+	tm := f.AfterFunc(time.Second, func() { close(fired) })
+	select {
+	case <-fired:
+		t.Fatal("callback ran before advance")
+	default:
+	}
+	f.Advance(time.Second)
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("callback did not run after advance")
+	}
+	// Wait out the spawned goroutine, then confirm it is accounted for.
+	for f.FiringCallbacks() != 0 {
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after firing = true")
+	}
+}
+
+func TestFakeAfterFuncStop(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tm := f.AfterFunc(time.Second, func() { t.Error("stopped callback ran") })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending AfterFunc = false")
+	}
+	f.Advance(2 * time.Second)
+	for f.FiringCallbacks() != 0 {
+	}
+}
+
+// TestFakeAfterFuncCoincidentOrderDeterministic pins the guarantee the
+// simulation harness leans on: callbacks whose deadlines coincide fire
+// sequentially in registration order, every run — a packet delivery and
+// a fault-plan step sharing an instant cannot race.
+func TestFakeAfterFuncCoincidentOrderDeterministic(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		f := NewFake(time.Unix(0, 0))
+		var mu sync.Mutex
+		var order []int
+		for i := 0; i < 8; i++ {
+			i := i
+			f.AfterFunc(time.Second, func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			})
+		}
+		f.Advance(time.Second)
+		for f.FiringCallbacks() != 0 {
+			runtime.Gosched()
+		}
+		mu.Lock()
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("round %d: callback order %v, want registration order", round, order)
+			}
+		}
+		mu.Unlock()
+	}
+}
+
+func TestFakeAfterFuncZeroRunsImmediately(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	fired := make(chan struct{})
+	f.AfterFunc(0, func() { close(fired) })
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("AfterFunc(0) did not run without an Advance")
+	}
+}
+
+func TestFakeNextDeadline(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	if _, ok := f.NextDeadline(); ok {
+		t.Fatal("NextDeadline on an idle clock = ok")
+	}
+	f.After(3 * time.Second)
+	tm := f.NewTimer(time.Second)
+	if at, ok := f.NextDeadline(); !ok || !at.Equal(time.Unix(1, 0)) {
+		t.Fatalf("NextDeadline = %v,%v want t+1s", at, ok)
+	}
+	tm.Stop()
+	if at, ok := f.NextDeadline(); !ok || !at.Equal(time.Unix(3, 0)) {
+		t.Fatalf("NextDeadline after stop = %v,%v want t+3s", at, ok)
+	}
+	if n := f.PendingWaiters(); n != 1 {
+		t.Fatalf("PendingWaiters = %d, want 1", n)
+	}
+}
+
+func TestFakeGenChangesOnScheduling(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	g0 := f.Gen()
+	tm := f.NewTimer(time.Second)
+	if f.Gen() == g0 {
+		t.Fatal("Gen unchanged by NewTimer")
+	}
+	g1 := f.Gen()
+	tm.Stop()
+	if f.Gen() == g1 {
+		t.Fatal("Gen unchanged by Stop")
+	}
+	g2 := f.Gen()
+	f.Advance(time.Minute)
+	if f.Gen() == g2 {
+		t.Fatal("Gen unchanged by Advance")
+	}
 }

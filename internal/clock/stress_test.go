@@ -1,0 +1,95 @@
+package clock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestFakeConcurrentAdvanceAndSchedule hammers one Fake from many
+// goroutines — advancers racing waiter creation, stops and AfterFunc
+// callbacks — so the race detector can vet the locking. Run with -race.
+func TestFakeConcurrentAdvanceAndSchedule(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	const (
+		advancers  = 4
+		schedulers = 4
+		rounds     = 200
+	)
+	var fired atomic.Int64
+	var wg sync.WaitGroup
+	for a := 0; a < advancers; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				f.Advance(time.Millisecond)
+			}
+		}()
+	}
+	for s := 0; s < schedulers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				switch i % 4 {
+				case 0:
+					tm := f.NewTimer(time.Duration(i%7) * time.Millisecond)
+					if i%2 == 0 {
+						tm.Stop()
+					}
+				case 1:
+					f.AfterFunc(time.Duration(i%5)*time.Millisecond, func() {
+						fired.Add(1)
+					})
+				case 2:
+					tk := f.NewTicker(time.Millisecond)
+					tk.Stop()
+				default:
+					f.NextDeadline()
+					f.PendingWaiters()
+					f.Gen()
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	// Drain every remaining waiter and let callbacks finish.
+	f.Advance(time.Second)
+	deadline := time.Now().Add(5 * time.Second)
+	for f.FiringCallbacks() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("callbacks still firing: %d", f.FiringCallbacks())
+		}
+	}
+	if fired.Load() == 0 {
+		t.Fatal("no AfterFunc callback ever ran")
+	}
+}
+
+// TestFakeTickerDropsOnFullBuffer pins the documented drop-on-full
+// semantics: the tick channel buffers exactly one undrained instant;
+// deadlines crossed while it is full are dropped, like time.Ticker.
+func TestFakeTickerDropsOnFullBuffer(t *testing.T) {
+	f := NewFake(time.Unix(0, 0))
+	tk := f.NewTicker(time.Second)
+	defer tk.Stop()
+	// Cross three deadlines without draining: only the first buffers.
+	f.Advance(3 * time.Second)
+	at := <-tk.C()
+	if !at.Equal(time.Unix(1, 0)) {
+		t.Fatalf("buffered tick at %v, want t+1s", at)
+	}
+	select {
+	case extra := <-tk.C():
+		t.Fatalf("dropped tick was delivered: %v", extra)
+	default:
+	}
+	// The ticker keeps going: the next crossing delivers again.
+	f.Advance(time.Second)
+	at = <-tk.C()
+	if !at.Equal(time.Unix(4, 0)) {
+		t.Fatalf("post-drop tick at %v, want t+4s", at)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"odp/internal/capsule"
+	"odp/internal/clock"
 	"odp/internal/gc"
 	"odp/internal/mgmt"
 	"odp/internal/migrate"
@@ -75,6 +76,9 @@ type Platform struct {
 	// coalescer is non-nil when WithBatching wrapped the endpoint; the
 	// platform owns it and Close drains it.
 	coalescer *transport.Coalescer
+	// clk is the platform-wide time source (clock.Real{} unless WithClock
+	// injected one).
+	clk clock.Clock
 }
 
 // platformConfig collects construction options.
@@ -89,6 +93,7 @@ type platformConfig struct {
 	capsuleOpts   []capsule.Option
 	batching      bool
 	batchOpts     []transport.CoalescerOption
+	clk           clock.Clock
 }
 
 // Option configures NewPlatform.
@@ -127,6 +132,16 @@ func WithGCGrace(d time.Duration) Option {
 	return func(cfg *platformConfig) { cfg.gcGrace = d }
 }
 
+// WithClock drives every time-dependent subsystem of the node — RPC
+// timeouts and retransmission, reply-cache lifecycle, lock-wait bounds,
+// lease expiry, management timestamps, replica-group failure detection —
+// from one injected clock. With a clock.Fake shared across nodes and the
+// netsim fabric, the whole platform runs in virtual time (the sim
+// harness). Default clock.Real{}.
+func WithClock(c clock.Clock) Option {
+	return func(cfg *platformConfig) { cfg.clk = c }
+}
+
 // WithCapsuleOptions forwards options to the underlying capsule.
 func WithCapsuleOptions(opts ...capsule.Option) Option {
 	return func(cfg *platformConfig) { cfg.capsuleOpts = append(cfg.capsuleOpts, opts...) }
@@ -158,13 +173,28 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 	if cfg.store == nil {
 		cfg.store = storage.NewMemStore()
 	}
+	injected := cfg.clk != nil
+	if !injected {
+		cfg.clk = clock.Real{}
+	}
 
+	var lockOpts []txn.LockManagerOption
+	var gcOpts []gc.CollectorOption
+	if injected {
+		lockOpts = append(lockOpts, txn.WithLockClock(cfg.clk))
+		gcOpts = append(gcOpts, gc.WithCollectorClock(cfg.clk))
+		cfg.capsuleOpts = append(cfg.capsuleOpts, capsule.WithClock(cfg.clk))
+	}
 	p := &Platform{
 		Store:    cfg.store,
-		Locks:    txn.NewLockManager(cfg.lockWait),
+		Locks:    txn.NewLockManager(cfg.lockWait, lockOpts...),
 		Registry: mgmt.NewRegistry(0),
 		Keys:     security.NewKeyring(),
 		Types:    types.NewManager(),
+		clk:      cfg.clk,
+	}
+	if injected {
+		p.Registry.SetClock(cfg.clk)
 	}
 	if cfg.batching {
 		p.coalescer = transport.NewCoalescer(ep, cfg.batchOpts...)
@@ -177,7 +207,7 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 	if p.Agent, err = mgmt.NewAgent(p.Capsule, p.Registry); err != nil {
 		return nil, fmt.Errorf("core: management agent: %w", err)
 	}
-	if p.Collector, err = gc.New(p.Capsule, cfg.gcGrace); err != nil {
+	if p.Collector, err = gc.New(p.Capsule, cfg.gcGrace, gcOpts...); err != nil {
 		return nil, fmt.Errorf("core: collector: %w", err)
 	}
 	if cfg.hostRelocator {
@@ -219,6 +249,9 @@ func (p *Platform) Close() error {
 	}
 	return err
 }
+
+// Clock returns the platform-wide time source.
+func (p *Platform) Clock() clock.Clock { return p.clk }
 
 // BatchStats reports write-coalescing counters when the platform was
 // built WithBatching; ok is false otherwise.

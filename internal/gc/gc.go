@@ -59,10 +59,20 @@ type Collector struct {
 	renewals  uint64
 }
 
+// CollectorOption configures a Collector.
+type CollectorOption func(*Collector)
+
+// WithCollectorClock sets the collector's time source (default real
+// time), so lease expiry and activity grace run in virtual time under
+// the sim harness.
+func WithCollectorClock(c clock.Clock) CollectorOption {
+	return func(g *Collector) { g.now = c.Now }
+}
+
 // New creates a collector on c and exports its lease interface. grace is
 // how long after its last invocation an object is still considered
 // active (default 1s).
-func New(c *capsule.Capsule, grace time.Duration) (*Collector, error) {
+func New(c *capsule.Capsule, grace time.Duration, opts ...CollectorOption) (*Collector, error) {
 	if grace <= 0 {
 		grace = time.Second
 	}
@@ -71,6 +81,9 @@ func New(c *capsule.Capsule, grace time.Duration) (*Collector, error) {
 		grace:   grace,
 		now:     clock.Real{}.Now,
 		objects: make(map[string]*tracked),
+	}
+	for _, o := range opts {
+		o(g)
 	}
 	ref, err := c.Export(capsule.ServantFunc(g.dispatch),
 		capsule.WithID(c.Name()+"/gc"))

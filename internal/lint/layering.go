@@ -34,7 +34,8 @@ func DefaultLayeringConfig() LayeringConfig {
 				"odp/internal/netsim",
 			},
 			"odp/internal/netsim": {
-				"odp", // façade-level fabric construction only
+				"odp",              // façade-level fabric construction only
+				"odp/internal/sim", // the simulation harness owns a fabric
 			},
 		},
 		LowLayer: map[string][]string{
@@ -42,7 +43,9 @@ func DefaultLayeringConfig() LayeringConfig {
 			// The write coalescer's max-delay flush window is clock
 			// driven so fake-clock tests stay deterministic.
 			"odp/internal/transport": {"odp/internal/clock"},
-			"odp/internal/netsim":    {"odp/internal/transport"},
+			// The fabric schedules delivery on an injected clock so whole
+			// universes run in virtual time.
+			"odp/internal/netsim": {"odp/internal/transport", "odp/internal/clock"},
 			"odp/internal/clock":     {},
 		},
 	}

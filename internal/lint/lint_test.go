@@ -157,6 +157,32 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
+// TestDetClockFileExemption pins the per-file exemption mechanism that
+// scopes netsim's wall-clock license to realtime.go: an ExemptFiles
+// entry names "pkgpath/basename", so it silences exactly that file and
+// does not follow the basename into another package.
+func TestDetClockFileExemption(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", "timecall"), "odp/internal/timecall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultDetClockConfig()
+	cfg.ExemptFiles = append(cfg.ExemptFiles, "odp/internal/timecall/timecall.go")
+	for _, d := range Run([]*Package{pkg}, []Analyzer{NewDetClock(cfg)}) {
+		t.Errorf("exempt file still flagged: %s", d)
+	}
+
+	other := DefaultDetClockConfig()
+	other.ExemptFiles = []string{"odp/internal/elsewhere/timecall.go"}
+	if ds := Run([]*Package{pkg}, []Analyzer{NewDetClock(other)}); len(ds) == 0 {
+		t.Error("exemption for another package's file silenced this one")
+	}
+}
+
 // TestSelectWithDefaultIsNonBlocking pins the exemption that keeps
 // clock.Fake.Advance legal: a select with a default clause cannot block,
 // so it is allowed under a held mutex.

@@ -1,0 +1,229 @@
+package netsim
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"odp/internal/clock"
+	"odp/internal/transport"
+)
+
+// TestPartitionMidFlightCountsCut pins the delivery-time partition
+// recheck: a packet already in flight when the partition opens is counted
+// Cut, never Delivered. The virtual clock makes the interleaving exact —
+// the cut happens strictly between send and the delivery instant.
+func TestPartitionMidFlightCountsCut(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	f := NewFabric(WithClock(fake), WithDefaultLink(LinkProfile{Latency: time.Millisecond}))
+	defer f.Close()
+	a, err := f.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delivered atomic.Int64
+	b.SetHandler(func(string, []byte) { delivered.Add(1) })
+
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Stats(); got.Sent != 1 || got.Cut != 0 {
+		t.Fatalf("after send: %+v", got)
+	}
+	f.Partition("a", "b", true)
+	fake.Advance(2 * time.Millisecond)
+	waitInFlightZero(t, f)
+	got := f.Stats()
+	if got.Cut != 1 || got.Delivered != 0 {
+		t.Fatalf("mid-flight partition: %+v, want Cut=1 Delivered=0", got)
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("handler ran across a mid-flight partition")
+	}
+}
+
+// TestCloseWaitsForInFlight pins the Close contract on the real-time
+// path: Close blocks until a delivery whose handler is still running has
+// returned.
+func TestCloseWaitsForInFlight(t *testing.T) {
+	f := NewFabric()
+	a, err := f.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var done atomic.Bool
+	b.SetHandler(func(string, []byte) {
+		close(entered)
+		<-release
+		done.Store(true)
+	})
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+	closed := make(chan struct{})
+	go func() {
+		_ = f.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while a delivery handler was running")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned after the handler finished")
+	}
+	if !done.Load() {
+		t.Fatal("Close returned before the handler completed")
+	}
+}
+
+// TestCloseCancelsVirtualPending: with deliveries parked on a fake clock
+// nobody will advance again, Close must not deadlock — scheduled but
+// unfired packets are cancelled.
+func TestCloseCancelsVirtualPending(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	f := NewFabric(WithClock(fake), WithDefaultLink(LinkProfile{Latency: time.Second}))
+	a, err := f.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Endpoint("b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := f.InFlight(); got != 5 {
+		t.Fatalf("InFlight = %d, want 5", got)
+	}
+	closed := make(chan struct{})
+	go func() {
+		_ = f.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked on undelivered virtual packets")
+	}
+	if got := f.InFlight(); got != 0 {
+		t.Fatalf("InFlight after Close = %d, want 0", got)
+	}
+	if got := f.Stats(); got.Delivered != 0 {
+		t.Fatalf("cancelled packets were delivered: %+v", got)
+	}
+}
+
+// TestOversizeRejectedBeforeStats: a packet beyond transport.MaxPacket is
+// the sender's error, observed before any counter moves.
+func TestOversizeRejectedBeforeStats(t *testing.T) {
+	for _, virtual := range []bool{false, true} {
+		opts := []Option{}
+		if virtual {
+			opts = append(opts, WithClock(clock.NewFake(time.Unix(0, 0))))
+		}
+		f := NewFabric(opts...)
+		a, err := f.Endpoint("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Endpoint("b"); err != nil {
+			t.Fatal(err)
+		}
+		big := make([]byte, transport.MaxPacket+1)
+		if err := a.Send("b", big); err != transport.ErrTooLarge {
+			t.Fatalf("virtual=%v: err = %v, want ErrTooLarge", virtual, err)
+		}
+		if got := f.Stats(); got != (Stats{}) {
+			t.Fatalf("virtual=%v: stats changed on rejected packet: %+v", virtual, got)
+		}
+		_ = f.Close()
+	}
+}
+
+// TestVirtualDeliveryWaitsForAdvance: with an injected fake clock no
+// packet moves until the clock does, and delivery lands exactly at the
+// link latency.
+func TestVirtualDeliveryWaitsForAdvance(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	trace := make(chan string, 16)
+	f := NewFabric(
+		WithClock(fake),
+		WithDefaultLink(LinkProfile{Latency: 3 * time.Millisecond}),
+		WithTrace(func(at time.Time, ev string) {
+			select {
+			case trace <- at.String() + " " + ev:
+			default:
+			}
+		}),
+	)
+	defer f.Close()
+	a, err := f.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan []byte, 1)
+	b.SetHandler(func(_ string, pkt []byte) {
+		got <- append([]byte(nil), pkt...)
+	})
+	if err := a.Send("b", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		t.Fatal("delivered without advancing the clock")
+	case <-time.After(10 * time.Millisecond):
+	}
+	fake.Advance(2 * time.Millisecond)
+	select {
+	case <-got:
+		t.Fatal("delivered before the latency elapsed")
+	case <-time.After(10 * time.Millisecond):
+	}
+	fake.Advance(time.Millisecond)
+	select {
+	case pkt := <-got:
+		if string(pkt) != "hello" {
+			t.Fatalf("payload %q", pkt)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("never delivered after advancing past the latency")
+	}
+	waitInFlightZero(t, f)
+	if f.Stats().Delivered != 1 {
+		t.Fatalf("stats: %+v", f.Stats())
+	}
+}
+
+// waitInFlightZero spins until the fabric has no in-flight deliveries.
+func waitInFlightZero(t *testing.T, f *Fabric) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.InFlight() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight never drained: %d", f.InFlight())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}

@@ -7,14 +7,23 @@
 // behaviours the paper's transparency claims depend on — variable latency
 // (§4.1), transient communication problems (§4.1), persistent failures
 // (§3) — can be injected on demand and measured reproducibly.
+//
+// Delivery scheduling is pluggable. By default delayed packets ride real
+// timers (realtime.go, the package's only wall-clock file). Constructed
+// with WithClock(*clock.Fake), every in-flight packet becomes an event in
+// the fake clock's virtual-time queue — shared with all the platform's
+// timers and tickers — and the whole fabric runs in logical time under
+// the internal/sim harness.
 package netsim
 
 import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"odp/internal/clock"
 	"odp/internal/transport"
 )
 
@@ -60,6 +69,18 @@ var pktPool = sync.Pool{
 // maxPooledPkt bounds retained packet-copy capacity.
 const maxPooledPkt = 64 << 10
 
+// TraceFunc observes fabric events for the deterministic-replay trace:
+// at is the fabric clock's instant, event a short "kind from>to" line.
+// Only meaningful together with WithClock (real-time runs pass a zero
+// instant). Implementations must be safe for concurrent use.
+type TraceFunc func(at time.Time, event string)
+
+// pendEntry is one delayed delivery scheduled on a virtual clock.
+type pendEntry struct {
+	timer  clock.Timer
+	cancel func()
+}
+
 // Fabric is a set of interconnected simulated endpoints.
 type Fabric struct {
 	mu          sync.Mutex
@@ -70,6 +91,25 @@ type Fabric struct {
 	partitioned map[string]bool // "a|b" unordered-pair key
 	closed      bool
 	wg          sync.WaitGroup
+
+	// clk is non-nil when deliveries are scheduled in virtual time.
+	clk   clock.Clock
+	trace TraceFunc
+
+	// inflight mirrors wg's counter observably: packets scheduled or being
+	// delivered.
+	inflight atomic.Int64
+	// executing counts deliveries actively running (goroutine spawned or
+	// callback firing), excluding packets parked on a virtual clock. The
+	// sim harness polls it for quiescence: a parked packet is a future
+	// event, not pending work.
+	executing atomic.Int64
+
+	// pending tracks virtual-time deliveries not yet fired, so Close can
+	// cancel them instead of waiting for an Advance that will never come.
+	pendMu  sync.Mutex
+	pending map[uint64]pendEntry
+	pendSeq uint64
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -96,6 +136,20 @@ func WithDefaultLink(p LinkProfile) Option {
 	return func(f *Fabric) { f.defaultLink = p }
 }
 
+// WithClock schedules deliveries on clk instead of real timers. With a
+// *clock.Fake this turns every in-flight packet into a virtual-time event
+// on the same queue as the platform's timers: time stands still until the
+// clock is advanced, and a whole latency/partition scenario executes in
+// microseconds of wall time (see internal/sim).
+func WithClock(clk clock.Clock) Option {
+	return func(f *Fabric) { f.clk = clk }
+}
+
+// WithTrace installs an event observer; see TraceFunc.
+func WithTrace(fn TraceFunc) Option {
+	return func(f *Fabric) { f.trace = fn }
+}
+
 // NewFabric creates an empty fabric. The default link is Loopback.
 func NewFabric(opts ...Option) *Fabric {
 	f := &Fabric{
@@ -104,6 +158,7 @@ func NewFabric(opts ...Option) *Fabric {
 		links:       make(map[string]LinkProfile),
 		defaultLink: Loopback,
 		partitioned: make(map[string]bool),
+		pending:     make(map[uint64]pendEntry),
 	}
 	for _, o := range opts {
 		o(f)
@@ -170,8 +225,19 @@ func (f *Fabric) Stats() Stats {
 	return f.stats
 }
 
+// Executing reports deliveries actively running — spawned or firing, as
+// opposed to parked on a virtual clock awaiting an Advance.
+func (f *Fabric) Executing() int { return int(f.executing.Load()) }
+
+// InFlight reports packets scheduled for delivery or currently being
+// handled. The sim harness polls it as part of quiescence detection.
+func (f *Fabric) InFlight() int { return int(f.inflight.Load()) }
+
 // Close shuts the fabric down and waits for in-flight deliveries to
-// settle.
+// settle. Deliveries scheduled on a virtual clock that has not reached
+// their instant are cancelled — nobody will advance the clock for them —
+// while already-running ones are waited for, preserving the real-time
+// contract that Close does not return mid-delivery.
 func (f *Fabric) Close() error {
 	f.mu.Lock()
 	if f.closed {
@@ -180,13 +246,44 @@ func (f *Fabric) Close() error {
 	}
 	f.closed = true
 	f.mu.Unlock()
+	f.pendMu.Lock()
+	pend := f.pending
+	f.pending = make(map[uint64]pendEntry)
+	f.pendMu.Unlock()
+	for _, p := range pend {
+		if p.timer.Stop() {
+			p.cancel()
+		}
+	}
 	f.wg.Wait()
 	return nil
+}
+
+// now reads the fabric clock for trace stamps; real-time runs (no
+// injected clock) stamp zero, keeping this file off the wall clock.
+func (f *Fabric) now() time.Time {
+	if f.clk != nil {
+		return f.clk.Now()
+	}
+	return time.Time{}
+}
+
+// tracef records one event. Callers on the send/deliver hot path must
+// guard with `if f.trace != nil` at the call site — the variadic slice
+// and interface boxing are built by the caller, so an unguarded call
+// costs several allocations even when tracing is off.
+func (f *Fabric) tracef(format string, args ...interface{}) {
+	if f.trace == nil {
+		return
+	}
+	f.trace(f.now(), fmt.Sprintf(format, args...))
 }
 
 // send routes one packet. Called with no locks held.
 func (f *Fabric) send(from, to string, pkt []byte) error {
 	if len(pkt) > transport.MaxPacket {
+		// Rejected before any stats change: a packet the fabric would
+		// never carry is the sender's error, not traffic.
 		return transport.ErrTooLarge
 	}
 	f.mu.Lock()
@@ -202,6 +299,9 @@ func (f *Fabric) send(from, to string, pkt []byte) error {
 	if f.partitioned[pairKey(from, to)] {
 		f.mu.Unlock()
 		f.count(func(s *Stats) { s.Sent++; s.Cut++ })
+		if f.trace != nil {
+			f.tracef("cut %s>%s %dB", from, to, len(pkt))
+		}
 		return nil // silently dropped: the sender cannot tell
 	}
 	profile, ok := f.links[from+"|"+to]
@@ -220,9 +320,15 @@ func (f *Fabric) send(from, to string, pkt []byte) error {
 
 	if drop {
 		f.count(func(s *Stats) { s.Sent++; s.Dropped++ })
+		if f.trace != nil {
+			f.tracef("drop %s>%s %dB", from, to, len(pkt))
+		}
 		return nil
 	}
 	f.count(func(s *Stats) { s.Sent++ })
+	if f.trace != nil {
+		f.tracef("send %s>%s %dB", from, to, len(pkt))
+	}
 
 	// Copy into a pooled buffer: the sender may reuse its buffer the
 	// moment Send returns, and the Handler contract forbids receivers
@@ -230,32 +336,76 @@ func (f *Fabric) send(from, to string, pkt []byte) error {
 	cpp := pktPool.Get().(*[]byte)
 	cp := append((*cpp)[:0], pkt...)
 
+	f.wg.Add(1)
+	f.inflight.Add(1)
+	// deliver is the hot path's only closure: it owns the executing
+	// decrement and releases the packet copy via the release method
+	// (a deferred method call, not another allocation).
 	deliver := func() {
-		defer f.wg.Done()
-		defer func() {
-			if cap(cp) <= maxPooledPkt {
-				*cpp = cp[:0]
-				pktPool.Put(cpp)
-			}
-		}()
+		defer f.release(cpp, cp)
+		defer f.executing.Add(-1)
 		f.mu.Lock()
 		cut := f.partitioned[pairKey(from, to)]
 		f.mu.Unlock()
 		if cut {
 			// The partition appeared while the packet was in flight.
 			f.count(func(s *Stats) { s.Cut++ })
+			if f.trace != nil {
+				f.tracef("cut-inflight %s>%s %dB", from, to, len(cp))
+			}
 			return
 		}
 		dst.deliver(from, cp)
 		f.count(func(s *Stats) { s.Delivered++ })
+		if f.trace != nil {
+			f.tracef("deliver %s>%s %dB", from, to, len(cp))
+		}
 	}
-	f.wg.Add(1)
-	if delay <= 0 {
+	// executing is incremented before control leaves this goroutine (or,
+	// on the virtual path, inside the clock callback, which the clock's
+	// own firing counter already covers), so a quiescence poller never
+	// observes a gap between "scheduled" and "running".
+	switch {
+	case delay <= 0:
+		f.executing.Add(1)
 		go deliver()
-	} else {
-		time.AfterFunc(delay, deliver)
+	case f.clk != nil:
+		// The cancel closure allocates, but only virtual-time (sim)
+		// runs take this branch.
+		f.scheduleVirtual(delay, deliver, func() { f.release(cpp, cp) })
+	default:
+		f.executing.Add(1)
+		scheduleReal(delay, deliver)
 	}
 	return nil
+}
+
+// release recycles a delivered (or cancelled) packet copy and retires it
+// from the in-flight accounting.
+func (f *Fabric) release(cpp *[]byte, cp []byte) {
+	if cap(cp) <= maxPooledPkt {
+		*cpp = cp[:0]
+		pktPool.Put(cpp)
+	}
+	f.inflight.Add(-1)
+	f.wg.Done()
+}
+
+// scheduleVirtual parks a delivery on the virtual clock, registering it
+// so Close can cancel deliveries whose instant will never arrive.
+func (f *Fabric) scheduleVirtual(delay time.Duration, deliver, cancel func()) {
+	f.pendMu.Lock()
+	id := f.pendSeq
+	f.pendSeq++
+	tm := f.clk.AfterFunc(delay, func() {
+		f.pendMu.Lock()
+		delete(f.pending, id)
+		f.pendMu.Unlock()
+		f.executing.Add(1)
+		deliver()
+	})
+	f.pending[id] = pendEntry{timer: tm, cancel: cancel}
+	f.pendMu.Unlock()
 }
 
 func (f *Fabric) count(update func(*Stats)) {

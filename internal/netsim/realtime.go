@@ -1,0 +1,18 @@
+// Real-time delivery scheduling — the only file in this package (and,
+// with internal/clock and the harnesses, in the whole platform) that may
+// touch the wall clock. The detclock static-analysis pass exempts exactly
+// this file; everything else in netsim schedules through the injected
+// clock.Clock.
+//
+// The direct time.AfterFunc (rather than clock.Real{}.AfterFunc) keeps
+// the per-packet hot path free of the adapter allocation: the fabric is
+// the platform's time source on the benchmark path, where every
+// delivery pays this call.
+package netsim
+
+import "time"
+
+// scheduleReal schedules a delivery after delay on the wall clock.
+func scheduleReal(delay time.Duration, deliver func()) {
+	time.AfterFunc(delay, deliver)
+}

@@ -535,11 +535,43 @@ type Peer struct {
 	Server *Server
 }
 
+// PeerOption configures both roles of a Peer.
+type PeerOption func(*peerConfig)
+
+type peerConfig struct {
+	serverOpts []ServerOption
+	clientOpts []ClientOption
+}
+
+// WithPeerServerOptions applies server-side options to the peer.
+func WithPeerServerOptions(opts ...ServerOption) PeerOption {
+	return func(pc *peerConfig) { pc.serverOpts = append(pc.serverOpts, opts...) }
+}
+
+// WithPeerClientOptions applies client-side options to the peer.
+func WithPeerClientOptions(opts ...ClientOption) PeerOption {
+	return func(pc *peerConfig) { pc.clientOpts = append(pc.clientOpts, opts...) }
+}
+
+// WithPeerClock drives both roles — call timeouts, retransmission,
+// reply-cache TTLs and the janitor — from one clock, so a whole peer can
+// run in virtual time.
+func WithPeerClock(c clock.Clock) PeerOption {
+	return func(pc *peerConfig) {
+		pc.serverOpts = append(pc.serverOpts, WithClock(c))
+		pc.clientOpts = append(pc.clientOpts, WithClientClock(c))
+	}
+}
+
 // NewPeer wires both roles onto ep.
-func NewPeer(ep transport.Endpoint, codec wire.Codec, handler Handler, opts ...ServerOption) *Peer {
+func NewPeer(ep transport.Endpoint, codec wire.Codec, handler Handler, opts ...PeerOption) *Peer {
+	var pc peerConfig
+	for _, o := range opts {
+		o(&pc)
+	}
 	p := &Peer{
-		Client: newClientNoHandler(ep, codec),
-		Server: newServerNoHandler(ep, codec, handler, opts...),
+		Client: newClientNoHandler(ep, codec, pc.clientOpts...),
+		Server: newServerNoHandler(ep, codec, handler, pc.serverOpts...),
 	}
 	ep.SetHandler(func(from string, pkt []byte) {
 		h, rest, err := decodeHeader(pkt)

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+)
+
+// Sweep runs scenario across n seeds, each in its own subtest with its
+// own simulation universe. Seeds are independent, so the first failing
+// seed is already the minimal reproducer: the sweep stops there and
+// prints the exact replay command. CI runs sweeps under -race with a
+// larger seed count (see SeedsFromEnv).
+func Sweep(t *testing.T, n int, scenario func(t *testing.T, s *Sim), opts ...Option) {
+	t.Helper()
+	for seed := 0; seed < n; seed++ {
+		seed := seed
+		name := fmt.Sprintf("seed=%d", seed)
+		ok := t.Run(name, func(t *testing.T) {
+			s := New(int64(seed), opts...)
+			defer s.Close()
+			scenario(t, s)
+		})
+		if !ok {
+			t.Logf("sim: first failing seed is %d of %d; replay with:\n  go test -race -count=1 -run '^%s$/^%s$' ./...",
+				seed, n, t.Name(), name)
+			return
+		}
+	}
+}
+
+// SeedsFromEnv returns the sweep width: ODP_SIM_SEEDS when set and
+// positive, else def. The tier-1 suite stays quick with a small default
+// while the CI sim-sweep step widens the exploration.
+func SeedsFromEnv(def int) int {
+	if v := os.Getenv("ODP_SIM_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}

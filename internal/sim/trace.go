@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event is one entry of the replay trace.
+type Event struct {
+	// At is the virtual instant the event was observed.
+	At time.Time
+	// What is a short "kind detail" line.
+	What string
+}
+
+// Trace is a concurrency-safe accumulator of simulation events: fabric
+// deliveries, drops and cuts, fault-plan applications and scenario marks.
+// Its Hash canonicalises the accumulated multiset, so two runs of the
+// same seed can be asserted identical even when events sharing a virtual
+// instant were recorded in different goroutine order.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace {
+	return &Trace{}
+}
+
+// Record appends one event. Safe for concurrent use; netsim.TraceFunc
+// compatible.
+func (tr *Trace) Record(at time.Time, what string) {
+	tr.mu.Lock()
+	tr.events = append(tr.events, Event{At: at, What: what})
+	tr.mu.Unlock()
+}
+
+// Len reports how many events have been recorded.
+func (tr *Trace) Len() int {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return len(tr.events)
+}
+
+// Events returns a copy of the recorded events in canonical order:
+// sorted by instant, ties broken by event text.
+func (tr *Trace) Events() []Event {
+	tr.mu.Lock()
+	out := make([]Event, len(tr.events))
+	copy(out, tr.events)
+	tr.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].At.Equal(out[j].At) {
+			return out[i].At.Before(out[j].At)
+		}
+		return out[i].What < out[j].What
+	})
+	return out
+}
+
+// Hash fingerprints the canonical trace. Two runs of the same seed that
+// made the same scheduling decisions hash identically, across processes
+// and machines (virtual instants are epoch-anchored, the canonical order
+// is content-defined, and no addresses or map orders leak in).
+func (tr *Trace) Hash() string {
+	h := sha256.New()
+	for _, e := range tr.Events() {
+		h.Write([]byte(strconv.FormatInt(e.At.UnixNano(), 10)))
+		h.Write([]byte{'\t'})
+		h.Write([]byte(e.What))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Dump renders the canonical trace, for debugging failed determinism
+// assertions.
+func (tr *Trace) Dump() string {
+	out := ""
+	for _, e := range tr.Events() {
+		out += fmt.Sprintf("%s %s\n", e.At.Format("15:04:05.000000000"), e.What)
+	}
+	return out
+}

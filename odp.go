@@ -147,7 +147,14 @@ type (
 	Interceptor = capsule.Interceptor
 	// QoS is the communications quality-of-service constraint.
 	QoS = rpc.QoS
+	// Clock abstracts the time source a platform runs on; see WithClock.
+	Clock = clock.Clock
+	// FakeClock is a manually advanced Clock for virtual-time testing.
+	FakeClock = clock.Fake
 )
+
+// NewFakeClock returns a FakeClock reading start until advanced.
+func NewFakeClock(start time.Time) *FakeClock { return clock.NewFake(start) }
 
 // Replication modes.
 const (
@@ -182,6 +189,10 @@ var (
 	WithLockWait = core.WithLockWait
 	// WithGCGrace sets the collector's activity grace window.
 	WithGCGrace = core.WithGCGrace
+	// WithClock drives every time-dependent subsystem of the node from one
+	// injected clock; share a clock.Fake across nodes and the netsim
+	// fabric to run a whole system in virtual time (internal/sim).
+	WithClock = core.WithClock
 	// WithCapsuleOptions forwards options to the capsule.
 	WithCapsuleOptions = core.WithCapsuleOptions
 	// WithBatching wraps the node's endpoint in a write coalescer:
@@ -241,6 +252,10 @@ var (
 	WithSeed = netsim.WithSeed
 	// WithDefaultLink sets the default link profile.
 	WithDefaultLink = netsim.WithDefaultLink
+	// FabricClock schedules fabric deliveries on an injected clock
+	// instead of real timers; with a FakeClock shared with WithClock
+	// platforms, the network runs in virtual time.
+	FabricClock = netsim.WithClock
 	// LAN approximates a local segment.
 	LAN = netsim.LAN
 	// WAN approximates a wide-area path.
