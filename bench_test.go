@@ -138,6 +138,11 @@ func BenchmarkE1CoLocatedOptimised(b *testing.B) { bench.MicroE1CoLocatedOptimis
 func BenchmarkE1RemoteLoopback(b *testing.B)     { bench.MicroE1RemoteLoopback(b) }
 func BenchmarkE1PipelinedLoopback(b *testing.B)  { bench.MicroE1PipelinedLoopback(b) }
 
+func BenchmarkE1TracedLoopback(b *testing.B) { bench.MicroE1TracedLoopback(b) }
+func BenchmarkE1TracedUnsampledLoopback(b *testing.B) {
+	bench.MicroE1TracedUnsampledLoopback(b)
+}
+
 func BenchmarkE1RemoteLAN(b *testing.B) {
 	r := newRig(b, odp.LAN)
 	ref := r.publish(b, "cell", odp.Object{Servant: newBenchCell(0)})

@@ -45,6 +45,7 @@ func main() {
 		refStr  = flag.String("ref", "", "encoded interface reference (required)")
 		op      = flag.String("op", "", "operation name (required)")
 		timeout = flag.Duration("timeout", 5*time.Second, "invocation deadline")
+		trace   = flag.Bool("trace", false, "sample the call and print the client-side span tree; the server half lands in the target node's ring (see odptop)")
 		args    argList
 	)
 	flag.Var(&args, "arg", "operation argument (repeatable)")
@@ -53,13 +54,13 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*refStr, *op, *timeout, args); err != nil {
+	if err := run(*refStr, *op, *timeout, *trace, args); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(refStr, op string, timeout time.Duration, args argList) error {
+func run(refStr, op string, timeout time.Duration, trace bool, args argList) error {
 	ref, err := odp.DecodeRef(refStr)
 	if err != nil {
 		return err
@@ -68,7 +69,11 @@ func run(refStr, op string, timeout time.Duration, args argList) error {
 	if err != nil {
 		return err
 	}
-	client, err := odp.NewPlatform("odpcall", ep)
+	opts := []odp.Option{}
+	if trace {
+		opts = append(opts, odp.WithTracing(odp.TraceSampleEvery(1)))
+	}
+	client, err := odp.NewPlatform("odpcall", ep, opts...)
 	if err != nil {
 		return err
 	}
@@ -83,6 +88,11 @@ func run(refStr, op string, timeout time.Duration, args argList) error {
 	fmt.Printf("outcome: %s\n", out.Name)
 	for i, r := range out.Results {
 		fmt.Printf("result[%d]: %v\n", i, r)
+	}
+	if trace {
+		if spans := client.Observer().Snapshot(); len(spans) > 0 {
+			fmt.Printf("client spans:\n%s", odp.FormatSpans(spans))
+		}
 	}
 	return nil
 }

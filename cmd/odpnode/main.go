@@ -28,30 +28,32 @@ import (
 
 func main() {
 	var (
-		name      = flag.String("name", "node", "node name (scopes object identifiers)")
-		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
-		traderCtx = flag.String("trader", "", "host a trading service under this federation context name")
-		storeDir  = flag.String("store", "", "directory for durable storage (default: in-memory)")
-		relocator = flag.String("relocator", "", "encoded reference of an existing relocation service")
-		echoSvc   = flag.Bool("echo", true, "publish a demo echo interface")
+		name       = flag.String("name", "node", "node name (scopes object identifiers)")
+		listen     = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		traderCtx  = flag.String("trader", "", "host a trading service under this federation context name")
+		storeDir   = flag.String("store", "", "directory for durable storage (default: in-memory)")
+		relocator  = flag.String("relocator", "", "encoded reference of an existing relocation service")
+		echoSvc    = flag.Bool("echo", true, "publish a demo echo interface")
+		traceEvery = flag.Int("trace-every", 0, "sample one trace in n invocations (0 = off; retune live via the obs.sample_every management parameter)")
 	)
 	flag.Parse()
-	if err := run(*name, *listen, *traderCtx, *storeDir, *relocator, *echoSvc); err != nil {
+	if err := run(*name, *listen, *traderCtx, *storeDir, *relocator, *echoSvc, *traceEvery); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(name, listen, traderCtx, storeDir, relocator string, echoSvc bool) error {
+func run(name, listen, traderCtx, storeDir, relocator string, echoSvc bool, traceEvery int) error {
 	ep, err := odp.ListenTCP(listen)
 	if err != nil {
 		return err
 	}
 	node, err := newNode(ep, nodeConfig{
-		name:      name,
-		traderCtx: traderCtx,
-		storeDir:  storeDir,
-		relocator: relocator,
+		name:       name,
+		traderCtx:  traderCtx,
+		storeDir:   storeDir,
+		relocator:  relocator,
+		traceEvery: traceEvery,
 	})
 	if err != nil {
 		return err

@@ -13,6 +13,11 @@ type nodeConfig struct {
 	traderCtx string
 	storeDir  string
 	relocator string
+	// traceEvery samples one root trace in n (0 = sampling off). The
+	// collector itself is always installed: unsampled tracing is free on
+	// the hot path, and the "obs.sample_every" management parameter can
+	// turn sampling on against a live node.
+	traceEvery int
 	// clk, when non-nil, drives the whole node in virtual time
 	// (odp.WithClock). Deterministic-simulation setups share one
 	// odp.FakeClock across every node and the fabric; the TCP main path
@@ -23,7 +28,11 @@ type nodeConfig struct {
 // platformOptions translates a nodeConfig into platform construction
 // options.
 func platformOptions(cfg nodeConfig) ([]odp.Option, error) {
-	opts := []odp.Option{}
+	tracing := odp.WithTracing()
+	if cfg.traceEvery > 0 {
+		tracing = odp.WithTracing(odp.TraceSampleEvery(uint64(cfg.traceEvery)))
+	}
+	opts := []odp.Option{tracing}
 	if cfg.storeDir != "" {
 		store, err := odp.NewFileStore(cfg.storeDir)
 		if err != nil {

@@ -1,0 +1,119 @@
+// Command odptop polls a node's management interface and renders its
+// unified stats snapshot plus recent span trees — "top" for an ODP node.
+//
+// Point it at the management interface reference (the agent exported as
+// "<node>/mgmt"); it issues the "gather" and "spans" interrogations and
+// prints one frame per poll:
+//
+//	odptop -ref <encoded mgmt ref>            # poll every 2s
+//	odptop -ref <encoded mgmt ref> -once      # one frame and exit
+//
+// Counters come out sorted by name so frames diff cleanly; spans render
+// as per-trace causal trees (see odp.FormatSpans).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"odp"
+)
+
+func main() {
+	var (
+		refStr   = flag.String("ref", "", "encoded management interface reference (required)")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll deadline")
+		once     = flag.Bool("once", false, "print one frame and exit")
+		noSpans  = flag.Bool("no-spans", false, "omit the span-tree section")
+	)
+	flag.Parse()
+	if *refStr == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*refStr, *interval, *timeout, *once, !*noSpans); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(refStr string, interval, timeout time.Duration, once, withSpans bool) error {
+	ref, err := odp.DecodeRef(refStr)
+	if err != nil {
+		return err
+	}
+	ep, err := odp.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	client, err := odp.NewPlatform("odptop", ep)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	proxy := client.Bind(ref).WithQoS(odp.QoS{Timeout: timeout})
+
+	for {
+		frame, err := poll(proxy, timeout, withSpans)
+		if err != nil {
+			return err
+		}
+		fmt.Print(frame)
+		if once {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+func poll(proxy *odp.Proxy, timeout time.Duration, withSpans bool) (string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	out, err := proxy.Call(ctx, "gather")
+	if err != nil {
+		return "", fmt.Errorf("gather: %w", err)
+	}
+	rec, _ := out.Result(0).(odp.Record)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s ===\n", time.Now().Format(time.RFC3339))
+	b.WriteString(renderRecord(rec))
+
+	if withSpans {
+		out, err = proxy.Call(ctx, "spans")
+		if err != nil {
+			return "", fmt.Errorf("spans: %w", err)
+		}
+		list, _ := out.Result(0).(odp.List)
+		if spans := odp.SpansFromList(list); len(spans) > 0 {
+			b.WriteString("\nrecent traces:\n")
+			b.WriteString(odp.FormatSpans(spans))
+		}
+	}
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+func renderRecord(rec odp.Record) string {
+	keys := make([]string, 0, len(rec))
+	width := 0
+	for k := range rec {
+		keys = append(keys, k)
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-*s  %v\n", width, k, rec[k])
+	}
+	return b.String()
+}

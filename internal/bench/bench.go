@@ -173,6 +173,35 @@ func newBatchedPair(profile odp.LinkProfile, opts ...odp.Option) (*pair, error) 
 	return &pair{fabric: f, server: server, client: client}, nil
 }
 
+// newTracedPair is newPair with the observability collector on both
+// nodes — the client roots and propagates trace context, the server
+// records dispatch spans — at the given sampling rate (0 keeps the
+// machinery wired but dormant, which is what the unsampled-overhead
+// benchmark measures).
+func newTracedPair(profile odp.LinkProfile, sampleEvery uint64) (*pair, error) {
+	f := odp.NewFabric(odp.WithSeed(1), odp.WithDefaultLink(profile))
+	sep, err := f.Endpoint("server")
+	if err != nil {
+		return nil, err
+	}
+	server, err := odp.NewPlatform("server", sep,
+		odp.WithTracing(odp.TraceSampleEvery(sampleEvery)))
+	if err != nil {
+		return nil, err
+	}
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		return nil, err
+	}
+	client, err := odp.NewPlatform("client", cep,
+		odp.WithTracing(odp.TraceSampleEvery(sampleEvery)),
+		odp.WithRelocator(server.RelocRef))
+	if err != nil {
+		return nil, err
+	}
+	return &pair{fabric: f, server: server, client: client}, nil
+}
+
 // timeOp measures the mean duration of n sequential executions of fn.
 func timeOp(n int, fn func(i int) error) (time.Duration, error) {
 	start := time.Now()

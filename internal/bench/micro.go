@@ -29,6 +29,8 @@ func MicroBenchmarks() []struct {
 		{"E1DirectGoCall", MicroE1DirectGoCall},
 		{"E1CoLocatedOptimised", MicroE1CoLocatedOptimised},
 		{"E1RemoteLoopback", MicroE1RemoteLoopback},
+		{"E1TracedLoopback", MicroE1TracedLoopback},
+		{"E1TracedUnsampledLoopback", MicroE1TracedUnsampledLoopback},
 		{"E1PipelinedLoopback", MicroE1PipelinedLoopback},
 		{"E4Interrogation", MicroE4Interrogation},
 		{"E4Announcement", MicroE4Announcement},
@@ -93,6 +95,50 @@ func MicroE1CoLocatedOptimised(b *testing.B) {
 // platform's own per-invocation cost.
 func MicroE1RemoteLoopback(b *testing.B) {
 	p := mustPair(b, odp.LinkProfile{})
+	defer p.close()
+	ref := mustPublish(b, p, "cell", odp.Object{Servant: newCell(0)})
+	proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroE1TracedLoopback is E1RemoteLoopback with tracing on and every
+// call sampled: each invocation mints a stub root, a send span, trace
+// context on the wire and a server dispatch span. The delta against
+// E1RemoteLoopback is the full per-call cost of observation.
+func MicroE1TracedLoopback(b *testing.B) {
+	p, err := newTracedPair(odp.LinkProfile{}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.close()
+	ref := mustPublish(b, p, "cell", odp.Object{Servant: newCell(0)})
+	proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroE1TracedUnsampledLoopback is the overhead that matters: the
+// collector wired through every layer but sampling off, which must cost
+// nothing but a handful of nil/atomic checks — the alloc gate in
+// trace_test.go pins it at zero added allocations.
+func MicroE1TracedUnsampledLoopback(b *testing.B) {
+	p, err := newTracedPair(odp.LinkProfile{}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer p.close()
 	ref := mustPublish(b, p, "cell", odp.Object{Servant: newCell(0)})
 	proxy := p.client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"odp/internal/clock"
+	"odp/internal/obs"
 	"odp/internal/rpc"
 	"odp/internal/transport"
 	"odp/internal/types"
@@ -102,6 +103,10 @@ type Capsule struct {
 	// clk, when non-nil, drives the peer's timeouts, retransmission and
 	// reply-cache lifecycle (virtual time under the sim harness).
 	clk clock.Clock
+	// obs, when non-nil, is the node's span collector: shared with the
+	// protocol peer, and used here to record the co-located bypass as a
+	// distinct span kind so tests can assert which path an invocation took.
+	obs *obs.Collector
 }
 
 // Option configures a capsule.
@@ -126,6 +131,12 @@ func WithClock(clk clock.Clock) Option {
 	return func(c *Capsule) { c.clk = clk }
 }
 
+// WithObserver installs the node's span collector on the capsule and its
+// protocol peer. Nil (the default) disables tracing.
+func WithObserver(col *obs.Collector) Option {
+	return func(c *Capsule) { c.obs = col }
+}
+
 // New creates a capsule on ep. name scopes generated object identifiers.
 func New(name string, ep transport.Endpoint, codec wire.Codec, opts ...Option) *Capsule {
 	c := &Capsule{
@@ -143,6 +154,9 @@ func New(name string, ep transport.Endpoint, codec wire.Codec, opts ...Option) *
 	var popts []rpc.PeerOption
 	if c.clk != nil {
 		popts = append(popts, rpc.WithPeerClock(c.clk))
+	}
+	if c.obs != nil {
+		popts = append(popts, rpc.WithPeerObserver(c.obs))
 	}
 	c.peer = rpc.NewPeer(ep, codec, c.handle, popts...)
 	return c
@@ -330,7 +344,18 @@ func (c *Capsule) tryLocal(ctx context.Context, objID, op string, args []wire.Va
 	if !ok {
 		return "", nil, nil, false
 	}
+	// The bypass span is the trace-level evidence that the §4.5
+	// optimisation fired: a traced co-located invocation shows this kind
+	// where a remote one shows rpc.send/rpc.dispatch. Nested invocations
+	// the servant makes parent under it.
+	var sp *obs.Span
+	if c.obs != nil {
+		if sp = c.obs.BeginChild(obs.FromContext(ctx), obs.KindBypass, op); sp != nil {
+			ctx = obs.ContextWith(ctx, sp.Context())
+		}
+	}
 	outcome, results, err = reg.chain.Dispatch(ctx, op, wire.CloneArgs(args))
+	c.obs.End(sp)
 	return outcome, wire.CloneArgs(results), err, true
 }
 
@@ -506,6 +531,27 @@ func (c *Capsule) Announce(ref wire.Ref, op string, args []wire.Value, opts ...I
 
 // AnnounceWith is Announce with a pre-resolved configuration.
 func (c *Capsule) AnnounceWith(ref wire.Ref, op string, args []wire.Value, cfg InvokeConfig) error {
+	return c.AnnounceCtxWith(context.Background(), ref, op, args, cfg)
+}
+
+// AnnounceCtxWith is AnnounceWith with a caller context: a span context
+// carried by ctx flows to the announcee (group relays pass their handler
+// context here, so relay fan-out joins the originating trace). An
+// untraced top-level announcement on a tracing node roots a new trace,
+// subject to the sampling knob.
+func (c *Capsule) AnnounceCtxWith(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg InvokeConfig) error {
+	var root *obs.Span
+	if c.obs != nil && !obs.FromContext(ctx).Valid() {
+		if root = c.obs.Begin(obs.KindStub, op); root != nil {
+			ctx = obs.ContextWith(ctx, root.Context())
+		}
+	}
+	err := c.announceWith(ctx, ref, op, args, cfg)
+	c.obs.End(root)
+	return err
+}
+
+func (c *Capsule) announceWith(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg InvokeConfig) error {
 	if c.localOptimisation && !cfg.ForceRemote && c.Hosts(ref.ID) {
 		// Spawn a new activity, as announcement semantics require. The
 		// copy is taken before the goroutine starts: the caller owns its
@@ -516,13 +562,22 @@ func (c *Capsule) AnnounceWith(ref wire.Ref, op string, args []wire.Value, cfg I
 		if len(args) != 0 && &sent[0] == &args[0] {
 			sent = append(make([]wire.Value, 0, len(args)), args...)
 		}
+		// The detached activity gets a fresh lifetime (announcements
+		// outlive their caller) but keeps the span context, so the
+		// spawned dispatch still lands in the originating trace.
+		dctx := context.Background()
+		if c.obs != nil {
+			if sc := obs.FromContext(ctx); sc.Valid() {
+				dctx = obs.ContextWith(dctx, sc)
+			}
+		}
 		go func() {
-			_, _, _ = c.dispatchLocal(context.Background(), ref.ID, op, sent)
+			_, _, _ = c.dispatchLocal(dctx, ref.ID, op, sent)
 		}()
 		return nil
 	}
 	if len(ref.Endpoints) == 0 {
 		return ErrNoEndpoint
 	}
-	return c.peer.Client.Announce(ref.Endpoints[0], ref.ID, op, args, cfg.QoS)
+	return c.peer.Client.AnnounceCtx(ctx, ref.Endpoints[0], ref.ID, op, args, cfg.QoS)
 }

@@ -232,6 +232,13 @@ func PublishReplicated(platforms []*Platform, spec ReplicaSpec, factory func() c
 			return nil, err
 		}
 		r.Members = append(r.Members, m)
+		// Join the unified introspection namespace: group counters fold
+		// into each hosting platform's Gather alongside rpc/binder/gc.
+		member, prefix := m, "group."+spec.GroupID
+		p.AddStatsSource(func(rec wire.Record) {
+			rec[prefix+".executed"] = member.Executed()
+			rec[prefix+".promotions"] = member.Promotions()
+		})
 	}
 	for _, m := range r.Members {
 		m.Start()

@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"odp/internal/capsule"
@@ -31,6 +32,7 @@ import (
 	"odp/internal/mgmt"
 	"odp/internal/migrate"
 	"odp/internal/naming"
+	"odp/internal/obs"
 	"odp/internal/rpc"
 	"odp/internal/security"
 	"odp/internal/storage"
@@ -79,6 +81,13 @@ type Platform struct {
 	// clk is the platform-wide time source (clock.Real{} unless WithClock
 	// injected one).
 	clk clock.Clock
+	// obs is non-nil when WithTracing installed a span collector; it is
+	// shared by the binder, capsule, protocol peer and coalescer.
+	obs *obs.Collector
+	// statsSources are extra contributors to Gather registered after
+	// construction (replica-group members, application subsystems).
+	srcMu        sync.Mutex
+	statsSources []func(wire.Record)
 }
 
 // platformConfig collects construction options.
@@ -94,6 +103,8 @@ type platformConfig struct {
 	batching      bool
 	batchOpts     []transport.CoalescerOption
 	clk           clock.Clock
+	tracing       bool
+	obsOpts       []obs.CollectorOption
 }
 
 // Option configures NewPlatform.
@@ -161,6 +172,21 @@ func WithBatching(opts ...transport.CoalescerOption) Option {
 	}
 }
 
+// WithTracing installs a channel-level span collector (see obs): the
+// binder roots invocation traces, and the capsule, protocol peer and
+// coalescer record the spans of every channel object an invocation
+// traverses. The collector shares the platform clock, so a simulated
+// node produces virtual-time spans. Collection is off until sampling is
+// enabled — pass obs.WithSampleEvery (or retune at run time through the
+// management parameter "obs.sample_every"); unsampled invocations cost
+// nothing measurable (0 added allocations, gated by test).
+func WithTracing(opts ...obs.CollectorOption) Option {
+	return func(cfg *platformConfig) {
+		cfg.tracing = true
+		cfg.obsOpts = append(cfg.obsOpts, opts...)
+	}
+}
+
 // NewPlatform assembles a node on ep.
 func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform, error) {
 	cfg := platformConfig{
@@ -195,6 +221,14 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 	}
 	if injected {
 		p.Registry.SetClock(cfg.clk)
+	}
+	if cfg.tracing {
+		// Options after the clock so the caller may override it; the node
+		// name keys the deterministic span-id base.
+		oopts := append([]obs.CollectorOption{obs.WithCollectorClock(cfg.clk)}, cfg.obsOpts...)
+		p.obs = obs.NewCollector(name, oopts...)
+		cfg.capsuleOpts = append(cfg.capsuleOpts, capsule.WithObserver(p.obs))
+		cfg.batchOpts = append(cfg.batchOpts, transport.WithCoalescerObserver(p.obs))
 	}
 	if cfg.batching {
 		p.coalescer = transport.NewCoalescer(ep, cfg.batchOpts...)
@@ -234,8 +268,81 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 			return nil, fmt.Errorf("core: trader: %w", err)
 		}
 	}
-	p.binder = naming.NewBinder(p.Capsule, p.RelocRef)
+	var bopts []naming.BinderOption
+	if p.obs != nil {
+		bopts = append(bopts, naming.WithBinderObserver(p.obs))
+	}
+	p.binder = naming.NewBinder(p.Capsule, p.RelocRef, bopts...)
+
+	// The management interface serves the unified snapshot on every node
+	// and, on tracing nodes, the span ring plus the sampling knob.
+	p.Agent.SetGather(p.Gather)
+	if p.obs != nil {
+		col := p.obs
+		p.Agent.SetSpans(func() wire.List { return obs.SpansToList(col.Snapshot()) })
+		p.Agent.RegisterParam("obs.sample_every", mgmt.Param{
+			Get: func() wire.Value { return col.SampleEvery() },
+			Set: func(v wire.Value) error {
+				switch n := v.(type) {
+				case uint64:
+					col.SetSampleEvery(n)
+				case int64:
+					if n < 0 {
+						return fmt.Errorf("core: obs.sample_every must be >= 0, got %d", n)
+					}
+					col.SetSampleEvery(uint64(n))
+				default:
+					return fmt.Errorf("core: obs.sample_every wants an integer, got %T", v)
+				}
+				return nil
+			},
+		})
+	}
 	return p, nil
+}
+
+// Observer returns the platform's span collector, nil unless the node
+// was built WithTracing.
+func (p *Platform) Observer() *obs.Collector { return p.obs }
+
+// AddStatsSource registers an extra contributor to Gather: fn is called
+// with the record under assembly and may add any keys. Infrastructure
+// built on top of the platform (replica groups, application services)
+// uses this to join the unified namespace.
+func (p *Platform) AddStatsSource(fn func(wire.Record)) {
+	p.srcMu.Lock()
+	p.statsSources = append(p.statsSources, fn)
+	p.srcMu.Unlock()
+}
+
+// Gather folds every subsystem's counters into one wire record: the
+// unified introspection snapshot served by the management interface's
+// "gather" op. Registry counters and gauges keep their "c."/"g."
+// prefixes under "registry."; everything else is named
+// <subsystem>.<snake_case_field> by obs.Fold.
+func (p *Platform) Gather() wire.Record {
+	rec := wire.Record{}
+	obs.Fold(rec, "rpc.client", p.Capsule.Client().Stats())
+	obs.Fold(rec, "rpc.server", p.Capsule.ServerStats())
+	obs.Fold(rec, "binder", p.binder.Stats())
+	if cs, ok := p.BatchStats(); ok {
+		obs.Fold(rec, "transport.coalescer", cs)
+	}
+	rec["gc.collected"] = p.Collector.Collected()
+	rec["gc.renewals"] = p.Collector.Renewals()
+	if p.obs != nil {
+		obs.Fold(rec, "obs", p.obs.Stats())
+	}
+	for k, v := range p.Registry.Snapshot() {
+		rec["registry."+k] = v
+	}
+	p.srcMu.Lock()
+	sources := p.statsSources
+	p.srcMu.Unlock()
+	for _, fn := range sources {
+		fn(rec)
+	}
+	return rec
 }
 
 // Close shuts the platform down. A batching platform drains and closes
@@ -277,6 +384,12 @@ func (p *Platform) InvokeWith(ctx context.Context, ref wire.Ref, op string, args
 // Announce performs a request-only invocation.
 func (p *Platform) Announce(ref wire.Ref, op string, args []wire.Value) error {
 	return p.Capsule.Announce(ref, op, args)
+}
+
+// AnnounceCtx is Announce with a caller context, so announcements made
+// inside a traced invocation join its span tree.
+func (p *Platform) AnnounceCtx(ctx context.Context, ref wire.Ref, op string, args []wire.Value) error {
+	return p.Capsule.AnnounceCtxWith(ctx, ref, op, args, capsule.DefaultInvokeConfig())
 }
 
 // BinderStats exposes binder counters (experiment E7).

@@ -112,6 +112,14 @@ func (pr *Proxy) Call(ctx context.Context, op string, args ...wire.Value) (Outco
 
 // Announce performs a request-only invocation.
 func (pr *Proxy) Announce(op string, args ...wire.Value) error {
+	return pr.AnnounceCtx(context.Background(), op, args...)
+}
+
+// AnnounceCtx is Announce with a caller context: an active span context
+// in ctx makes the announcement part of the caller's trace. (Announce
+// semantics are otherwise unchanged — the context does not make the
+// announcement cancellable or fail-reporting.)
+func (pr *Proxy) AnnounceCtx(ctx context.Context, op string, args ...wire.Value) error {
 	sendArgs := args
 	if pr.signer != nil {
 		wrapped, err := pr.signer.Wrap(op, args)
@@ -120,5 +128,5 @@ func (pr *Proxy) Announce(op string, args ...wire.Value) error {
 		}
 		sendArgs = wrapped
 	}
-	return pr.p.Capsule.AnnounceWith(pr.ref, op, sendArgs, pr.cfg)
+	return pr.p.Capsule.AnnounceCtxWith(ctx, pr.ref, op, sendArgs, pr.cfg)
 }

@@ -41,12 +41,15 @@ func DefaultLayeringConfig() LayeringConfig {
 		LowLayer: map[string][]string{
 			"odp/internal/wire": {},
 			// The write coalescer's max-delay flush window is clock
-			// driven so fake-clock tests stay deterministic.
-			"odp/internal/transport": {"odp/internal/clock"},
+			// driven, and its flushes emit observability spans.
+			"odp/internal/transport": {"odp/internal/clock", "odp/internal/obs"},
+			// The span collector timestamps on the injected clock and
+			// renders snapshots in the wire data model.
+			"odp/internal/obs": {"odp/internal/clock", "odp/internal/wire"},
 			// The fabric schedules delivery on an injected clock so whole
 			// universes run in virtual time.
 			"odp/internal/netsim": {"odp/internal/transport", "odp/internal/clock"},
-			"odp/internal/clock":     {},
+			"odp/internal/clock":  {},
 		},
 	}
 }

@@ -28,6 +28,10 @@
 //     name must read it — otherwise the cancellation chain is silently
 //     cut. Implementations that genuinely ignore cancellation declare
 //     it by naming the parameter _.
+//   - obsleak: a span minted by obs.Collector.Begin/BeginChild must be
+//     released — reach End, or escape to code that can — on some path;
+//     a forgotten span leaks its pooled storage and drops its subtree
+//     from the trace ring.
 //
 // The suite is built on the standard library only: go/parser, go/ast and
 // go/types with a source importer. It is wired into tier-1 via
@@ -73,6 +77,7 @@ func DefaultAnalyzers() []Analyzer {
 		NewLayering(DefaultLayeringConfig()),
 		NewWireTotal(),
 		NewCtxDrop(),
+		NewObsLeak(),
 	}
 }
 

@@ -106,6 +106,15 @@ func fixtureCases() []fixtureCase {
 			},
 		},
 		{
+			dir: "obsleak", asPath: "odp/internal/obsleak",
+			analyzer: NewObsLeak(),
+			want: []string{
+				`obsleak.go:10: [obsleak] span "sp" from Collector.Begin never reaches End: release it on every return path`,
+				"obsleak.go:18: [obsleak] result of Collector.Begin is discarded: a sampled span would never be released",
+				"obsleak.go:19: [obsleak] result of Collector.BeginChild is discarded: a sampled span would never be released",
+			},
+		},
+		{
 			dir: "kindmiss", asPath: "odp/internal/kindmiss",
 			analyzer: NewWireTotal(),
 			want: []string{

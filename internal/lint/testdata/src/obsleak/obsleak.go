@@ -1,0 +1,43 @@
+// Package obsleak is a known-bad corpus for the obsleak pass: spans begun
+// and never released, alongside clean shapes the pass must not flag.
+package obsleak
+
+import "odp/internal/obs"
+
+// Leaked begins a span and forgets it: the only use is receiver-only, so
+// nothing can ever hand sp back to End.
+func Leaked(c *obs.Collector) {
+	sp := c.Begin("stub", "op")
+	if sp != nil {
+		_ = sp.Context()
+	}
+}
+
+// Discarded drops spans on the floor at the call site.
+func Discarded(c *obs.Collector) {
+	c.Begin("stub", "op")
+	_ = c.BeginChild(obs.SpanContext{}, "rpc.send", "op")
+}
+
+// DeferEnd is clean: the deferred End receives the span.
+func DeferEnd(c *obs.Collector) {
+	sp := c.Begin("stub", "op")
+	defer c.End(sp)
+}
+
+// DirectEnd is clean: conditional reassignment, receiver-only reads, then
+// a direct End (which is nil-safe, so no guard is needed).
+func DirectEnd(c *obs.Collector, parent obs.SpanContext) {
+	var sp *obs.Span
+	if sp = c.BeginChild(parent, "rpc.dispatch", "op"); sp != nil {
+		_ = sp.Duration()
+	}
+	c.End(sp)
+}
+
+// HandedOff is clean: passing the span to any function transfers the
+// obligation to release it.
+func HandedOff(c *obs.Collector) *obs.Span {
+	sp := c.Begin("stub", "op")
+	return sp
+}

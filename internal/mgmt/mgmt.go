@@ -154,13 +154,21 @@ type Param struct {
 }
 
 // Agent exports a registry (and tunable parameters) as an ODP management
-// interface with operations stats, events, get-param and set-param.
+// interface with operations stats, events, get-param, set-param, gather
+// and spans.
 type Agent struct {
 	registry *Registry
 	ref      wire.Ref
 
 	mu     sync.Mutex
 	params map[string]Param
+	// gather, when set, produces the node's unified stats snapshot
+	// (every subsystem folded into one namespace — see obs.Fold); the
+	// "gather" op falls back to the plain registry snapshot otherwise.
+	gather func() wire.Record
+	// spans, when set, produces the node's recent span ring for the
+	// "spans" op; an untraced node answers with an empty list.
+	spans func() wire.List
 }
 
 // ErrUnknownParam reports an unregistered parameter.
@@ -188,10 +196,41 @@ func (a *Agent) RegisterParam(name string, p Param) {
 	a.mu.Unlock()
 }
 
+// SetGather installs the unified-snapshot producer behind the "gather"
+// op. The platform wires this after assembling its subsystems.
+func (a *Agent) SetGather(fn func() wire.Record) {
+	a.mu.Lock()
+	a.gather = fn
+	a.mu.Unlock()
+}
+
+// SetSpans installs the span-ring producer behind the "spans" op.
+func (a *Agent) SetSpans(fn func() wire.List) {
+	a.mu.Lock()
+	a.spans = fn
+	a.mu.Unlock()
+}
+
 func (a *Agent) dispatch(_ context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
 	switch op {
 	case "stats":
 		return "ok", []wire.Value{a.registry.Snapshot()}, nil
+	case "gather":
+		a.mu.Lock()
+		gather := a.gather
+		a.mu.Unlock()
+		if gather == nil {
+			return "ok", []wire.Value{a.registry.Snapshot()}, nil
+		}
+		return "ok", []wire.Value{gather()}, nil
+	case "spans":
+		a.mu.Lock()
+		spans := a.spans
+		a.mu.Unlock()
+		if spans == nil {
+			return "ok", []wire.Value{wire.List{}}, nil
+		}
+		return "ok", []wire.Value{spans()}, nil
 	case "events":
 		evs := a.registry.Events()
 		list := make(wire.List, len(evs))

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"odp/internal/capsule"
+	"odp/internal/obs"
 	"odp/internal/rpc"
 	"odp/internal/types"
 	"odp/internal/wire"
@@ -97,6 +98,12 @@ type Binder struct {
 	mu    sync.RWMutex
 	cache map[string]wire.Ref
 
+	// obs, when non-nil, makes the binder the root of invocation traces:
+	// it sits at the top of every client-side channel, so the sampling
+	// decision is taken here and the stub span brackets the whole
+	// invocation, relocation retries included.
+	obs *obs.Collector
+
 	stats binderCounters
 }
 
@@ -116,14 +123,28 @@ type binderCounters struct {
 	cacheHits   atomic.Uint64
 }
 
+// BinderOption configures NewBinder.
+type BinderOption func(*Binder)
+
+// WithBinderObserver installs the node's span collector: the binder then
+// roots a (sampling-subject) stub span per top-level invocation and
+// records relocator consultations as resolve spans.
+func WithBinderObserver(col *obs.Collector) BinderOption {
+	return func(b *Binder) { b.obs = col }
+}
+
 // NewBinder creates a binder that resolves through the relocation service
 // at relocator.
-func NewBinder(c *capsule.Capsule, relocator wire.Ref) *Binder {
-	return &Binder{
+func NewBinder(c *capsule.Capsule, relocator wire.Ref, opts ...BinderOption) *Binder {
+	b := &Binder{
 		capsule:   c,
 		relocator: relocator,
 		cache:     make(map[string]wire.Ref),
 	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
 }
 
 // Stats returns a snapshot of binder counters.
@@ -147,6 +168,22 @@ func (b *Binder) Invoke(ctx context.Context, ref wire.Ref, op string, args []wir
 func (b *Binder) InvokeWith(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg capsule.InvokeConfig) (string, []wire.Value, error) {
 	b.stats.invocations.Add(1)
 
+	// Top-level invocations root a trace here, at the stub boundary; a
+	// nested invocation (the ctx already carries a span) joins its
+	// caller's tree instead, so one client call yields one tree even
+	// across relay and re-entry.
+	var root *obs.Span
+	if b.obs != nil && !obs.FromContext(ctx).Valid() {
+		if root = b.obs.Begin(obs.KindStub, op); root != nil {
+			ctx = obs.ContextWith(ctx, root.Context())
+		}
+	}
+	outcome, results, err := b.invokeWith(ctx, ref, op, args, cfg)
+	b.obs.End(root)
+	return outcome, results, err
+}
+
+func (b *Binder) invokeWith(ctx context.Context, ref wire.Ref, op string, args []wire.Value, cfg capsule.InvokeConfig) (string, []wire.Value, error) {
 	// A cached relocation supersedes the caller's (possibly stale) ref.
 	b.mu.RLock()
 	cached, hit := b.cache[ref.ID]
@@ -172,9 +209,19 @@ func (b *Binder) InvokeWith(ctx context.Context, ref wire.Ref, op string, args [
 	return b.capsule.InvokeWith(ctx, fresh, op, args, cfg)
 }
 
-// resolve asks the relocation service for the current reference.
+// resolve asks the relocation service for the current reference. The
+// resolve span parents under the stub (via ctx), so a trace shows the
+// relocation an invocation needed — including the nested lookup's own
+// send/dispatch spans beneath it.
 func (b *Binder) resolve(ctx context.Context, id string) (wire.Ref, error) {
 	b.stats.relocations.Add(1)
+	var sp *obs.Span
+	if b.obs != nil {
+		if sp = b.obs.BeginChild(obs.FromContext(ctx), obs.KindResolve, id); sp != nil {
+			ctx = obs.ContextWith(ctx, sp.Context())
+		}
+	}
+	defer b.obs.End(sp)
 	outcome, results, err := b.capsule.Invoke(ctx, b.relocator, "lookup", []wire.Value{id})
 	if err != nil {
 		return wire.Ref{}, err
@@ -196,4 +243,3 @@ func isRelocatable(err error) bool {
 		errors.Is(err, rpc.ErrTimeout) ||
 		errors.Is(err, capsule.ErrNoEndpoint)
 }
-

@@ -1,0 +1,22 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key for span propagation. A zero-size
+// key type boxes to a singleton, so FromContext lookups allocate nothing.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying sc, linking nested invocations made
+// inside a handler (or a bypassed local dispatch) to their parent span.
+// Only sampled paths call this, so the context allocation never lands on
+// an unsampled invocation.
+func ContextWith(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sc)
+}
+
+// FromContext extracts the active span context, zero (invalid) when the
+// invocation is untraced. Allocation-free.
+func FromContext(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(ctxKey{}).(SpanContext)
+	return sc
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"odp/internal/wire"
+)
+
+// Fold flattens the exported uint64 (and [N]uint64 histogram) fields of a
+// stats struct into rec under prefix, converting CamelCase field names to
+// snake_case: ClientStats.AcksPiggybacked folded under "rpc.client"
+// becomes "rpc.client.acks_piggybacked". Every per-layer stats struct in
+// the platform (client/server/binder/coalescer/gc/group) is shaped for
+// this, which is what lets the management interface expose one unified
+// namespace instead of n bespoke snapshot ops.
+func Fold(rec wire.Record, prefix string, stats interface{}) {
+	v := reflect.ValueOf(stats)
+	for v.Kind() == reflect.Ptr {
+		if v.IsNil() {
+			return
+		}
+		v = v.Elem()
+	}
+	if v.Kind() != reflect.Struct {
+		return
+	}
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.PkgPath != "" { // unexported
+			continue
+		}
+		key := prefix + "." + snakeCase(f.Name)
+		fv := v.Field(i)
+		switch {
+		case fv.Kind() == reflect.Uint64:
+			rec[key] = fv.Uint()
+		case fv.Kind() == reflect.Array && fv.Type().Elem().Kind() == reflect.Uint64:
+			for j := 0; j < fv.Len(); j++ {
+				rec[fmt.Sprintf("%s.%d", key, j)] = fv.Index(j).Uint()
+			}
+		}
+	}
+}
+
+// snakeCase converts an exported Go field name to its metric key form.
+func snakeCase(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// Record renders the span as a wire record so the management interface
+// can ship it to a remote inspector (odptop). Timestamps travel as
+// UnixNano so virtual-clock spans round-trip exactly.
+func (s Span) Record() wire.Record {
+	return wire.Record{
+		"trace":  s.TraceID,
+		"span":   s.SpanID,
+		"parent": s.ParentID,
+		"kind":   s.Kind,
+		"name":   s.Name,
+		"node":   s.Node,
+		"start":  s.Start.UnixNano(),
+		"end":    s.End.UnixNano(),
+	}
+}
+
+// SpanFromRecord is the inverse of Span.Record. Missing or mistyped
+// fields decode to zero values; a record without a trace id yields an
+// invalid span the caller can drop.
+func SpanFromRecord(rec wire.Record) Span {
+	u := func(k string) uint64 { v, _ := rec[k].(uint64); return v }
+	str := func(k string) string { v, _ := rec[k].(string); return v }
+	ns := func(k string) time.Time { v, _ := rec[k].(int64); return time.Unix(0, v).UTC() }
+	return Span{
+		TraceID:  u("trace"),
+		SpanID:   u("span"),
+		ParentID: u("parent"),
+		Kind:     str("kind"),
+		Name:     str("name"),
+		Node:     str("node"),
+		Start:    ns("start"),
+		End:      ns("end"),
+	}
+}
+
+// SpansToList renders a span snapshot as a wire list of records.
+func SpansToList(spans []Span) wire.List {
+	out := make(wire.List, 0, len(spans))
+	for _, s := range spans {
+		out = append(out, s.Record())
+	}
+	return out
+}
+
+// SpansFromList decodes a wire list produced by SpansToList, dropping
+// anything malformed.
+func SpansFromList(l wire.List) []Span {
+	out := make([]Span, 0, len(l))
+	for _, v := range l {
+		rec, ok := v.(wire.Record)
+		if !ok {
+			continue
+		}
+		if s := SpanFromRecord(rec); s.TraceID != 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FormatForest renders spans (possibly merged from several nodes) as a
+// deterministic ASCII forest: one tree per trace id, children indented
+// under parents, siblings ordered by start instant then span id. Spans
+// whose parent is absent from the set (still in flight, or evicted from
+// a ring) are promoted to roots of their trace so nothing is silently
+// dropped. The output is byte-stable for a fixed span set — the sim
+// determinism test hashes it.
+func FormatForest(spans []Span) string {
+	if len(spans) == 0 {
+		return ""
+	}
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.TraceID != b.TraceID {
+			return a.TraceID < b.TraceID
+		}
+		if !a.Start.Equal(b.Start) {
+			return a.Start.Before(b.Start)
+		}
+		return a.SpanID < b.SpanID
+	})
+
+	present := make(map[uint64]bool, len(sorted))
+	for _, s := range sorted {
+		present[s.SpanID] = true
+	}
+	children := make(map[uint64][]Span)
+	var roots []Span
+	for _, s := range sorted {
+		if s.ParentID != 0 && present[s.ParentID] && s.ParentID != s.SpanID {
+			children[s.ParentID] = append(children[s.ParentID], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+
+	var b strings.Builder
+	var lastTrace uint64
+	var render func(s Span, depth int)
+	render = func(s Span, depth int) {
+		for i := 0; i < depth; i++ {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%s %s@%s [%016x/%016x] %s +%s\n",
+			s.Kind, s.Name, s.Node, s.TraceID, s.SpanID,
+			s.Start.UTC().Format(time.RFC3339Nano), s.Duration())
+		for _, c := range children[s.SpanID] {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		if r.TraceID != lastTrace {
+			if lastTrace != 0 {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "trace %016x\n", r.TraceID)
+			lastTrace = r.TraceID
+		}
+		render(r, 1)
+	}
+	return b.String()
+}

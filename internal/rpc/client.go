@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"odp/internal/clock"
+	"odp/internal/obs"
 	"odp/internal/transport"
 	"odp/internal/wire"
 )
@@ -117,6 +118,11 @@ type Client struct {
 	ackMu    sync.Mutex
 	acks     []pendingAck
 
+	// obs, when set, records protocol-layer spans (send, retransmit,
+	// ack, announce) under the span context carried by the call's ctx.
+	// Nil means tracing off; the hot path pays one nil check.
+	obs *obs.Collector
+
 	stats clientCounters
 }
 
@@ -141,6 +147,12 @@ type ClientOption func(*Client)
 // intervals. Default clock.Real{}.
 func WithClientClock(c clock.Clock) ClientOption {
 	return func(cl *Client) { cl.clk = c }
+}
+
+// WithClientObserver installs the span collector that records
+// protocol-layer spans. Nil (the default) disables tracing.
+func WithClientObserver(col *obs.Collector) ClientOption {
+	return func(cl *Client) { cl.obs = col }
 }
 
 // NewClient wraps ep. The client takes over the endpoint's handler; a
@@ -258,18 +270,37 @@ func (c *Client) unregister(id uint64) bool {
 func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.Value, qos QoS) (string, []wire.Value, error) {
 	qos = qos.withDefaults()
 
-	// Header and argument vector encode into one pooled buffer, reused
-	// across retransmissions (transports do not retain packets).
+	// The send span covers the whole interrogation, first transmission
+	// to reply; retransmissions and the ack are instant events under it.
+	// The sampling decision was taken at the trace root: an untraced ctx
+	// leaves sp nil and the packet uses the plain request type, so
+	// unsampled calls put nothing extra on the wire (or the heap).
+	var sp *obs.Span
+	mt := byte(msgRequest)
+	if c.obs != nil {
+		if sp = c.obs.BeginChild(obs.FromContext(ctx), obs.KindSend, op); sp != nil {
+			mt = msgRequestT
+		}
+	}
+	defer c.obs.End(sp)
+
+	// Header, trace context and argument vector encode into one pooled
+	// buffer, reused across retransmissions (transports do not retain
+	// packets) — which is also what guarantees a retransmitted request
+	// carries the original span context.
 	bufp := wire.GetBuffer()
 	defer wire.PutBuffer(bufp)
 	id := c.nextID.Add(1)
 	pkt := encodeHeader(*bufp, header{
 		version: protoVersion,
-		msgType: msgRequest,
+		msgType: mt,
 		callID:  id,
 		objID:   objID,
 		op:      op,
 	})
+	if sp != nil {
+		pkt = appendTraceCtx(pkt, sp.Context())
+	}
 	pkt, err := wire.EncodeAllInto(c.codec, pkt, args)
 	if err != nil {
 		return "", nil, err
@@ -311,9 +342,11 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 			// batching endpoint the ack is deferred to piggyback on the
 			// next outgoing batch; otherwise it is sent immediately.
 			c.noteAck(dest, objID, id)
+			c.obs.Event(sp.Context(), obs.KindAck, op)
 			return c.interpret(rb)
 		case <-retrans.C():
 			c.stats.retransmissions.Add(1)
+			c.obs.Event(sp.Context(), obs.KindRetransmit, op)
 			if c.batching {
 				c.flushAcks(dest)
 			}
@@ -407,15 +440,35 @@ func (c *Client) sendAck(dest, objID string, id uint64) {
 // Announce performs a request-only invocation: no reply, no outcome, no
 // failure report (§5.1). QoS.Repeats extra copies are sent back to back.
 func (c *Client) Announce(dest, objID, op string, args []wire.Value, qos QoS) error {
+	return c.AnnounceCtx(context.Background(), dest, objID, op, args, qos)
+}
+
+// AnnounceCtx is Announce with a caller context. The announcement still
+// cannot block or fail-report (its semantics are unchanged), but a span
+// context carried by ctx propagates to the announcee, so announcements
+// triggered inside a traced invocation join its tree.
+func (c *Client) AnnounceCtx(ctx context.Context, dest, objID, op string, args []wire.Value, qos QoS) error {
+	var sp *obs.Span
+	mt := byte(msgAnnounce)
+	if c.obs != nil {
+		if sp = c.obs.BeginChild(obs.FromContext(ctx), obs.KindAnnounce, op); sp != nil {
+			mt = msgAnnounceT
+		}
+	}
+	defer c.obs.End(sp)
+
 	bufp := wire.GetBuffer()
 	defer wire.PutBuffer(bufp)
 	pkt := encodeHeader(*bufp, header{
 		version: protoVersion,
-		msgType: msgAnnounce,
+		msgType: mt,
 		callID:  c.nextID.Add(1),
 		objID:   objID,
 		op:      op,
 	})
+	if sp != nil {
+		pkt = appendTraceCtx(pkt, sp.Context())
+	}
 	pkt, err := wire.EncodeAllInto(c.codec, pkt, args)
 	if err != nil {
 		return err

@@ -1,0 +1,86 @@
+// Fuzzing for the invocation-packet decode path, exactly as the server's
+// dispatch loop runs it: header, then (for traced types) the
+// trace-context block, then the body. The seed corpus covers every
+// message type, trace context present/absent/truncated, flag-byte
+// variations and header truncations. The decoder must never panic, must
+// reject truncated trace contexts, and must round-trip the fixed-size
+// context block it accepts.
+package rpc
+
+import (
+	"bytes"
+	"testing"
+
+	"odp/internal/obs"
+	"odp/internal/wire"
+)
+
+// buildPacket assembles a packet the way the client does: header, then
+// optional trace context, then encoded arguments.
+func buildPacket(mt byte, callID uint64, objID, op string, traced bool, args []wire.Value) []byte {
+	pkt := encodeHeader(nil, header{version: protoVersion, msgType: mt, callID: callID, objID: objID, op: op})
+	if traced {
+		pkt = appendTraceCtx(pkt, obs.SpanContext{TraceID: 0xABCD, SpanID: 0x1234})
+	}
+	pkt, err := wire.EncodeAllInto(wire.BinaryCodec{}, pkt, args)
+	if err != nil {
+		panic(err)
+	}
+	return pkt
+}
+
+func FuzzPacketDecode(f *testing.F) {
+	args := []wire.Value{int64(7), "hello", wire.List{true}}
+	// Well-formed frames of every type.
+	f.Add(buildPacket(msgRequest, 1, "obj", "op", false, args))
+	f.Add(buildPacket(msgAnnounce, 2, "obj", "note", false, nil))
+	f.Add(buildPacket(msgRequestT, 3, "obj", "op", true, args))   // trace context present
+	f.Add(buildPacket(msgAnnounceT, 4, "obj", "note", true, nil)) // traced announcement
+	f.Add(buildPacket(msgAck, 5, "obj", "op", false, nil))        // ack carries no body
+	reply := encodeHeader(nil, header{version: protoVersion, msgType: msgReply, callID: 6, objID: "obj", op: "op"})
+	reply, _ = appendReplyBody(wire.BinaryCodec{}, reply, statusOK, "ok", args, "", wire.Ref{})
+	f.Add(reply)
+	// Malformed shapes around the trace-context block.
+	traced := buildPacket(msgRequestT, 7, "obj", "op", true, args)
+	f.Add(traced[:len(traced)-1]) // truncated inside the args
+	plainHdr := encodeHeader(nil, header{version: protoVersion, msgType: msgRequestT, callID: 8, objID: "o", op: "p"})
+	f.Add(plainHdr)                                                                       // traced type, no context at all
+	f.Add(append(plainHdr[:len(plainHdr):len(plainHdr)], make([]byte, traceCtxLen-1)...)) // context cut short
+	unsampled := append(plainHdr[:len(plainHdr):len(plainHdr)], make([]byte, traceCtxLen)...)
+	f.Add(unsampled) // sampled bit clear, ids zero
+	weird := buildPacket(msgRequestT, 9, "obj", "op", true, nil)
+	weird[len(weird)-traceCtxLen] = 0xFF // every flag bit set
+	f.Add(weird)
+	f.Add([]byte{})                                         // empty
+	f.Add([]byte{protoVersion})                             // version only
+	f.Add([]byte{0xFF, msgRequest, 0, 0, 0, 0, 0, 0, 0, 0}) // future version
+	f.Add(buildPacket(99, 10, "obj", "op", false, nil))     // unknown message type
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, body, err := decodeHeader(data)
+		if err != nil {
+			return
+		}
+		switch h.msgType {
+		case msgRequestT, msgAnnounceT:
+			sc, rest, err := readTraceCtx(body)
+			if err != nil {
+				return
+			}
+			// The accepted block is fixed-size and position-stable.
+			block := body[:traceCtxLen]
+			if block[0] == traceCtxSampled {
+				if re := appendTraceCtx(nil, sc); !bytes.Equal(re, block) {
+					t.Fatalf("trace context re-encode mismatch:\n in: % x\nout: % x", block, re)
+				}
+			} else if block[0]&traceCtxSampled == 0 && sc.Valid() {
+				t.Fatalf("unsampled block produced valid context %+v", sc)
+			}
+			_, _ = wire.DecodeAll(wire.BinaryCodec{}, rest)
+		case msgRequest, msgAnnounce:
+			_, _ = wire.DecodeAll(wire.BinaryCodec{}, body)
+		case msgReply:
+			_, _ = decodeReplyBody(wire.BinaryCodec{}, body)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 	"errors"
 	"fmt"
 
+	"odp/internal/obs"
 	"odp/internal/wire"
 )
 
@@ -33,6 +34,14 @@ const (
 	msgReply    = 2 // interrogation reply
 	msgAck      = 3 // client acknowledges reply; server may evict cache
 	msgAnnounce = 4 // one-way announcement
+
+	// Traced variants: identical to msgRequest/msgAnnounce with a
+	// trace-context block prefixed to the body. Sampling is encoded in
+	// the message type itself — an unsampled invocation uses the plain
+	// type and pays zero wire bytes, and a pre-tracing peer drops the
+	// unknown types in its dispatch switch rather than misparsing args.
+	msgRequestT  = 5 // traced interrogation request
+	msgAnnounceT = 6 // traced one-way announcement
 )
 
 // Reply statuses.
@@ -120,6 +129,43 @@ func decodeHeader(src []byte) (header, []byte, error) {
 		return header{}, nil, err
 	}
 	return h, rest, nil
+}
+
+// Trace-context block, prefixed to the body of msgRequestT/msgAnnounceT:
+//
+//	[1 flags][8 traceID BE][8 parentSpanID BE]
+//
+// flags bit 0 is the sampled bit; the ids are meaningful only when it is
+// set. The block is fixed-size so a retransmitted packet (encoded once,
+// resent verbatim) carries the identical context, and the server's dedup
+// generation maps then guarantee a duplicate request can never mint a
+// second dispatch span.
+const (
+	traceCtxLen     = 17
+	traceCtxSampled = 0x01
+)
+
+// appendTraceCtx appends the trace-context block for sc to dst.
+func appendTraceCtx(dst []byte, sc obs.SpanContext) []byte {
+	var b [traceCtxLen]byte
+	b[0] = traceCtxSampled
+	binary.BigEndian.PutUint64(b[1:9], sc.TraceID)
+	binary.BigEndian.PutUint64(b[9:17], sc.SpanID)
+	return append(dst, b[:]...)
+}
+
+// readTraceCtx consumes the trace-context block. A cleared sampled bit
+// yields the invalid (zero) context regardless of the id bytes.
+func readTraceCtx(src []byte) (obs.SpanContext, []byte, error) {
+	if len(src) < traceCtxLen {
+		return obs.SpanContext{}, nil, fmt.Errorf("%w: truncated trace context", ErrBadMessage)
+	}
+	var sc obs.SpanContext
+	if src[0]&traceCtxSampled != 0 {
+		sc.TraceID = binary.BigEndian.Uint64(src[1:9])
+		sc.SpanID = binary.BigEndian.Uint64(src[9:17])
+	}
+	return sc, src[traceCtxLen:], nil
 }
 
 // Request body: encoded argument vector.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"odp/internal/clock"
+	"odp/internal/obs"
 	"odp/internal/transport"
 	"odp/internal/wire"
 )
@@ -115,6 +116,10 @@ type Server struct {
 	replyTTL time.Duration
 	clk      clock.Clock
 
+	// obs, when set, records a dispatch span for every traced request
+	// under the span context the packet carried. Nil means tracing off.
+	obs *obs.Collector
+
 	stats serverCounters
 }
 
@@ -167,6 +172,12 @@ func WithReplyTTL(ttl time.Duration) ServerOption {
 // deterministically.
 func WithClock(c clock.Clock) ServerOption {
 	return func(s *Server) { s.clk = c }
+}
+
+// WithServerObserver installs the span collector that records dispatch
+// spans for traced requests. Nil (the default) disables tracing.
+func WithServerObserver(col *obs.Collector) ServerOption {
+	return func(s *Server) { s.obs = col }
 }
 
 // NewServer wraps ep and dispatches to handler. The server takes over the
@@ -236,13 +247,23 @@ func (s *Server) onPacket(from string, pkt []byte) {
 
 // dispatch routes one decoded message. body aliases a transport buffer,
 // so everything that outlives this call must be decoded or copied before
-// it returns; argument decoding is therefore synchronous.
+// it returns; argument decoding is therefore synchronous. Unknown
+// message types (including the traced variants, on peers built before
+// they existed) fall through and are dropped, never misparsed.
 func (s *Server) dispatch(from string, h header, body []byte) {
 	switch h.msgType {
 	case msgRequest:
-		s.onRequest(from, h, body)
+		s.onRequest(from, h, body, obs.SpanContext{})
 	case msgAnnounce:
-		s.onAnnounce(from, h, body)
+		s.onAnnounce(from, h, body, obs.SpanContext{})
+	case msgRequestT:
+		if tc, rest, err := readTraceCtx(body); err == nil {
+			s.onRequest(from, h, rest, tc)
+		}
+	case msgAnnounceT:
+		if tc, rest, err := readTraceCtx(body); err == nil {
+			s.onAnnounce(from, h, rest, tc)
+		}
 	case msgAck:
 		s.onAck(from, h)
 	}
@@ -306,7 +327,7 @@ func (s *Server) claimAnnounce(key callKey) (dup, closed bool) {
 	return false, false
 }
 
-func (s *Server) onRequest(from string, h header, body []byte) {
+func (s *Server) onRequest(from string, h header, body []byte, tc obs.SpanContext) {
 	key := callKey{from: from, id: h.callID}
 	sc, dup, resend, closed := s.claimRequest(key)
 	if dup {
@@ -315,6 +336,9 @@ func (s *Server) onRequest(from string, h header, body []byte) {
 		}
 		// Duplicate: resend the cached reply if execution finished,
 		// otherwise suppress (the reply will go out when it does).
+		// Either way no new execution starts, so a retransmitted traced
+		// request — which carries the original span context verbatim —
+		// cannot produce a second dispatch span.
 		s.stats.duplicates.Add(1)
 		if resend != nil {
 			s.stats.repliesResent.Add(1)
@@ -325,10 +349,10 @@ func (s *Server) onRequest(from string, h header, body []byte) {
 
 	s.stats.requests.Add(1)
 	args, err := wire.DecodeAll(s.codec, body)
-	go s.execute(from, h, args, err, key, sc, false)
+	go s.execute(from, h, args, err, key, sc, false, tc)
 }
 
-func (s *Server) onAnnounce(from string, h header, body []byte) {
+func (s *Server) onAnnounce(from string, h header, body []byte, tc obs.SpanContext) {
 	key := callKey{from: from, id: h.callID}
 	dup, closed := s.claimAnnounce(key)
 	if closed {
@@ -342,7 +366,7 @@ func (s *Server) onAnnounce(from string, h header, body []byte) {
 
 	s.stats.announcements.Add(1)
 	args, err := wire.DecodeAll(s.codec, body)
-	go s.execute(from, h, args, err, key, nil, true)
+	go s.execute(from, h, args, err, key, nil, true, tc)
 }
 
 // ackGrace is how long a completed call entry survives after the client's
@@ -380,7 +404,7 @@ var incomingPool = sync.Pool{New: func() interface{} { return new(Incoming) }}
 // execute runs the handler and, for interrogations, sends and caches the
 // reply. args were decoded synchronously by the dispatcher; decodeErr
 // carries any failure into the reply path.
-func (s *Server) execute(from string, h header, args []wire.Value, decodeErr error, key callKey, sc *serverCall, announcement bool) {
+func (s *Server) execute(from string, h header, args []wire.Value, decodeErr error, key callKey, sc *serverCall, announcement bool, tc obs.SpanContext) {
 	defer s.wg.Done()
 	var (
 		outcome string
@@ -398,8 +422,19 @@ func (s *Server) execute(from string, h header, args []wire.Value, decodeErr err
 		}
 		// Handlers get the server-lifetime context: Close cancels it,
 		// so a handler that blocks (on locks, channels, or nested
-		// invocations) can select on ctx.Done() and unwind.
-		outcome, results, err = s.handler(s.ctx, in)
+		// invocations) can select on ctx.Done() and unwind. A traced
+		// request adds a dispatch span under the wire context and hands
+		// its own context to the handler, so nested invocations the
+		// servant makes join the caller's tree.
+		ctx := s.ctx
+		var sp *obs.Span
+		if s.obs != nil {
+			if sp = s.obs.BeginChild(tc, obs.KindDispatch, h.op); sp != nil {
+				ctx = obs.ContextWith(ctx, sp.Context())
+			}
+		}
+		outcome, results, err = s.handler(ctx, in)
+		s.obs.End(sp)
 		*in = Incoming{}
 		incomingPool.Put(in)
 	}
@@ -551,6 +586,15 @@ func WithPeerServerOptions(opts ...ServerOption) PeerOption {
 // WithPeerClientOptions applies client-side options to the peer.
 func WithPeerClientOptions(opts ...ClientOption) PeerOption {
 	return func(pc *peerConfig) { pc.clientOpts = append(pc.clientOpts, opts...) }
+}
+
+// WithPeerObserver installs one span collector on both roles, so a
+// capsule's outbound sends and inbound dispatches land in one ring.
+func WithPeerObserver(col *obs.Collector) PeerOption {
+	return func(pc *peerConfig) {
+		pc.serverOpts = append(pc.serverOpts, WithServerObserver(col))
+		pc.clientOpts = append(pc.clientOpts, WithClientObserver(col))
+	}
 }
 
 // WithPeerClock drives both roles — call timeouts, retransmission,

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"odp/internal/clock"
+	"odp/internal/obs"
 )
 
 // Batch wire format. A BATCH frame is one datagram carrying N complete
@@ -167,6 +168,14 @@ func WithCoalescerClock(clk clock.Clock) CoalescerOption {
 	}
 }
 
+// WithCoalescerObserver installs the node's span collector: every batch
+// write then records a flush span (an infrastructure trace, subject to
+// the same sampling knob as invocation roots), so an operator can see
+// how the channel packs frames.
+func WithCoalescerObserver(col *obs.Collector) CoalescerOption {
+	return func(c *Coalescer) { c.obs = col }
+}
+
 // Coalescer wraps an Endpoint with per-destination write coalescing. It
 // is itself an Endpoint, so the layers above are oblivious; rpc detects
 // it through the Batcher interface to defer acks into batches.
@@ -186,6 +195,9 @@ type Coalescer struct {
 	closed bool
 	stop   chan struct{}
 	wg     sync.WaitGroup
+
+	// obs, when non-nil, records a flush span per batch write.
+	obs *obs.Collector
 
 	stats coalCounters
 }
@@ -527,7 +539,10 @@ func (p *batchPeer) recycle(buf []byte) {
 // more than the 7 spare bytes.
 func (c *Coalescer) writeBatch(dest string, buf []byte, n int) {
 	binary.BigEndian.PutUint32(buf[3:batchHdrLen], uint32(n))
-	if err := c.inner.Send(dest, buf); err != nil {
+	sp := c.obs.Begin(obs.KindFlush, dest)
+	err := c.inner.Send(dest, buf)
+	c.obs.End(sp)
+	if err != nil {
 		return
 	}
 	c.stats.batchesSent.Add(1)

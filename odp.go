@@ -48,6 +48,7 @@ import (
 	"odp/internal/group"
 	"odp/internal/migrate"
 	"odp/internal/netsim"
+	"odp/internal/obs"
 	"odp/internal/rpc"
 	"odp/internal/security"
 	"odp/internal/storage"
@@ -264,6 +265,42 @@ var (
 
 // ListenTCP creates a real TCP endpoint for cross-process deployment.
 func ListenTCP(bind string) (Endpoint, error) { return transport.ListenTCP(bind) }
+
+// Observability. Tracing treats observation as a channel function: the
+// same interceptor points that weave transparency also emit spans, so a
+// single interrogation yields one causal tree across every node it
+// touches (stub → binder → transport → dispatch, or the §4.5 co-located
+// bypass as its own span kind).
+type (
+	// Span is one recorded operation of a trace.
+	Span = obs.Span
+	// SpanContext identifies a live span for propagation.
+	SpanContext = obs.SpanContext
+	// SpanCollector is a platform's pooled ring-buffer span sink.
+	SpanCollector = obs.Collector
+)
+
+// Tracing options, passed to WithTracing.
+var (
+	// WithTracing equips the platform with a span collector and threads
+	// it through stub, binder, rpc, coalescer and dispatch layers.
+	// Sampling starts off (zero overhead); turn it on with
+	// TraceSampleEvery or the "obs.sample_every" management parameter.
+	WithTracing = core.WithTracing
+	// TraceSampleEvery samples one root trace in n (0 disables, 1 traces
+	// everything).
+	TraceSampleEvery = obs.WithSampleEvery
+	// TraceRingSize bounds the per-node ring of retained spans.
+	TraceRingSize = obs.WithRingSize
+)
+
+// SpansFromList decodes a span list fetched from a node's management
+// "spans" operation.
+func SpansFromList(l List) []Span { return obs.SpansFromList(l) }
+
+// FormatSpans renders spans as deterministic per-trace trees, the format
+// odptop shows.
+func FormatSpans(spans []Span) string { return obs.FormatForest(spans) }
 
 // Storage.
 type (
