@@ -215,9 +215,9 @@ func BenchmarkE3OneCallOfSixteen(b *testing.B) {
 
 // ---- E4: interrogation vs announcement (§5.1) ----
 
-func BenchmarkE4Interrogation(b *testing.B)      { bench.MicroE4Interrogation(b) }
-func BenchmarkE4Announcement(b *testing.B)       { bench.MicroE4Announcement(b) }
-func BenchmarkE4AnnounceConcurrent(b *testing.B) { bench.MicroE4AnnounceConcurrent(b) }
+func BenchmarkE4Interrogation(b *testing.B)       { bench.MicroE4Interrogation(b) }
+func BenchmarkE4AnnouncementDrained(b *testing.B) { bench.MicroE4Announcement(b) }
+func BenchmarkE4AnnounceConcurrent(b *testing.B)  { bench.MicroE4AnnounceConcurrent(b) }
 
 // ---- E5: transactions (§5.2) ----
 

@@ -3,22 +3,61 @@
 //
 // Usage:
 //
-//	odplint [packages]
+//	odplint [-json] [packages]
 //
 // Package arguments are accepted for command-line compatibility
 // ("go run ./cmd/odplint ./...") but the suite always analyzes the whole
-// module: the layering pass is only meaningful on the full import graph.
+// module: the layering, lockgraph and envaudit passes are only meaningful
+// on the full program.
+//
+// -json emits a machine-readable report: the active diagnostics (with
+// witness-chain notes, e.g. a lockgraph cycle's full acquire chain) and
+// every //lint:ignore suppression, so CI can render findings and track
+// the suppression count. Text mode prints the same information
+// human-first.
+//
 // Exits 1 when any diagnostic is produced, 2 on loading errors.
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
 	"odp/internal/lint"
 )
 
+// jsonDiagnostic is one finding in -json output.
+type jsonDiagnostic struct {
+	File    string   `json:"file"`
+	Line    int      `json:"line"`
+	Column  int      `json:"column"`
+	Pass    string   `json:"pass"`
+	Message string   `json:"message"`
+	Notes   []string `json:"notes,omitempty"`
+}
+
+// jsonSuppression is one //lint:ignore hit in -json output.
+type jsonSuppression struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Pass    string `json:"pass"`
+	Reason  string `json:"reason"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	Packages     int               `json:"packages"`
+	Diagnostics  []jsonDiagnostic  `json:"diagnostics"`
+	Suppressions []jsonSuppression `json:"suppressions"`
+}
+
 func main() {
+	asJSON := flag.Bool("json", false, "emit a machine-readable JSON report")
+	flag.Parse()
+
 	loader, err := lint.NewLoader(".")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "odplint:", err)
@@ -29,12 +68,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "odplint:", err)
 		os.Exit(2)
 	}
-	diags := lint.Run(pkgs, lint.DefaultAnalyzers())
-	for _, d := range diags {
-		fmt.Println(d)
+	res := lint.RunDetailed(pkgs, lint.DefaultAnalyzers())
+
+	if *asJSON {
+		report := jsonReport{
+			Packages:     len(pkgs),
+			Diagnostics:  []jsonDiagnostic{},
+			Suppressions: []jsonSuppression{},
+		}
+		for _, d := range res.Diagnostics {
+			report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Pass: d.Pass, Message: d.Message, Notes: d.Notes,
+			})
+		}
+		for _, s := range res.Suppressed {
+			report.Suppressions = append(report.Suppressions, jsonSuppression{
+				File: s.Directive.Filename, Line: s.Directive.Line,
+				Pass: s.Diagnostic.Pass, Reason: s.Reason, Message: s.Diagnostic.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "odplint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Println(d.Render())
+		}
+		for _, s := range res.Suppressed {
+			fmt.Printf("%s: suppressed [%s] %s (reason: %s)\n",
+				s.Directive, s.Diagnostic.Pass, s.Diagnostic.Message, s.Reason)
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "odplint: %d invariant violation(s) in %d package(s)\n", len(diags), len(pkgs))
+
+	// Suppressions never fail the run, but they are always accounted for:
+	// the count goes to stderr in both modes so it cannot creep silently.
+	if n := len(res.Suppressed); n > 0 {
+		fmt.Fprintf(os.Stderr, "odplint: %d finding(s) suppressed by //lint:ignore\n", n)
+	}
+	if n := len(res.Diagnostics); n > 0 {
+		fmt.Fprintf(os.Stderr, "odplint: %d invariant violation(s) in %d package(s)\n", n, len(pkgs))
 		os.Exit(1)
 	}
 }

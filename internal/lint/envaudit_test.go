@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEnvAudit drives the transparency audit over the real module with
+// deliberately broken configurations: each mutation must produce exactly
+// the finding class it seeds. (The unmutated configuration is covered by
+// TestRepoIsClean: zero findings.)
+func TestEnvAudit(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runWith := func(cfg EnvAuditConfig) []string {
+		var got []string
+		for _, d := range Run(pkgs, []Analyzer{NewEnvAudit(cfg)}) {
+			got = append(got, d.Message)
+		}
+		return got
+	}
+	expectOnly := func(t *testing.T, got []string, want ...string) {
+		t.Helper()
+		diffStrings(t, got, want)
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		expectOnly(t, runWith(DefaultEnvAuditConfig()))
+	})
+
+	t.Run("missing enforcer config", func(t *testing.T) {
+		cfg := DefaultEnvAuditConfig()
+		delete(cfg.Enforcers, "Atomic")
+		expectOnly(t, runWith(cfg),
+			"Env.Atomic has no enforcer configured: add it to EnvAuditConfig.Enforcers")
+	})
+
+	t.Run("wrong enforcer pattern", func(t *testing.T) {
+		cfg := DefaultEnvAuditConfig()
+		cfg.Enforcers["Atomic"] = []string{"nobody.Calls"}
+		expectOnly(t, runWith(cfg),
+			"Env.Atomic guard in Publish installs none of its enforcers (nobody.Calls): the constraint is silently unenforced")
+	})
+
+	t.Run("missing stage mapping", func(t *testing.T) {
+		cfg := DefaultEnvAuditConfig()
+		delete(cfg.Stages, "Movable")
+		expectOnly(t, runWith(cfg),
+			"Env.Movable maps to no channel-stage span kind: add it to EnvAuditConfig.Stages")
+	})
+
+	t.Run("drifted stage mapping", func(t *testing.T) {
+		cfg := DefaultEnvAuditConfig()
+		cfg.Stages["Movable"] = "KindTeleport"
+		expectOnly(t, runWith(cfg),
+			"Env.Movable maps to span kind KindTeleport, which odp/internal/obs does not declare: the audit table has drifted")
+	})
+
+	t.Run("unknown field entries rot", func(t *testing.T) {
+		cfg := DefaultEnvAuditConfig()
+		cfg.Enforcers["Telepathic"] = []string{"mind.Read"}
+		cfg.Stages["Telepathic"] = "KindDispatch"
+		expectOnly(t, runWith(cfg),
+			"EnvAuditConfig.Enforcers names unknown Env field Telepathic — remove it",
+			"EnvAuditConfig.Stages names unknown Env field Telepathic — remove it")
+	})
+
+	t.Run("unnecessary kind exemption", func(t *testing.T) {
+		cfg := DefaultEnvAuditConfig()
+		cfg.KindExemptions["KindDispatch"] = "fixture: but tests do assert it"
+		got := runWith(cfg)
+		if len(got) != 1 || !strings.Contains(got[0],
+			`span kind KindDispatch is exempt ("fixture: but tests do assert it") but tests assert it — remove the exemption`) {
+			t.Errorf("got %q", got)
+		}
+	})
+
+	t.Run("unknown kind exemption", func(t *testing.T) {
+		cfg := DefaultEnvAuditConfig()
+		cfg.KindExemptions["KindTeleport"] = "fixture: no such kind"
+		expectOnly(t, runWith(cfg),
+			"EnvAuditConfig.KindExemptions names unknown span kind KindTeleport — remove it")
+	})
+}

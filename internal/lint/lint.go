@@ -12,6 +12,13 @@
 //     while a sync.Mutex or sync.RWMutex is held. Functions whose name
 //     ends in "Locked" or whose doc comment says "called with ... held"
 //     are analyzed as if a lock were held on entry.
+//   - lockgraph: whole-repo static deadlock freedom. Every named lock
+//     site (struct-field mutexes, package-level locks) becomes a node;
+//     acquiring B while holding A — directly or through any chain of
+//     calls, including interface dispatch — is an edge; a cycle in the
+//     resulting order graph is a potential deadlock and is reported with
+//     a full witness chain. Intentional hierarchies are declared in the
+//     ordered-lock allowlist.
 //   - detclock: outside the sanctioned gateways (internal/clock, the
 //     netsim fabric, the benchmark harness), no direct use of time.Now,
 //     time.Sleep, timers, tickers or the global math/rand source, so that
@@ -32,17 +39,29 @@
 //     released — reach End, or escape to code that can — on some path;
 //     a forgotten span leaks its pooled storage and drops its subtree
 //     from the trace ring.
+//   - envaudit: the §5 transparency catalogue stays honest — every Env
+//     constraint field is woven into an enforcing mechanism by
+//     core.Publish, maps to a channel-stage span kind, and is exercised
+//     by at least one test or example; every span kind is asserted
+//     somewhere (or carries a documented exemption).
+//
+// A finding can be suppressed at the site with a
+// `//lint:ignore <pass> <reason>` comment on the same line or the line
+// directly above. Suppressions are never silent: they are counted,
+// reported by cmd/odplint, and a suppression that no longer matches any
+// finding is itself a diagnostic, so stale ignores cannot accumulate.
 //
 // The suite is built on the standard library only: go/parser, go/ast and
 // go/types with a source importer. It is wired into tier-1 via
 // lint_test.go (the repo must produce zero diagnostics) and is runnable
-// standalone as cmd/odplint.
+// standalone as cmd/odplint (with -json for machine-readable output).
 package lint
 
 import (
 	"fmt"
 	"go/token"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one analyzer finding.
@@ -53,11 +72,22 @@ type Diagnostic struct {
 	Pass string
 	// Message describes the violated invariant.
 	Message string
+	// Notes carries supporting detail — for lockgraph, one witness step
+	// per line of the cycle's acquire chain.
+	Notes []string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Pass, d.Message)
+}
+
+// Render renders the diagnostic with its notes indented beneath it.
+func (d Diagnostic) Render() string {
+	if len(d.Notes) == 0 {
+		return d.String()
+	}
+	return d.String() + "\n\t" + strings.Join(d.Notes, "\n\t")
 }
 
 // Analyzer is one invariant checker. Run inspects a single type-checked
@@ -69,36 +99,183 @@ type Analyzer interface {
 	Run(pkg *Package) []Diagnostic
 }
 
+// ProgramAnalyzer is an analyzer that needs the whole program at once —
+// lockgraph (the order graph spans packages) and envaudit (constraints,
+// mechanisms and tests live in different packages). Run on individual
+// packages returns nil; RunProgram does the work.
+type ProgramAnalyzer interface {
+	Analyzer
+	// RunProgram analyzes the full set of loaded packages.
+	RunProgram(pkgs []*Package) []Diagnostic
+}
+
 // DefaultAnalyzers returns the full suite configured for this repository.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
 		NewMutexHeld(DefaultMutexHeldConfig()),
+		NewLockGraph(DefaultLockGraphConfig()),
 		NewDetClock(DefaultDetClockConfig()),
 		NewLayering(DefaultLayeringConfig()),
 		NewWireTotal(),
 		NewCtxDrop(),
 		NewObsLeak(),
+		NewEnvAudit(DefaultEnvAuditConfig()),
 	}
 }
 
-// Run applies each analyzer to each package and returns all diagnostics
-// sorted by position.
+// Suppression is one diagnostic silenced by a //lint:ignore comment.
+type Suppression struct {
+	// Directive locates the ignore comment.
+	Directive token.Position
+	// Reason is the comment's stated justification.
+	Reason string
+	// Diagnostic is the silenced finding.
+	Diagnostic Diagnostic
+}
+
+// Result is the outcome of a full analysis run.
+type Result struct {
+	// Diagnostics are the active findings, sorted by position. Includes
+	// meta-findings for stale or malformed //lint:ignore comments.
+	Diagnostics []Diagnostic
+	// Suppressed are findings silenced by //lint:ignore comments, sorted
+	// by position. They fail nothing but are reported so suppressions
+	// cannot accumulate unseen.
+	Suppressed []Suppression
+}
+
+// Run applies each analyzer and returns the active diagnostics sorted by
+// position, with //lint:ignore suppressions applied. Use RunDetailed when
+// the suppression list itself is needed.
 func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			diags = append(diags, a.Run(pkg)...)
+	return RunDetailed(pkgs, analyzers).Diagnostics
+}
+
+// RunDetailed applies each analyzer to the loaded program and resolves
+// //lint:ignore directives, returning both the active findings and the
+// suppressed ones.
+func RunDetailed(pkgs []*Package, analyzers []Analyzer) Result {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if pa, ok := a.(ProgramAnalyzer); ok {
+			raw = append(raw, pa.RunProgram(pkgs)...)
+			continue
+		}
+		for _, pkg := range pkgs {
+			raw = append(raw, a.Run(pkg)...)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Pos.Filename != b.Pos.Filename {
-			return a.Pos.Filename < b.Pos.Filename
-		}
-		if a.Pos.Line != b.Pos.Line {
-			return a.Pos.Line < b.Pos.Line
-		}
-		return a.Pass < b.Pass
+	directives := collectIgnoreDirectives(pkgs)
+	res := applySuppressions(raw, directives)
+	sortDiags(res.Diagnostics)
+	sort.Slice(res.Suppressed, func(i, j int) bool {
+		return positionLess(res.Suppressed[i].Diagnostic.Pos, res.Suppressed[j].Diagnostic.Pos, "", "")
 	})
-	return diags
+	return res
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		return positionLess(diags[i].Pos, diags[j].Pos, diags[i].Pass, diags[j].Pass)
+	})
+}
+
+func positionLess(a, b token.Position, passA, passB string) bool {
+	if a.Filename != b.Filename {
+		return a.Filename < b.Filename
+	}
+	if a.Line != b.Line {
+		return a.Line < b.Line
+	}
+	return passA < passB
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	pos    token.Position
+	pass   string
+	reason string
+	used   bool
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// collectIgnoreDirectives scans every loaded file's comments for
+// //lint:ignore directives, keyed by filename. Malformed directives
+// (missing pass or reason) surface later as diagnostics.
+func collectIgnoreDirectives(pkgs []*Package) map[string][]*ignoreDirective {
+	out := make(map[string][]*ignoreDirective)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+					pass, reason, _ := strings.Cut(rest, " ")
+					d := &ignoreDirective{pos: pos, pass: pass, reason: strings.TrimSpace(reason)}
+					out[pos.Filename] = append(out[pos.Filename], d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions partitions raw findings into active and suppressed. A
+// directive matches a diagnostic of its named pass on the directive's own
+// line (trailing comment) or the line directly below (comment above the
+// statement). Stale and malformed directives become diagnostics.
+func applySuppressions(raw []Diagnostic, directives map[string][]*ignoreDirective) Result {
+	var res Result
+	for _, d := range raw {
+		suppressed := false
+		for _, dir := range directives[d.Pos.Filename] {
+			if dir.pass != d.Pass || dir.reason == "" {
+				continue
+			}
+			if dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+				dir.used = true
+				res.Suppressed = append(res.Suppressed, Suppression{
+					Directive:  dir.pos,
+					Reason:     dir.reason,
+					Diagnostic: d,
+				})
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			res.Diagnostics = append(res.Diagnostics, d)
+		}
+	}
+	// Every directive must be well-formed and must suppress something:
+	// an ignore that outlives its finding is dead weight and gets
+	// reported until it is removed.
+	var files []string
+	for f := range directives {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, dir := range directives[f] {
+			switch {
+			case dir.pass == "" || dir.reason == "":
+				res.Diagnostics = append(res.Diagnostics, Diagnostic{
+					Pos:     dir.pos,
+					Pass:    "lintignore",
+					Message: "malformed //lint:ignore: want \"//lint:ignore <pass> <reason>\"",
+				})
+			case !dir.used:
+				res.Diagnostics = append(res.Diagnostics, Diagnostic{
+					Pos:     dir.pos,
+					Pass:    "lintignore",
+					Message: fmt.Sprintf("stale //lint:ignore %s: suppresses no finding — remove it", dir.pass),
+				})
+			}
+		}
+	}
+	return res
 }

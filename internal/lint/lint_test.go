@@ -24,8 +24,13 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) == 0 {
 		t.Fatal("loader found no packages")
 	}
-	for _, d := range Run(pkgs, DefaultAnalyzers()) {
-		t.Errorf("%s", d)
+	res := RunDetailed(pkgs, DefaultAnalyzers())
+	for _, s := range res.Suppressed {
+		t.Logf("suppressed: %s: [%s] %s (reason: %s)",
+			s.Directive, s.Diagnostic.Pass, s.Diagnostic.Message, s.Reason)
+	}
+	for _, d := range res.Diagnostics {
+		t.Errorf("%s", d.Render())
 	}
 }
 
@@ -53,6 +58,22 @@ func fixtureCases() []fixtureCase {
 			want: []string{
 				"lockrecv.go:18: [mutexheld] channel receive while q.mu is held",
 				"lockrecv.go:24: [mutexheld] call to sync.WaitGroup.Wait while q.mu is held",
+			},
+		},
+		{
+			dir: "trylock", asPath: "odp/internal/trylock",
+			analyzer: NewMutexHeld(DefaultMutexHeldConfig()),
+			want: []string{
+				"trylock.go:17: [mutexheld] channel send while q.mu is held",
+				"trylock.go:29: [mutexheld] channel send while q.mu is held",
+				"trylock.go:36: [mutexheld] channel send while q.mu is held",
+			},
+		},
+		{
+			dir: "lockerval", asPath: "odp/internal/lockerval",
+			analyzer: NewMutexHeld(DefaultMutexHeldConfig()),
+			want: []string{
+				"lockerval.go:16: [mutexheld] channel send while s.l is held",
 			},
 		},
 		{

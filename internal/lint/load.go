@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -23,6 +24,11 @@ type Package struct {
 	Fset *token.FileSet
 	// Files are the parsed non-test sources.
 	Files []*ast.File
+	// TestFiles are the package's _test.go sources, parsed but NOT
+	// type-checked (external test packages would need their own check
+	// pass). Coverage-auditing passes (envaudit) read them syntactically;
+	// the invariant passes never analyze them.
+	TestFiles []*ast.File
 	// Types is the type-checked package.
 	Types *types.Package
 	// Info carries the type-checker's expression facts.
@@ -180,14 +186,26 @@ func (l *Loader) loadDirAs(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var files []*ast.File
+	var files, testFiles []*ast.File
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		// Honour build constraints (//go:build lines and GOOS/GOARCH
+		// filename suffixes) for the loader's own build context: a gated
+		// file that the compiler would not see must not reach the type
+		// checker, where its declarations could collide with the
+		// ungated implementation it replaces.
+		if match, err := build.Default.MatchFile(dir, e.Name()); err != nil || !match {
 			continue
 		}
 		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			testFiles = append(testFiles, f)
+			continue
 		}
 		files = append(files, f)
 	}
@@ -220,12 +238,13 @@ func (l *Loader) loadDirAs(dir, path string) (*Package, error) {
 		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
 	}
 	pkg := &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:      path,
+		Dir:       dir,
+		Fset:      l.fset,
+		Files:     files,
+		TestFiles: testFiles,
+		Types:     tpkg,
+		Info:      info,
 	}
 	l.pkgs[path] = pkg
 	return pkg, nil

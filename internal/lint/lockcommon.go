@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the single definition of what "acquiring a lock" means,
+// shared by the mutexheld and lockgraph passes so the two can never
+// disagree about the held set. A lock operation is a call to
+// Lock/RLock/TryLock/TryRLock (acquire) or Unlock/RUnlock (release) on:
+//
+//   - a sync.Mutex or sync.RWMutex value,
+//   - a sync.Locker interface value (the method object lives in package
+//     sync, so dynamic lockers behind the interface are covered), or
+//   - a custom locker: any named type whose method set carries both a
+//     niladic Lock and a niladic Unlock — the structural sync.Locker
+//     contract — so a wrapper type that delegates to an embedded mutex
+//     still counts.
+
+// lockAcquireOps classifies each recognized method name: true means the
+// operation acquires (TryLock variants conditionally), false releases.
+var lockAcquireOps = map[string]bool{
+	"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true,
+	"Unlock": false, "RUnlock": false,
+}
+
+// lockMethod classifies call as a lock operation, returning the receiver
+// expression and the method name ("Lock", "TryRLock", ...), or nil, ""
+// when call is not one.
+func lockMethod(pkg *Package, call *ast.CallExpr) (recv ast.Expr, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := sel.Sel.Name
+	if _, known := lockAcquireOps[name]; !known {
+		return nil, ""
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		return sel.X, name
+	}
+	if isStructuralLocker(sig.Recv().Type()) {
+		return sel.X, name
+	}
+	return nil, ""
+}
+
+// isTryOp reports whether op is a conditional acquire whose result must
+// be consulted before the lock is held.
+func isTryOp(op string) bool { return op == "TryLock" || op == "TryRLock" }
+
+// isStructuralLocker reports whether t satisfies the sync.Locker contract
+// structurally: its method set has niladic Lock and Unlock methods.
+func isStructuralLocker(t types.Type) bool {
+	return hasNiladicMethod(t, "Lock") && hasNiladicMethod(t, "Unlock")
+}
+
+func hasNiladicMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok || fn.Name() != name {
+			continue
+		}
+		sig := fn.Type().(*types.Signature)
+		return sig.Params().Len() == 0 && sig.Results().Len() == 0
+	}
+	return false
+}
+
+// tryLockCond recognizes the guarded TryLock idioms inside an if
+// statement so held-set tracking can follow them:
+//
+//	if mu.TryLock() { ... }          → held in the then branch
+//	if !mu.TryLock() { return }      → held in the else branch / after
+//	if ok := mu.TryLock(); ok { ... }
+//
+// It returns the receiver expression, the operation, and whether the
+// condition is negated. A nil receiver means cond is not a TryLock guard.
+func tryLockCond(pkg *Package, init ast.Stmt, cond ast.Expr) (recv ast.Expr, op string, negated bool) {
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		recv, op, _ = tryLockCond(pkg, init, u.X)
+		return recv, op, true
+	}
+	switch c := cond.(type) {
+	case *ast.CallExpr:
+		if r, o := lockMethod(pkg, c); r != nil && isTryOp(o) {
+			return r, o, false
+		}
+	case *ast.Ident:
+		// if ok := mu.TryLock(); ok { ... } — the init assignment binds
+		// the condition identifier to the TryLock result.
+		as, ok := init.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return nil, "", false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || lhs.Name != c.Name {
+			return nil, "", false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil, "", false
+		}
+		if r, o := lockMethod(pkg, call); r != nil && isTryOp(o) {
+			return r, o, false
+		}
+	}
+	return nil, "", false
+}

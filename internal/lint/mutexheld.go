@@ -116,10 +116,11 @@ func (s *mutexScan) scanStmt(st ast.Stmt, held map[string]bool) bool {
 	case *ast.ExprStmt:
 		if call, ok := t.X.(*ast.CallExpr); ok {
 			if mu, op := s.lockOp(call); mu != "" {
-				switch op {
-				case "Lock", "RLock":
+				// A TryLock whose result is discarded is treated as an
+				// acquire: the author clearly believed it succeeds.
+				if lockAcquireOps[op] {
 					held[mu] = true
-				case "Unlock", "RUnlock":
+				} else {
 					delete(held, mu)
 				}
 				return false
@@ -170,8 +171,18 @@ func (s *mutexScan) scanStmt(st ast.Stmt, held map[string]bool) bool {
 		}
 		s.checkExpr(t.Cond, held)
 		thenHeld := copySet(held)
-		thenTerm := s.scanStmts(t.Body.List, thenHeld)
 		elseHeld := copySet(held)
+		// A TryLock guard holds the lock exactly in the branch where it
+		// succeeded.
+		if recv, _, negated := tryLockCond(s.pkg, t.Init, t.Cond); recv != nil {
+			mu := renderExpr(s.pkg.Fset, recv)
+			if negated {
+				elseHeld[mu] = true
+			} else {
+				thenHeld[mu] = true
+			}
+		}
+		thenTerm := s.scanStmts(t.Body.List, thenHeld)
 		elseTerm := false
 		if t.Else != nil {
 			elseTerm = s.scanStmt(t.Else, elseHeld)
@@ -292,29 +303,17 @@ func (s *mutexScan) scanFuncLits(n ast.Node) {
 	})
 }
 
-// lockOp classifies call as a mutex Lock/Unlock operation, returning the
-// rendered receiver expression and the operation name, or "","" when it
-// is not one.
+// lockOp classifies call as a lock acquire/release operation (shared
+// definition in lockcommon.go: sync mutexes, sync.Locker values and
+// structural lockers, TryLock variants included), returning the rendered
+// receiver expression and the operation name, or "","" when it is not
+// one.
 func (s *mutexScan) lockOp(call *ast.CallExpr) (mu, op string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
+	recv, op := lockMethod(s.pkg, call)
+	if recv == nil {
 		return "", ""
 	}
-	name := sel.Sel.Name
-	switch name {
-	case "Lock", "Unlock", "RLock", "RUnlock":
-	default:
-		return "", ""
-	}
-	obj, ok := s.pkg.Info.Uses[sel.Sel]
-	if !ok {
-		return "", ""
-	}
-	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
-		return "", ""
-	}
-	return renderExpr(s.pkg.Fset, sel.X), name
+	return renderExpr(s.pkg.Fset, recv), op
 }
 
 // blockingCallee resolves call's static target and reports whether it is

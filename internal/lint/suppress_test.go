@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestSuppressionSemantics pins the //lint:ignore contract on the
+// suppress fixture: a reasoned directive silences exactly its finding, a
+// directive that matches nothing is a stale finding, a directive without
+// a reason is malformed (and suppresses nothing — its neighbour finding
+// stays active).
+func TestSuppressionSemantics(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", "suppress"), "odp/internal/suppress")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	res := RunDetailed([]*Package{pkg}, []Analyzer{NewMutexHeld(DefaultMutexHeldConfig())})
+
+	var got []string
+	for _, d := range res.Diagnostics {
+		got = append(got, fmt.Sprintf("%s:%d: [%s] %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pass, d.Message))
+	}
+	want := []string{
+		"suppress.go:24: [lintignore] stale //lint:ignore mutexheld: suppresses no finding — remove it",
+		`suppress.go:31: [lintignore] malformed //lint:ignore: want "//lint:ignore <pass> <reason>"`,
+		"suppress.go:32: [mutexheld] channel send while q.mu is held",
+	}
+	diffStrings(t, got, want)
+
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("got %d suppressions, want 1: %+v", len(res.Suppressed), res.Suppressed)
+	}
+	s := res.Suppressed[0]
+	if s.Directive.Line != 17 || s.Diagnostic.Pos.Line != 18 || s.Diagnostic.Pass != "mutexheld" {
+		t.Errorf("suppression matched wrong finding: directive line %d, finding %s",
+			s.Directive.Line, s.Diagnostic)
+	}
+	if s.Reason != "fixture: proves a reasoned ignore suppresses exactly one finding" {
+		t.Errorf("reason not preserved: %q", s.Reason)
+	}
+}
+
+// TestSuppressionSameLine pins the trailing-comment form: a directive on
+// the finding's own line suppresses it too.
+func TestSuppressionSameLine(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", "sameline"), "odp/internal/sameline")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	res := RunDetailed([]*Package{pkg}, []Analyzer{NewMutexHeld(DefaultMutexHeldConfig())})
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("same-line directive did not suppress: %+v", res.Diagnostics)
+	}
+	if len(res.Suppressed) != 1 {
+		t.Errorf("got %d suppressions, want 1", len(res.Suppressed))
+	}
+}
+
+// TestSuppressionWrongPassStaysActive proves a directive naming a
+// different pass does not silence a finding, and is reported stale.
+func TestSuppressionWrongPassStaysActive(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDirAs(filepath.Join("testdata", "src", "wrongpass"), "odp/internal/wrongpass")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	res := RunDetailed([]*Package{pkg}, []Analyzer{NewMutexHeld(DefaultMutexHeldConfig())})
+	var got []string
+	for _, d := range res.Diagnostics {
+		got = append(got, fmt.Sprintf("%s:%d: [%s] %s",
+			filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pass, d.Message))
+	}
+	want := []string{
+		"wrongpass.go:16: [lintignore] stale //lint:ignore detclock: suppresses no finding — remove it",
+		"wrongpass.go:17: [mutexheld] channel send while q.mu is held",
+	}
+	diffStrings(t, got, want)
+	if len(res.Suppressed) != 0 {
+		t.Errorf("wrong-pass directive suppressed something: %+v", res.Suppressed)
+	}
+}

@@ -1,0 +1,44 @@
+// Package iface seeds a two-lock cycle where one edge passes through an
+// interface method: the static call target is the interface, and the
+// lockgraph pass must resolve it to the module implementation to see the
+// acquire behind it.
+package iface
+
+import "sync"
+
+// Grabber is the dispatch point: callers hold a lock across Grab without
+// knowing which implementation runs.
+type Grabber interface{ Grab() }
+
+// P implements Grabber by taking its own lock.
+type P struct{ mu sync.Mutex }
+
+// Grab acquires P's lock.
+func (p *P) Grab() {
+	p.mu.Lock()
+	p.mu.Unlock()
+}
+
+// Q is the other lock owner.
+type Q struct{ mu sync.Mutex }
+
+var (
+	pv P
+	qv Q
+)
+
+// QthenGrab holds Q across an interface call that (in the only module
+// implementation) acquires P: the edge Q.mu → P.mu.
+func QthenGrab(g Grabber) {
+	qv.mu.Lock()
+	g.Grab()
+	qv.mu.Unlock()
+}
+
+// PthenQ acquires Q under P: the edge P.mu → Q.mu, closing the cycle.
+func PthenQ() {
+	pv.mu.Lock()
+	qv.mu.Lock()
+	qv.mu.Unlock()
+	pv.mu.Unlock()
+}

@@ -1,0 +1,53 @@
+// Package threelock seeds a three-lock cycle where one edge is only
+// visible through a call chain: X is held across a call to a helper that
+// acquires Y. The lockgraph pass must compose the chain into the edge
+// X.mu → Y.mu and report the full cycle X → Y → Z → X with the call step
+// in the witness.
+package threelock
+
+import "sync"
+
+// X is the first lock owner.
+type X struct{ mu sync.Mutex }
+
+// Y is the second lock owner.
+type Y struct{ mu sync.Mutex }
+
+// Z is the third lock owner.
+type Z struct{ mu sync.Mutex }
+
+var (
+	x X
+	y Y
+	z Z
+)
+
+// grabY acquires Y's lock on behalf of its callers.
+func grabY() {
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// XthenY holds X across a call that acquires Y: the edge X.mu → Y.mu,
+// witnessed through grabY.
+func XthenY() {
+	x.mu.Lock()
+	grabY()
+	x.mu.Unlock()
+}
+
+// YthenZ acquires Z under Y: the edge Y.mu → Z.mu.
+func YthenZ() {
+	y.mu.Lock()
+	z.mu.Lock()
+	z.mu.Unlock()
+	y.mu.Unlock()
+}
+
+// ZthenX acquires X under Z: the edge Z.mu → X.mu, closing the cycle.
+func ZthenX() {
+	z.mu.Lock()
+	x.mu.Lock()
+	x.mu.Unlock()
+	z.mu.Unlock()
+}

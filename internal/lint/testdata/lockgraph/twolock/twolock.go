@@ -1,0 +1,34 @@
+// Package twolock seeds the classic two-lock deadlock: one execution
+// takes A then B, another takes B then A. The lockgraph pass must report
+// exactly one cycle with the witness chain for both edges.
+package twolock
+
+import "sync"
+
+// A is the first lock owner.
+type A struct{ mu sync.Mutex }
+
+// B is the second lock owner.
+type B struct{ mu sync.Mutex }
+
+var (
+	a A
+	b B
+)
+
+// TakeAB acquires A's lock, then B's: the edge A.mu → B.mu.
+func TakeAB() {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// TakeBA acquires in the opposite order: the edge B.mu → A.mu, closing
+// the cycle.
+func TakeBA() {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,18 @@
+// Package lockerval pins the sync.Locker path: a lock held through the
+// interface is as held as a concrete mutex.
+package lockerval
+
+import "sync"
+
+// S guards its channel with an abstract locker.
+type S struct {
+	l  sync.Locker
+	ch chan int
+}
+
+// Blocked sends on a channel while the locker is held.
+func (s *S) Blocked() {
+	s.l.Lock()
+	s.ch <- 1
+	s.l.Unlock()
+}

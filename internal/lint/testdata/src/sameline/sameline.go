@@ -1,0 +1,17 @@
+// Package sameline pins the trailing //lint:ignore form.
+package sameline
+
+import "sync"
+
+// Q couples a lock with a channel so mutexheld has something to flag.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Send is a real violation, suppressed by a trailing directive.
+func (q *Q) Send() {
+	q.mu.Lock()
+	q.ch <- 1 //lint:ignore mutexheld fixture: trailing-comment suppression
+	q.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+// Package suppress exercises //lint:ignore semantics: a matching
+// directive silences exactly its finding, a stale directive is itself a
+// finding, and a directive without a reason is malformed.
+package suppress
+
+import "sync"
+
+// Q couples a lock with a channel so mutexheld has something to flag.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Send is a real violation, suppressed with a stated reason.
+func (q *Q) Send() {
+	q.mu.Lock()
+	//lint:ignore mutexheld fixture: proves a reasoned ignore suppresses exactly one finding
+	q.ch <- 1
+	q.mu.Unlock()
+}
+
+// Stale carries an ignore that matches nothing.
+func (q *Q) Stale() {
+	//lint:ignore mutexheld nothing below violates anything
+	q.ch <- 2
+}
+
+// Malformed carries an ignore with no reason.
+func (q *Q) Malformed() {
+	q.mu.Lock()
+	//lint:ignore mutexheld
+	q.ch <- 3
+	q.mu.Unlock()
+}

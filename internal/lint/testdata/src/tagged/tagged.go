@@ -1,0 +1,8 @@
+// Package tagged pins the loader's build-constraint handling: the
+// sibling files redeclare Mode behind a //go:build tag and a GOOS
+// filename suffix, so the package only type-checks if the loader
+// excludes them the way `go build` would.
+package tagged
+
+// Mode is redeclared by every excluded sibling.
+const Mode = "portable"

@@ -1,0 +1,5 @@
+package tagged
+
+// Mode redeclares the portable constant; the _plan9 filename suffix
+// excludes this file everywhere the suite runs.
+const Mode = "plan9"

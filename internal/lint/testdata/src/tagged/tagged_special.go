@@ -1,0 +1,7 @@
+//go:build special
+
+package tagged
+
+// Mode redeclares the portable constant; the "special" tag is never set,
+// so a loader that honours //go:build lines must drop this file.
+const Mode = "special"

@@ -1,0 +1,6 @@
+package tagged
+
+// This file exists so the loader's TestFiles split is observable: it
+// must be parsed (envaudit reads test files) but never type-checked
+// (the undefined identifier below would fail the package otherwise).
+var _ = definedNowhere

@@ -1,0 +1,39 @@
+// Package trylock pins the TryLock acquire paths: a successful TryLock
+// holds the lock exactly in the branch its guard selects, and a
+// discarded TryLock result counts as a plain acquire.
+package trylock
+
+import "sync"
+
+// Q couples a lock with a channel so blocking-under-lock is observable.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Guarded only holds the lock inside the success branch.
+func (q *Q) Guarded() {
+	if q.mu.TryLock() {
+		q.ch <- 1
+		q.mu.Unlock()
+	}
+}
+
+// Negated holds the lock only when the guard fails to take the early
+// return — i.e. in the fallthrough.
+func (q *Q) Negated() {
+	if !q.mu.TryLock() {
+		q.ch <- 2
+		return
+	}
+	q.ch <- 3
+	q.mu.Unlock()
+}
+
+// Bound binds the guard result first; the then-branch still holds.
+func (q *Q) Bound() {
+	if ok := q.mu.TryLock(); ok {
+		q.ch <- 4
+		q.mu.Unlock()
+	}
+}

@@ -1,0 +1,19 @@
+// Package wrongpass pins directive/pass matching: an ignore naming a
+// different pass must not silence a mutexheld finding.
+package wrongpass
+
+import "sync"
+
+// Q couples a lock with a channel so mutexheld has something to flag.
+type Q struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Send is a real violation; the directive names the wrong pass.
+func (q *Q) Send() {
+	q.mu.Lock()
+	//lint:ignore detclock fixture: names a pass that found nothing here
+	q.ch <- 1
+	q.mu.Unlock()
+}

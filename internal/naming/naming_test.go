@@ -10,6 +10,7 @@ import (
 
 	"odp/internal/capsule"
 	"odp/internal/netsim"
+	"odp/internal/obs"
 	"odp/internal/rpc"
 	"odp/internal/wire"
 )
@@ -154,7 +155,7 @@ func TestNameQualifyDescendRoundTripProperty(t *testing.T) {
 
 // setupRelocation builds: a relocator capsule, a home capsule, a new-home
 // capsule and a client with a Binder.
-func setupRelocation(t *testing.T) (*netsim.Fabric, *capsule.Capsule, *capsule.Capsule, *capsule.Capsule, *Table, *Binder) {
+func setupRelocation(t *testing.T, opts ...BinderOption) (*netsim.Fabric, *capsule.Capsule, *capsule.Capsule, *capsule.Capsule, *Table, *Binder) {
 	t.Helper()
 	f := netsim.NewFabric()
 	t.Cleanup(func() { _ = f.Close() })
@@ -175,8 +176,48 @@ func setupRelocation(t *testing.T) (*netsim.Fabric, *capsule.Capsule, *capsule.C
 	if err != nil {
 		t.Fatal(err)
 	}
-	binder := NewBinder(client, relocRef)
+	binder := NewBinder(client, relocRef, opts...)
 	return f, home, newHome, client, table, binder
+}
+
+func TestBinderResolveSpanCoversRelocation(t *testing.T) {
+	// E-series coverage for the binder.resolve channel stage: a
+	// relocation consulted during an invocation must surface as an
+	// obs.KindResolve span under the invocation's root span, so traces
+	// make the Movable constraint's enforcement visible.
+	col := obs.NewCollector("client", obs.WithSampleEvery(1))
+	_, home, newHome, _, table, binder := setupRelocation(t, WithBinderObserver(col))
+	ref, err := home.Export(constServant("movable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := binder.Invoke(context.Background(), ref, "get", nil); err != nil {
+		t.Fatal(err)
+	}
+	home.Unexport(ref.ID)
+	newRef, err := newHome.Export(constServant("movable"), capsule.WithID(ref.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newRef.Epoch = ref.Epoch + 1
+	table.Register(newRef)
+	if _, res, err := binder.Invoke(context.Background(), ref, "get", nil,
+		capsule.WithQoS(rpc.QoS{Timeout: time.Second})); err != nil || res[0] != "movable" {
+		t.Fatalf("relocated invoke: %v %v", res, err)
+	}
+
+	var resolves int
+	for _, sp := range col.Snapshot() {
+		if sp.Kind == obs.KindResolve {
+			resolves++
+			if sp.Name != ref.ID {
+				t.Fatalf("resolve span names %q, want the moved ref %q", sp.Name, ref.ID)
+			}
+		}
+	}
+	if resolves != 1 {
+		t.Fatalf("got %d %s spans, want exactly 1 (one relocator consultation)", resolves, obs.KindResolve)
+	}
 }
 
 type constServant string

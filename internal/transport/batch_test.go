@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"odp/internal/clock"
+	"odp/internal/obs"
 )
 
 // memEP is an in-memory Endpoint for coalescer tests: Send records the
@@ -301,6 +302,40 @@ func TestCoalescerThresholdOverridesDelay(t *testing.T) {
 	waitFor(t, "threshold flush", func() bool {
 		return c.BatchStats().BatchesSent == 1
 	})
+}
+
+// TestCoalescerFlushSpanCoversBatchWrite: E-series coverage for the
+// coalescer.flush channel stage — every batch written to the wire must
+// surface as an obs.KindFlush span naming its destination, so traces
+// account for frames that left through the batching path.
+func TestCoalescerFlushSpanCoversBatchWrite(t *testing.T) {
+	col := obs.NewCollector("mem://a", obs.WithSampleEvery(1))
+	inner := newMemEP("mem://a")
+	c := NewCoalescer(inner,
+		WithFlushThreshold(1024),
+		WithCoalescerObserver(col))
+	defer func() { _ = c.Close() }()
+	c.MarkBatching("mem://b")
+
+	big := make([]byte, 2048)
+	if err := c.Send("mem://b", big); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "threshold flush", func() bool {
+		return c.BatchStats().BatchesSent == 1
+	})
+	var flushes int
+	for _, sp := range col.Snapshot() {
+		if sp.Kind == obs.KindFlush {
+			flushes++
+			if sp.Name != "mem://b" {
+				t.Fatalf("flush span names %q, want the destination mem://b", sp.Name)
+			}
+		}
+	}
+	if flushes == 0 {
+		t.Fatalf("no %s span recorded for a sent batch", obs.KindFlush)
+	}
 }
 
 // TestCoalescerNaturalBatching: with no max-delay the flusher never
