@@ -13,6 +13,21 @@ import (
 // noise; a quarter slower is a real regression and fails the gate.
 const nsRegressionLimit = 0.25
 
+// Sub-microsecond benchmarks (the direct-call and co-located floors of
+// the E1 ladder, concurrent announcement enqueue) sit at the scale where
+// container scheduling and frequency drift alone move a run ±40%: two
+// back-to-back recordings of the untouched 46 ns E1DirectGoCall differed
+// by 16%, the 166 ns co-located bypass by 30%. A percentage gate there
+// measures the machine, not the code, so below nsNoiseFloorNs the gate
+// also requires an absolute movement of at least nsNoiseSlackNs before
+// failing — large enough that genuine structural regressions (an added
+// lock, a heap escape, a codec round-trip costs well over 100 ns) still
+// trip it, small enough that scheduling jitter cannot.
+const (
+	nsNoiseFloorNs = 1000.0
+	nsNoiseSlackNs = 250.0
+)
+
 // Alloc tolerances. A genuine regression adds at least one whole
 // allocation per op; sync.Pool miss jitter moves the fractional part by
 // a few tenths. Between two fractionally-recorded (v2) files half an
@@ -110,7 +125,11 @@ func compare(oldPath, newPath string) error {
 		default:
 			delta := n.NsPerOp/o.NsPerOp - 1
 			verdict := "ok"
-			if delta > nsRegressionLimit {
+			nsFailed := delta > nsRegressionLimit
+			if nsFailed && o.NsPerOp < nsNoiseFloorNs && n.NsPerOp-o.NsPerOp < nsNoiseSlackNs {
+				nsFailed = false // sub-µs scale: percentage is machine noise
+			}
+			if nsFailed {
 				verdict = fmt.Sprintf("FAIL: ns/op +%.0f%% exceeds +%.0f%% limit",
 					delta*100, nsRegressionLimit*100)
 				failures = append(failures, name+": "+verdict)

@@ -35,15 +35,16 @@ func main() {
 		relocator  = flag.String("relocator", "", "encoded reference of an existing relocation service")
 		echoSvc    = flag.Bool("echo", true, "publish a demo echo interface")
 		traceEvery = flag.Int("trace-every", 0, "sample one trace in n invocations (0 = off; retune live via the obs.sample_every management parameter)")
+		batch      = flag.Bool("batch", false, "coalesce writes per destination; two -batch nodes also upgrade to the packed codec in-band")
 	)
 	flag.Parse()
-	if err := run(*name, *listen, *traderCtx, *storeDir, *relocator, *echoSvc, *traceEvery); err != nil {
+	if err := run(*name, *listen, *traderCtx, *storeDir, *relocator, *echoSvc, *traceEvery, *batch); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(name, listen, traderCtx, storeDir, relocator string, echoSvc bool, traceEvery int) error {
+func run(name, listen, traderCtx, storeDir, relocator string, echoSvc bool, traceEvery int, batch bool) error {
 	ep, err := odp.ListenTCP(listen)
 	if err != nil {
 		return err
@@ -54,6 +55,7 @@ func run(name, listen, traderCtx, storeDir, relocator string, echoSvc bool, trac
 		storeDir:   storeDir,
 		relocator:  relocator,
 		traceEvery: traceEvery,
+		batch:      batch,
 	})
 	if err != nil {
 		return err

@@ -18,6 +18,11 @@ type nodeConfig struct {
 	// the hot path, and the "obs.sample_every" management parameter can
 	// turn sampling on against a live node.
 	traceEvery int
+	// batch wraps the endpoint in the write coalescer. Besides datagram
+	// amortisation this advertises the packed-codec capability, so two
+	// -batch nodes upgrade their connection to ansa-packed/1 in-band;
+	// against a non-batching peer everything falls back silently.
+	batch bool
 	// clk, when non-nil, drives the whole node in virtual time
 	// (odp.WithClock). Deterministic-simulation setups share one
 	// odp.FakeClock across every node and the fabric; the TCP main path
@@ -33,6 +38,9 @@ func platformOptions(cfg nodeConfig) ([]odp.Option, error) {
 		tracing = odp.WithTracing(odp.TraceSampleEvery(uint64(cfg.traceEvery)))
 	}
 	opts := []odp.Option{tracing}
+	if cfg.batch {
+		opts = append(opts, odp.WithBatching())
+	}
 	if cfg.storeDir != "" {
 		store, err := odp.NewFileStore(cfg.storeDir)
 		if err != nil {

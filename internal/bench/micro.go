@@ -30,6 +30,7 @@ func MicroBenchmarks() []struct {
 		{"E1DirectGoCall", MicroE1DirectGoCall},
 		{"E1CoLocatedOptimised", MicroE1CoLocatedOptimised},
 		{"E1RemoteLoopback", MicroE1RemoteLoopback},
+		{"E1BinaryLoopback", MicroE1BinaryLoopback},
 		{"E1TracedLoopback", MicroE1TracedLoopback},
 		{"E1TracedUnsampledLoopback", MicroE1TracedUnsampledLoopback},
 		{"E1PipelinedLoopback", MicroE1PipelinedLoopback},
@@ -93,8 +94,36 @@ func MicroE1CoLocatedOptimised(b *testing.B) {
 
 // MicroE1RemoteLoopback measures the full protocol stack — codec, rpc,
 // simulated fabric — with zero network latency, so what remains is the
-// platform's own per-invocation cost.
+// platform's own per-invocation cost. The rig is the steady state a
+// tuned deployment reaches: both nodes run write coalescing (no
+// max-delay window, so serial sends take the direct scatter-gather
+// path) and the HELLO exchange has negotiated the packed codec, so
+// requests travel as ansa-packed/1 bodies the server decodes zero-copy.
+// MicroE1BinaryLoopback keeps the un-negotiated baseline.
 func MicroE1RemoteLoopback(b *testing.B) {
+	p, proxy := mustBatchedPair(b, odp.LinkProfile{}, odp.QoS{Timeout: 30 * time.Second})
+	defer p.close()
+	if n, _ := p.client.Gather()["rpc.client.packed_upgrades"].(uint64); n == 0 {
+		b.Fatal("packed codec not negotiated after warm-up")
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroE1BinaryLoopback is the plain-binary control for
+// MicroE1RemoteLoopback: the same serial loopback invocation ladder rung
+// with no coalescer and no capability negotiation, every request a
+// version-1 binary-codec datagram of its own. The delta against
+// E1RemoteLoopback is what packed framing plus scatter-gather writes
+// buy; this rung is also what a peer that never sent a HELLO keeps
+// paying, so it must not regress when the packed path evolves.
+func MicroE1BinaryLoopback(b *testing.B) {
 	p := mustPair(b, odp.LinkProfile{})
 	defer p.close()
 	ref := mustPublish(b, p, "cell", odp.Object{Servant: newCell(0)})
@@ -154,8 +183,13 @@ func MicroE1TracedUnsampledLoopback(b *testing.B) {
 }
 
 // mustBatchedPair builds the two-node rig with write coalescing on both
-// sides and runs enough warm-up calls for the batching negotiation to
-// settle, so the measured region is pure steady state.
+// sides and warms it up until the in-band negotiation has fully
+// settled — the peers have exchanged HELLOs and the client has started
+// upgrading calls to the packed codec — so the measured region is pure
+// steady state. A fixed warm-up count is not enough: the HELLO probe's
+// delivery goroutine can be starved for a while behind the
+// request/reply ping-pong on a single-CPU runner, so the loop polls
+// the negotiated state instead of assuming it.
 func mustBatchedPair(b *testing.B, profile odp.LinkProfile, proxyQoS odp.QoS) (*pair, *odp.Proxy) {
 	b.Helper()
 	p, err := newBatchedPair(profile)
@@ -169,10 +203,21 @@ func mustBatchedPair(b *testing.B, profile odp.LinkProfile, proxyQoS odp.QoS) (*
 	}
 	proxy := p.client.Bind(ref).WithQoS(proxyQoS)
 	ctx := context.Background()
-	for i := 0; i < 16; i++ {
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
 		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
 			p.close()
 			b.Fatal(err)
+		}
+		if i >= 16 {
+			if n, _ := p.client.Gather()["rpc.client.packed_upgrades"].(uint64); n > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				p.close()
+				b.Fatal("packed codec not negotiated within warm-up deadline")
+			}
+			runtime.Gosched()
 		}
 	}
 	return p, proxy

@@ -315,10 +315,20 @@ func (c *Capsule) Objects() []string {
 }
 
 // handle is the rpc server handler: the dispatcher of §5.1. Arguments
-// arriving here were decoded off the wire and are already private copies,
-// so no by-copy discipline is needed.
+// normally arrive as private decoded copies; a zero-copy dispatch
+// (packed codec on an inline-delivery endpoint) instead hands us values
+// aliasing transport storage. The servant contract — arguments may be
+// retained freely — is restored here by detaching once: an all-scalar
+// vector crosses for free, so the hot arithmetic-call shape pays
+// nothing. The objID and op strings stay aliased — dispatch uses them
+// only transiently, and the one retaining path (the activator) clones
+// its own copy in dispatchLocal.
 func (c *Capsule) handle(ctx context.Context, in *rpc.Incoming) (string, []wire.Value, error) {
-	return c.dispatchLocal(ctx, in.ObjID, in.Op, in.Args)
+	args := in.Args
+	if in.ZeroCopy {
+		args = wire.DetachArgs(args)
+	}
+	return c.dispatchLocal(ctx, in.ObjID, in.Op, args)
 }
 
 // tryLocal is the co-located fast path: one registry lookup under one
@@ -374,7 +384,11 @@ func (c *Capsule) dispatchLocal(ctx context.Context, objID, op string, args []wi
 		return "", nil, &rpc.MovedError{Forward: fwd}
 	}
 	if !ok && activator != nil {
-		found, err := activator(objID)
+		// The id may alias transport storage (zero-copy dispatch), and
+		// activators retain ids — Export keeps them as registry keys —
+		// so they get a private copy. Activation instantiates an
+		// object; the clone is noise on that path.
+		found, err := activator(strings.Clone(objID))
 		if err != nil {
 			return "", nil, err
 		}

@@ -88,6 +88,43 @@ type realTimer struct{ t *time.Timer }
 func (t realTimer) C() <-chan time.Time { return t.t.C }
 func (t realTimer) Stop() bool          { return t.t.Stop() }
 
+// pooledTimer is a recyclable real timer. It is pooled as a pointer so
+// that handing it out as a Timer boxes nothing.
+type pooledTimer struct{ t *time.Timer }
+
+func (t *pooledTimer) C() <-chan time.Time { return t.t.C }
+func (t *pooledTimer) Stop() bool          { return t.t.Stop() }
+
+var timerPool sync.Pool
+
+// AcquireTimer returns a one-shot timer firing after d. Under the real
+// clock the timer is drawn from a pool and re-armed — since Go 1.23
+// timer channels are unbuffered, so Reset after Stop cannot deliver a
+// stale instant — which keeps per-call timer setup off the allocator on
+// hot paths (one rpc invocation arms at least one deadline timer).
+// Under any other clock it falls back to clk.NewTimer. Pass the timer
+// to ReleaseTimer when done; a released timer must no longer be used.
+func AcquireTimer(clk Clock, d time.Duration) Timer {
+	if _, ok := clk.(Real); ok {
+		if v := timerPool.Get(); v != nil {
+			pt := v.(*pooledTimer)
+			pt.t.Reset(d)
+			return pt
+		}
+		return &pooledTimer{t: time.NewTimer(d)}
+	}
+	return clk.NewTimer(d)
+}
+
+// ReleaseTimer stops t and, when it came from the real-clock pool,
+// recycles it. Timers from other clocks are just stopped.
+func ReleaseTimer(t Timer) {
+	t.Stop()
+	if pt, ok := t.(*pooledTimer); ok {
+		timerPool.Put(pt)
+	}
+}
+
 // Fake is a manually advanced clock for deterministic tests and the
 // virtual-time simulation harness. Time stands still until Advance is
 // called; timers and tickers whose deadlines fall inside an advance fire

@@ -231,6 +231,15 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 		cfg.batchOpts = append(cfg.batchOpts, transport.WithCoalescerObserver(p.obs))
 	}
 	if cfg.batching {
+		if _, bin := cfg.codec.(wire.BinaryCodec); bin {
+			// With the default binary codec the node can accept packed
+			// (ansa-packed/1) bodies, so advertise that in its HELLOs;
+			// peers then upgrade their invocations per-call. A node with
+			// an explicitly chosen codec (text, for debugging) does not
+			// advertise, and nobody sends it packed frames.
+			cfg.batchOpts = append(cfg.batchOpts,
+				transport.WithCapabilities(transport.CapPacked))
+		}
 		p.coalescer = transport.NewCoalescer(ep, cfg.batchOpts...)
 		ep = p.coalescer
 	}

@@ -19,6 +19,7 @@ package netsim
 import (
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -111,6 +112,16 @@ type Fabric struct {
 	pending map[uint64]pendEntry
 	pendSeq uint64
 
+	// Zero-delay delivery worker pool. jobq is unbuffered: a hand-off
+	// succeeds only when a worker is parked in receive, so a delivery can
+	// never sit queued behind busy workers (submit spawns instead) — and
+	// the steady state reuses a handful of warm goroutine stacks rather
+	// than growing a fresh 2 KiB stack through the whole dispatch chain
+	// for every packet (see EXPERIMENTS.md on runtime.newstack).
+	jobq     chan *delivery
+	workStop chan struct{}
+	workerWg sync.WaitGroup
+
 	statsMu sync.Mutex
 	stats   Stats
 }
@@ -150,6 +161,11 @@ func WithTrace(fn TraceFunc) Option {
 	return func(f *Fabric) { f.trace = fn }
 }
 
+// deliveryWorkers is the size of the resident zero-delay worker pool.
+// Bursts beyond it spill to fresh goroutines, so the count bounds only
+// how many warm stacks are kept, not concurrency.
+const deliveryWorkers = 4
+
 // NewFabric creates an empty fabric. The default link is Loopback.
 func NewFabric(opts ...Option) *Fabric {
 	f := &Fabric{
@@ -159,11 +175,42 @@ func NewFabric(opts ...Option) *Fabric {
 		defaultLink: Loopback,
 		partitioned: make(map[string]bool),
 		pending:     make(map[uint64]pendEntry),
+		jobq:        make(chan *delivery),
+		workStop:    make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(f)
 	}
+	f.workerWg.Add(deliveryWorkers)
+	for i := 0; i < deliveryWorkers; i++ {
+		go f.worker()
+	}
 	return f
+}
+
+func (f *Fabric) worker() {
+	defer f.workerWg.Done()
+	for {
+		select {
+		case d := <-f.jobq:
+			d.run()
+		case <-f.workStop:
+			return
+		}
+	}
+}
+
+// submit runs d on a pooled worker when one is parked in receive and
+// otherwise spawns a goroutine — never queues. A delivery therefore
+// cannot deadlock behind workers blocked in handlers (a handler may
+// block on a nested invocation whose reply needs a delivery of its
+// own), while serial traffic keeps hitting the same warm stack.
+func (f *Fabric) submit(d *delivery) {
+	select {
+	case f.jobq <- d:
+	default:
+		go d.run()
+	}
 }
 
 // Endpoint creates (or returns the existing) endpoint with the given
@@ -256,6 +303,10 @@ func (f *Fabric) Close() error {
 		}
 	}
 	f.wg.Wait()
+	// Every delivery registered with wg before submission, so wg.Wait
+	// returning means the worker pool is drained and safe to stop.
+	close(f.workStop)
+	f.workerWg.Wait()
 	return nil
 }
 
@@ -279,37 +330,40 @@ func (f *Fabric) tracef(format string, args ...interface{}) {
 	f.trace(f.now(), fmt.Sprintf(format, args...))
 }
 
-// send routes one packet. Called with no locks held.
-func (f *Fabric) send(from, to string, pkt []byte) error {
-	if len(pkt) > transport.MaxPacket {
+// route performs admission for one packet of n bytes from → to: closed
+// and reachability checks, partition and loss decisions, delay
+// computation and the Sent-side stats. ok is false when the packet was
+// consumed without delivery (cut or dropped — err nil, the sender
+// cannot tell) or rejected (err non-nil). Called with no locks held.
+func (f *Fabric) route(from, to string, n int) (dst *endpoint, delay time.Duration, ok bool, err error) {
+	if n > transport.MaxPacket {
 		// Rejected before any stats change: a packet the fabric would
 		// never carry is the sender's error, not traffic.
-		return transport.ErrTooLarge
+		return nil, 0, false, transport.ErrTooLarge
 	}
 	f.mu.Lock()
 	if f.closed {
 		f.mu.Unlock()
-		return transport.ErrClosed
+		return nil, 0, false, transport.ErrClosed
 	}
-	dst, ok := f.endpoints[to]
-	if !ok {
+	dst, found := f.endpoints[to]
+	if !found {
 		f.mu.Unlock()
-		return fmt.Errorf("%w: %q", transport.ErrUnreachable, to)
+		return nil, 0, false, fmt.Errorf("%w: %q", transport.ErrUnreachable, to)
 	}
 	if f.partitioned[pairKey(from, to)] {
 		f.mu.Unlock()
 		f.count(func(s *Stats) { s.Sent++; s.Cut++ })
 		if f.trace != nil {
-			f.tracef("cut %s>%s %dB", from, to, len(pkt))
+			f.tracef("cut %s>%s %dB", from, to, n)
 		}
-		return nil // silently dropped: the sender cannot tell
+		return nil, 0, false, nil // silently dropped: the sender cannot tell
 	}
-	profile, ok := f.links[from+"|"+to]
-	if !ok {
+	profile, found := f.links[from+"|"+to]
+	if !found {
 		profile = f.defaultLink
 	}
 	drop := profile.Loss > 0 && f.rng.Float64() < profile.Loss
-	var delay time.Duration
 	if !drop {
 		delay = profile.Latency + profile.PerPacket
 		if profile.Jitter > 0 {
@@ -321,46 +375,65 @@ func (f *Fabric) send(from, to string, pkt []byte) error {
 	if drop {
 		f.count(func(s *Stats) { s.Sent++; s.Dropped++ })
 		if f.trace != nil {
-			f.tracef("drop %s>%s %dB", from, to, len(pkt))
+			f.tracef("drop %s>%s %dB", from, to, n)
 		}
-		return nil
+		return nil, 0, false, nil
 	}
 	f.count(func(s *Stats) { s.Sent++ })
 	if f.trace != nil {
-		f.tracef("send %s>%s %dB", from, to, len(pkt))
+		f.tracef("send %s>%s %dB", from, to, n)
 	}
+	return dst, delay, true, nil
+}
 
-	// Copy into a pooled buffer: the sender may reuse its buffer the
-	// moment Send returns, and the Handler contract forbids receivers
-	// retaining pkt, so the copy can be recycled after delivery.
-	cpp := pktPool.Get().(*[]byte)
-	cp := append((*cpp)[:0], pkt...)
+// delivery is one scheduled packet delivery. The zero-delay path pools
+// these and hands them to the worker pool as data rather than closures,
+// keeping the per-packet capture allocation off the hot path; the
+// delayed paths wrap run in a closure, which only sim and latency
+// scenarios pay for.
+type delivery struct {
+	f        *Fabric
+	from, to string
+	dst      *endpoint
+	cpp      *[]byte
+	cp       []byte
+}
 
+var deliveryPool = sync.Pool{New: func() interface{} { return new(delivery) }}
+
+// run performs the delivery, releases the packet copy and recycles the
+// descriptor. The delivery must not be touched after run returns.
+func (d *delivery) run() {
+	f, from, to, dst, cpp, cp := d.f, d.from, d.to, d.dst, d.cpp, d.cp
+	*d = delivery{}
+	deliveryPool.Put(d)
+	defer f.release(cpp, cp)
+	defer f.executing.Add(-1)
+	f.mu.Lock()
+	cut := f.partitioned[pairKey(from, to)]
+	f.mu.Unlock()
+	if cut {
+		// The partition appeared while the packet was in flight.
+		f.count(func(s *Stats) { s.Cut++ })
+		if f.trace != nil {
+			f.tracef("cut-inflight %s>%s %dB", from, to, len(cp))
+		}
+		return
+	}
+	dst.deliver(from, cp)
+	f.count(func(s *Stats) { s.Delivered++ })
+	if f.trace != nil {
+		f.tracef("deliver %s>%s %dB", from, to, len(cp))
+	}
+}
+
+// dispatch schedules the delivery of cp (a pooled copy owned by the
+// fabric from here on) to dst after delay.
+func (f *Fabric) dispatch(from, to string, dst *endpoint, delay time.Duration, cpp *[]byte, cp []byte) {
 	f.wg.Add(1)
 	f.inflight.Add(1)
-	// deliver is the hot path's only closure: it owns the executing
-	// decrement and releases the packet copy via the release method
-	// (a deferred method call, not another allocation).
-	deliver := func() {
-		defer f.release(cpp, cp)
-		defer f.executing.Add(-1)
-		f.mu.Lock()
-		cut := f.partitioned[pairKey(from, to)]
-		f.mu.Unlock()
-		if cut {
-			// The partition appeared while the packet was in flight.
-			f.count(func(s *Stats) { s.Cut++ })
-			if f.trace != nil {
-				f.tracef("cut-inflight %s>%s %dB", from, to, len(cp))
-			}
-			return
-		}
-		dst.deliver(from, cp)
-		f.count(func(s *Stats) { s.Delivered++ })
-		if f.trace != nil {
-			f.tracef("deliver %s>%s %dB", from, to, len(cp))
-		}
-	}
+	d := deliveryPool.Get().(*delivery)
+	*d = delivery{f: f, from: from, to: to, dst: dst, cpp: cpp, cp: cp}
 	// executing is incremented before control leaves this goroutine (or,
 	// on the virtual path, inside the clock callback, which the clock's
 	// own firing counter already covers), so a quiescence poller never
@@ -368,15 +441,50 @@ func (f *Fabric) send(from, to string, pkt []byte) error {
 	switch {
 	case delay <= 0:
 		f.executing.Add(1)
-		go deliver()
+		f.submit(d)
 	case f.clk != nil:
-		// The cancel closure allocates, but only virtual-time (sim)
-		// runs take this branch.
-		f.scheduleVirtual(delay, deliver, func() { f.release(cpp, cp) })
+		// The two closures allocate, but only virtual-time (sim) runs
+		// take this branch.
+		f.scheduleVirtual(delay, d.run, func() { f.release(cpp, cp) })
 	default:
 		f.executing.Add(1)
-		scheduleReal(delay, deliver)
+		scheduleReal(delay, d.run)
 	}
+}
+
+// send routes one packet. Called with no locks held.
+func (f *Fabric) send(from, to string, pkt []byte) error {
+	dst, delay, ok, err := f.route(from, to, len(pkt))
+	if !ok {
+		return err
+	}
+	// Copy into a pooled buffer: the sender may reuse its buffer the
+	// moment Send returns, and the Handler contract forbids receivers
+	// retaining pkt, so the copy can be recycled after delivery.
+	cpp := pktPool.Get().(*[]byte)
+	cp := append((*cpp)[:0], pkt...)
+	f.dispatch(from, to, dst, delay, cpp, cp)
+	return nil
+}
+
+// sendVec routes one packet supplied as segments, gathering them
+// directly into the single pooled in-flight copy the fabric makes
+// anyway — the datagram is never materialised twice.
+func (f *Fabric) sendVec(from, to string, segs net.Buffers) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	dst, delay, ok, err := f.route(from, to, total)
+	if !ok {
+		return err
+	}
+	cpp := pktPool.Get().(*[]byte)
+	cp := (*cpp)[:0]
+	for _, s := range segs {
+		cp = append(cp, s...)
+	}
+	f.dispatch(from, to, dst, delay, cpp, cp)
 	return nil
 }
 
@@ -431,7 +539,11 @@ type endpoint struct {
 	closed  bool
 }
 
-var _ transport.Endpoint = (*endpoint)(nil)
+var (
+	_ transport.Endpoint            = (*endpoint)(nil)
+	_ transport.VecSender           = (*endpoint)(nil)
+	_ transport.ConcurrentDeliverer = (*endpoint)(nil)
+)
 
 // Addr implements transport.Endpoint.
 func (e *endpoint) Addr() string { return e.addr }
@@ -446,6 +558,28 @@ func (e *endpoint) Send(to string, pkt []byte) error {
 	}
 	return e.fabric.send(e.addr, to, pkt)
 }
+
+// SendVec implements transport.VecSender; see Fabric.sendVec.
+func (e *endpoint) SendVec(to string, segs net.Buffers) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return transport.ErrClosed
+	}
+	return e.fabric.sendVec(e.addr, to, segs)
+}
+
+// DeliversConcurrently implements transport.ConcurrentDeliverer: every
+// delivery runs on its own worker or goroutine, so handlers may block
+// on nested invocations without stalling other deliveries.
+//
+// It reports false under an injected clock: inline dispatch would run
+// the handler inside the delivery job, holding Executing() nonzero
+// while the handler parks on a virtual timer — and the sim harness
+// only advances the clock once Executing() reaches zero, so the two
+// would deadlock. Virtual-time deliveries therefore stay asynchronous.
+func (e *endpoint) DeliversConcurrently() bool { return e.fabric.clk == nil }
 
 // SetHandler implements transport.Endpoint.
 func (e *endpoint) SetHandler(h transport.Handler) {

@@ -64,6 +64,10 @@ type ClientStats struct {
 	// request, retransmission or announcement to the same destination,
 	// so they shared that send's batch.
 	AcksPiggybacked uint64
+	// PackedUpgrades counts invocations sent as protocol version 2
+	// (ansa-packed/1 body) because the destination advertised
+	// transport.CapPacked.
+	PackedUpgrades uint64
 }
 
 // clientCounters is the hot-path form of ClientStats: independent atomics
@@ -77,6 +81,7 @@ type clientCounters struct {
 	orphanReplies   atomic.Uint64
 	acksDeferred    atomic.Uint64
 	acksPiggybacked atomic.Uint64
+	packedUpgrades  atomic.Uint64
 }
 
 // numShards splits the pending-call and server-call tables. Shard count
@@ -117,6 +122,18 @@ type Client struct {
 	batching bool
 	ackMu    sync.Mutex
 	acks     []pendingAck
+
+	// lazy, when non-nil, queues flushed acks on the endpoint without
+	// forcing a write of their own, so an ack and the next request to
+	// the same peer share one datagram (see transport.LazySender).
+	lazy transport.LazySender
+
+	// caps, when non-nil, is consulted per call: a destination that
+	// advertised transport.CapPacked gets its invocations as protocol
+	// version 2 with ansa-packed/1 bodies. Set only when the session
+	// codec is the binary default — an explicitly chosen codec (text,
+	// for debugging) is never silently overridden.
+	caps transport.CapNegotiator
 
 	// obs, when set, records protocol-layer spans (send, retransmit,
 	// ack, announce) under the span context carried by the call's ctx.
@@ -172,6 +189,10 @@ func newClientNoHandler(ep transport.Endpoint, codec wire.Codec, opts ...ClientO
 		clk:   clock.Real{},
 	}
 	_, c.batching = ep.(transport.Batcher)
+	c.lazy, _ = ep.(transport.LazySender)
+	if _, bin := codec.(wire.BinaryCodec); bin {
+		c.caps, _ = ep.(transport.CapNegotiator)
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64]chan replyBody)
 	}
@@ -198,6 +219,7 @@ func (c *Client) Stats() ClientStats {
 		OrphanReplies:   c.stats.orphanReplies.Load(),
 		AcksDeferred:    c.stats.acksDeferred.Load(),
 		AcksPiggybacked: c.stats.acksPiggybacked.Load(),
+		PackedUpgrades:  c.stats.packedUpgrades.Load(),
 	}
 }
 
@@ -284,6 +306,17 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 	}
 	defer c.obs.End(sp)
 
+	// A destination that advertised CapPacked gets the invocation as
+	// protocol version 2: identical header, body in the packed codec.
+	// Before negotiation completes (or against a plain peer) PeerCaps
+	// reports zero and the call goes out as version 1 — per-call
+	// fallback, no connection state.
+	ver := byte(protoVersion)
+	if c.caps != nil && c.caps.PeerCaps(dest)&transport.CapPacked != 0 {
+		ver = protoVersionPacked
+		c.stats.packedUpgrades.Add(1)
+	}
+
 	// Header, trace context and argument vector encode into one pooled
 	// buffer, reused across retransmissions (transports do not retain
 	// packets) — which is also what guarantees a retransmitted request
@@ -292,7 +325,7 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 	defer wire.PutBuffer(bufp)
 	id := c.nextID.Add(1)
 	pkt := encodeHeader(*bufp, header{
-		version: protoVersion,
+		version: ver,
 		msgType: mt,
 		callID:  id,
 		objID:   objID,
@@ -301,7 +334,7 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 	if sp != nil {
 		pkt = appendTraceCtx(pkt, sp.Context())
 	}
-	pkt, err := wire.EncodeAllInto(c.codec, pkt, args)
+	pkt, err := wire.EncodeAllInto(bodyCodec(ver, c.codec), pkt, args)
 	if err != nil {
 		return "", nil, err
 	}
@@ -323,10 +356,19 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 		return "", nil, err
 	}
 
-	deadline := c.clk.NewTimer(qos.Timeout)
-	defer deadline.Stop()
-	retrans := c.clk.NewTicker(qos.Retransmit)
-	defer retrans.Stop()
+	// One timer serves both retransmission and the deadline, re-armed
+	// after each fire (clock.Timer has no Reset): the next fire is the
+	// earlier of the retransmission interval and the remaining budget,
+	// and elapsed time against start decides which one it was. The
+	// common case — reply inside the first interval — uses one pooled
+	// timer instead of a timer plus a ticker.
+	start := c.clk.Now()
+	interval := qos.Retransmit
+	if qos.Timeout < interval {
+		interval = qos.Timeout
+	}
+	t := clock.AcquireTimer(c.clk, interval)
+	defer func() { clock.ReleaseTimer(t) }()
 
 	for {
 		select {
@@ -344,7 +386,13 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 			c.noteAck(dest, objID, id)
 			c.obs.Event(sp.Context(), obs.KindAck, op)
 			return c.interpret(rb)
-		case <-retrans.C():
+		case <-t.C():
+			elapsed := c.clk.Since(start)
+			if elapsed >= qos.Timeout {
+				c.stats.timeouts.Add(1)
+				c.abandon(id, ch)
+				return "", nil, ErrTimeout
+			}
 			c.stats.retransmissions.Add(1)
 			c.obs.Event(sp.Context(), obs.KindRetransmit, op)
 			if c.batching {
@@ -354,10 +402,12 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 				c.abandon(id, ch)
 				return "", nil, err
 			}
-		case <-deadline.C():
-			c.stats.timeouts.Add(1)
-			c.abandon(id, ch)
-			return "", nil, ErrTimeout
+			next := qos.Retransmit
+			if rem := qos.Timeout - elapsed; rem < next {
+				next = rem
+			}
+			clock.ReleaseTimer(t)
+			t = clock.AcquireTimer(c.clk, next)
 		case <-ctx.Done():
 			c.abandon(id, ch)
 			return "", nil, ctx.Err()
@@ -423,7 +473,11 @@ func (c *Client) flushAcks(dest string) {
 	}
 }
 
-// sendAck writes one ack packet from a pooled buffer.
+// sendAck writes one ack packet from a pooled buffer (acks carry no
+// body, so they stay version 1 regardless of negotiation). On an
+// endpoint with lazy sends the ack is only queued — it rides in the
+// batch the next substantive send to that peer claims, sharing its
+// datagram instead of paying for a write of its own.
 func (c *Client) sendAck(dest, objID string, id uint64) {
 	ackp := wire.GetBuffer()
 	ack := encodeHeader(*ackp, header{
@@ -432,7 +486,11 @@ func (c *Client) sendAck(dest, objID string, id uint64) {
 		callID:  id,
 		objID:   objID,
 	})
-	_ = c.ep.Send(dest, ack)
+	if c.lazy != nil {
+		_ = c.lazy.SendLazy(dest, ack)
+	} else {
+		_ = c.ep.Send(dest, ack)
+	}
 	*ackp = ack
 	wire.PutBuffer(ackp)
 }
@@ -457,10 +515,15 @@ func (c *Client) AnnounceCtx(ctx context.Context, dest, objID, op string, args [
 	}
 	defer c.obs.End(sp)
 
+	ver := byte(protoVersion)
+	if c.caps != nil && c.caps.PeerCaps(dest)&transport.CapPacked != 0 {
+		ver = protoVersionPacked
+		c.stats.packedUpgrades.Add(1)
+	}
 	bufp := wire.GetBuffer()
 	defer wire.PutBuffer(bufp)
 	pkt := encodeHeader(*bufp, header{
-		version: protoVersion,
+		version: ver,
 		msgType: mt,
 		callID:  c.nextID.Add(1),
 		objID:   objID,
@@ -469,7 +532,7 @@ func (c *Client) AnnounceCtx(ctx context.Context, dest, objID, op string, args [
 	if sp != nil {
 		pkt = appendTraceCtx(pkt, sp.Context())
 	}
-	pkt, err := wire.EncodeAllInto(c.codec, pkt, args)
+	pkt, err := wire.EncodeAllInto(bodyCodec(ver, c.codec), pkt, args)
 	if err != nil {
 		return err
 	}
@@ -478,8 +541,15 @@ func (c *Client) AnnounceCtx(ctx context.Context, dest, objID, op string, args [
 	if c.batching {
 		c.flushAcks(dest)
 	}
+	// Announcements are fire-and-forget, so nothing is gained by paying
+	// the direct-write path on the caller's dime: a lazy enqueue lets the
+	// flusher pack concurrent announcers' bursts into shared datagrams.
+	send := c.ep.Send
+	if c.lazy != nil {
+		send = c.lazy.SendLazy
+	}
 	for i := 0; i <= qos.Repeats; i++ {
-		if err := c.ep.Send(dest, pkt); err != nil {
+		if err := send(dest, pkt); err != nil {
 			return err
 		}
 	}
@@ -504,31 +574,35 @@ func (c *Client) interpret(rb replyBody) (string, []wire.Value, error) {
 }
 
 // onPacket handles inbound packets when the client owns the endpoint.
+// The raw header parse skips materialising the objID/op strings, which
+// a reply never needs — the call id alone routes it.
 func (c *Client) onPacket(from string, pkt []byte) {
-	h, rest, err := decodeHeader(pkt)
+	h, rest, err := decodeRawHeader(pkt)
 	if err != nil || h.msgType != msgReply {
 		return
 	}
-	c.deliverReply(h, rest)
+	c.deliverReply(h.version, h.callID, rest)
 }
 
-// deliverReply routes a decoded reply to the waiting call. Decoding is
-// synchronous (body aliases a transport buffer that is reused after this
-// returns) and fully copying. Undecodable and unmatched replies are
-// counted, not silently dropped. Claiming the pending entry before the
-// send makes this goroutine the channel's sole sender, which is what
-// lets completed calls recycle their channels.
-func (c *Client) deliverReply(h header, body []byte) {
-	rb, err := decodeReplyBody(c.codec, body)
+// deliverReply routes a decoded reply to the waiting call, decoding the
+// body in the codec of the version it arrived as (a packed request
+// earns a packed reply). Decoding is synchronous (body aliases a
+// transport buffer that is reused after this returns) and fully
+// copying. Undecodable and unmatched replies are counted, not silently
+// dropped. Claiming the pending entry before the send makes this
+// goroutine the channel's sole sender, which is what lets completed
+// calls recycle their channels.
+func (c *Client) deliverReply(version byte, callID uint64, body []byte) {
+	rb, err := decodeReplyBody(bodyCodec(version, c.codec), body)
 	if err != nil {
 		c.stats.badReplies.Add(1)
 		return
 	}
-	sh := c.shard(h.callID)
+	sh := c.shard(callID)
 	sh.mu.Lock()
-	ch, ok := sh.m[h.callID]
+	ch, ok := sh.m[callID]
 	if ok {
-		delete(sh.m, h.callID)
+		delete(sh.m, callID)
 	}
 	sh.mu.Unlock()
 	if !ok {

@@ -23,6 +23,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"unsafe"
 
 	"odp/internal/obs"
 	"odp/internal/wire"
@@ -55,6 +56,26 @@ const (
 
 // protoVersion guards against cross-version confusion.
 const protoVersion = 1
+
+// protoVersionPacked marks a message whose BODY is encoded with the
+// ansa-packed/1 codec (wire.PackedCodec) instead of the session codec.
+// The header layout is byte-for-byte identical to version 1 — the
+// version is pure codec negotiation, carried per message so a reply can
+// always be issued in the version of the request it answers and mixed
+// traffic needs no connection state. A peer only ever receives version
+// 2 after advertising transport.CapPacked in its HELLO, so pre-packed
+// peers reject it in decode exactly as they reject garbage.
+const protoVersionPacked = 2
+
+// bodyCodec maps a message's protocol version to the codec its body is
+// encoded with: the negotiated session codec for version 1, packed for
+// version 2.
+func bodyCodec(version byte, session wire.Codec) wire.Codec {
+	if version == protoVersionPacked {
+		return wire.PackedCodec{}
+	}
+	return session
+}
 
 // Errors surfaced to invokers.
 var (
@@ -111,24 +132,51 @@ func encodeHeader(dst []byte, h header) []byte {
 	return dst
 }
 
-func decodeHeader(src []byte) (header, []byte, error) {
+// rawHeader is the zero-allocation view of a message header: objID and
+// op alias the packet and are only valid while it is (the Handler
+// contract). Dispatch paths that must retain them materialise strings
+// explicitly, so the common case — a reply, or an inline dispatch that
+// finishes before returning — never allocates for the header.
+type rawHeader struct {
+	version byte
+	msgType byte
+	callID  uint64
+	objID   []byte
+	op      []byte
+}
+
+func decodeRawHeader(src []byte) (rawHeader, []byte, error) {
 	if len(src) < 10 {
-		return header{}, nil, ErrBadMessage
+		return rawHeader{}, nil, ErrBadMessage
 	}
-	h := header{version: src[0], msgType: src[1]}
-	if h.version != protoVersion {
-		return header{}, nil, fmt.Errorf("%w: version %d", ErrBadMessage, h.version)
+	h := rawHeader{version: src[0], msgType: src[1]}
+	if h.version != protoVersion && h.version != protoVersionPacked {
+		return rawHeader{}, nil, fmt.Errorf("%w: version %d", ErrBadMessage, h.version)
 	}
 	h.callID = binary.BigEndian.Uint64(src[2:10])
 	rest := src[10:]
 	var err error
-	if h.objID, rest, err = readStr(rest); err != nil {
-		return header{}, nil, err
+	if h.objID, rest, err = readBytes(rest); err != nil {
+		return rawHeader{}, nil, err
 	}
-	if h.op, rest, err = readStr(rest); err != nil {
-		return header{}, nil, err
+	if h.op, rest, err = readBytes(rest); err != nil {
+		return rawHeader{}, nil, err
 	}
 	return h, rest, nil
+}
+
+func decodeHeader(src []byte) (header, []byte, error) {
+	rh, rest, err := decodeRawHeader(src)
+	if err != nil {
+		return header{}, nil, err
+	}
+	return header{
+		version: rh.version,
+		msgType: rh.msgType,
+		callID:  rh.callID,
+		objID:   string(rh.objID),
+		op:      string(rh.op),
+	}, rest, nil
 }
 
 // Trace-context block, prefixed to the body of msgRequestT/msgAnnounceT:
@@ -256,13 +304,33 @@ func appendStr(dst []byte, s string) []byte {
 }
 
 func readStr(src []byte) (string, []byte, error) {
+	b, rest, err := readBytes(src)
+	if err != nil {
+		return "", nil, err
+	}
+	return string(b), rest, nil
+}
+
+// aliasString views b as a string without copying. The result is valid
+// exactly as long as b's storage is — use only on the zero-copy
+// dispatch path, where the lifetime is the handler call.
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// readBytes is readStr without the string materialisation: the returned
+// slice aliases src.
+func readBytes(src []byte) ([]byte, []byte, error) {
 	if len(src) < 4 {
-		return "", nil, ErrBadMessage
+		return nil, nil, ErrBadMessage
 	}
 	n := binary.BigEndian.Uint32(src)
 	src = src[4:]
 	if uint32(len(src)) < n {
-		return "", nil, ErrBadMessage
+		return nil, nil, ErrBadMessage
 	}
-	return string(src[:n]), src[n:], nil
+	return src[:n], src[n:], nil
 }

@@ -51,10 +51,17 @@ func TestHeaderRoundTripProperty(t *testing.T) {
 }
 
 func TestHeaderVersionRejected(t *testing.T) {
-	h := header{version: protoVersion + 1, msgType: msgRequest, callID: 1}
+	h := header{version: protoVersionPacked + 1, msgType: msgRequest, callID: 1}
 	enc := encodeHeader(nil, h)
 	if _, _, err := decodeHeader(enc); !errors.Is(err, ErrBadMessage) {
 		t.Fatalf("future version accepted: %v", err)
+	}
+	// Version 2 (packed body) shares the version-1 header layout and
+	// must parse identically.
+	h.version = protoVersionPacked
+	enc = encodeHeader(nil, h)
+	if got, _, err := decodeHeader(enc); err != nil || got != h {
+		t.Fatalf("packed version rejected: %v (got %+v)", err, got)
 	}
 }
 

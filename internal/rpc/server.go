@@ -15,8 +15,8 @@ import (
 
 // Incoming describes one inbound invocation as seen by a Handler. The
 // descriptor itself is pooled: it is only valid for the duration of the
-// Handler call and must not be retained. Its Args slice is a private
-// decoded copy and may be kept or handed off freely.
+// Handler call and must not be retained. When ZeroCopy is false, Args
+// is a private decoded copy and may be kept or handed off freely.
 type Incoming struct {
 	// From is the transport address the invocation arrived from.
 	From string
@@ -29,6 +29,13 @@ type Incoming struct {
 	// Announcement is true for request-only invocations; the handler's
 	// outcome and results are discarded in that case.
 	Announcement bool
+	// ZeroCopy marks an invocation decoded on the zero-copy fast path:
+	// the ObjID and Op strings and every string/[]byte reachable from
+	// Args alias transport or arena storage owned by the dispatcher.
+	// They are valid for the duration of the Handler call (including
+	// use in reply results); anything retained beyond it must first be
+	// copied out with wire.DetachArgs or wire.DetachValue.
+	ZeroCopy bool
 }
 
 // Handler executes one invocation. Returning a nil error delivers
@@ -101,6 +108,14 @@ type Server struct {
 	ep      transport.Endpoint
 	codec   wire.Codec
 	handler Handler
+
+	// inline dispatches handlers synchronously in the delivery
+	// goroutine instead of spawning one per request. Safe only on
+	// endpoints whose deliveries are independently scheduled
+	// (transport.ConcurrentDeliverer) — on a serial read loop an
+	// inline handler blocking on a nested call would deadlock the
+	// very replies it waits for. Auto-detected; see WithInlineDispatch.
+	inline bool
 
 	closed atomic.Bool
 	shards [numShards]callShard
@@ -180,6 +195,16 @@ func WithServerObserver(col *obs.Collector) ServerOption {
 	return func(s *Server) { s.obs = col }
 }
 
+// WithInlineDispatch overrides the automatic inline-dispatch detection.
+// Inline dispatch runs handlers synchronously in the delivery goroutine
+// — no per-request goroutine, and argument payloads may be decoded
+// zero-copy against the packet. It is enabled automatically when the
+// endpoint reports transport.ConcurrentDeliverer; forcing it on over a
+// serial transport risks deadlock on nested invocations.
+func WithInlineDispatch(on bool) ServerOption {
+	return func(s *Server) { s.inline = on }
+}
+
 // NewServer wraps ep and dispatches to handler. The server takes over the
 // endpoint's handler; use a Peer for combined client/server endpoints.
 func NewServer(ep transport.Endpoint, codec wire.Codec, handler Handler, opts ...ServerOption) *Server {
@@ -198,6 +223,9 @@ func newServerNoHandler(ep transport.Endpoint, codec wire.Codec, handler Handler
 		clk:      clock.Real{},
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
+	if cd, ok := ep.(transport.ConcurrentDeliverer); ok && cd.DeliversConcurrently() {
+		s.inline = true
+	}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.cur = make(map[callKey]*serverCall)
@@ -238,19 +266,20 @@ func (s *Server) Close() error {
 
 // onPacket handles inbound packets when the server owns the endpoint.
 func (s *Server) onPacket(from string, pkt []byte) {
-	h, rest, err := decodeHeader(pkt)
+	h, rest, err := decodeRawHeader(pkt)
 	if err != nil {
 		return
 	}
 	s.dispatch(from, h, rest)
 }
 
-// dispatch routes one decoded message. body aliases a transport buffer,
-// so everything that outlives this call must be decoded or copied before
-// it returns; argument decoding is therefore synchronous. Unknown
-// message types (including the traced variants, on peers built before
-// they existed) fall through and are dropped, never misparsed.
-func (s *Server) dispatch(from string, h header, body []byte) {
+// dispatch routes one decoded message. h and body alias a transport
+// buffer, so everything that outlives this call must be decoded or
+// copied before it returns; argument decoding is therefore synchronous
+// (or against a private arena). Unknown message types (including the
+// traced variants, on peers built before they existed) fall through and
+// are dropped, never misparsed.
+func (s *Server) dispatch(from string, h rawHeader, body []byte) {
 	switch h.msgType {
 	case msgRequest:
 		s.onRequest(from, h, body, obs.SpanContext{})
@@ -265,7 +294,7 @@ func (s *Server) dispatch(from string, h header, body []byte) {
 			s.onAnnounce(from, h, rest, tc)
 		}
 	case msgAck:
-		s.onAck(from, h)
+		s.onAck(from, h.callID)
 	}
 }
 
@@ -327,7 +356,7 @@ func (s *Server) claimAnnounce(key callKey) (dup, closed bool) {
 	return false, false
 }
 
-func (s *Server) onRequest(from string, h header, body []byte, tc obs.SpanContext) {
+func (s *Server) onRequest(from string, h rawHeader, body []byte, tc obs.SpanContext) {
 	key := callKey{from: from, id: h.callID}
 	sc, dup, resend, closed := s.claimRequest(key)
 	if dup {
@@ -348,11 +377,10 @@ func (s *Server) onRequest(from string, h header, body []byte, tc obs.SpanContex
 	}
 
 	s.stats.requests.Add(1)
-	args, err := wire.DecodeAll(s.codec, body)
-	go s.execute(from, h, args, err, key, sc, false, tc)
+	s.startExecute(from, h, body, key, sc, false, tc)
 }
 
-func (s *Server) onAnnounce(from string, h header, body []byte, tc obs.SpanContext) {
+func (s *Server) onAnnounce(from string, h rawHeader, body []byte, tc obs.SpanContext) {
 	key := callKey{from: from, id: h.callID}
 	dup, closed := s.claimAnnounce(key)
 	if closed {
@@ -365,8 +393,58 @@ func (s *Server) onAnnounce(from string, h header, body []byte, tc obs.SpanConte
 	}
 
 	s.stats.announcements.Add(1)
+	s.startExecute(from, h, body, key, nil, true, tc)
+}
+
+// startExecute decodes the argument vector and runs the handler — in
+// place on the inline path, on a fresh goroutine otherwise.
+//
+// Inline (concurrent-delivery endpoints): the handler finishes before
+// the delivery callback returns, so header fields and packed arguments
+// may alias the packet outright — the zero-copy path. Version-1 bodies
+// still decode through the session codec (which materialises private
+// values), but skip the goroutine hand-off all the same.
+//
+// Asynchronous (serial transports): the packet dies when this call
+// returns, so version-1 bodies are decoded synchronously as before and
+// a packed body is copied once into a pooled arena that the aliasing
+// decode then targets; the arena lives until the reply has been
+// encoded. Either way the argument payload is copied at most once.
+func (s *Server) startExecute(from string, h rawHeader, body []byte, key callKey, sc *serverCall, announcement bool, tc obs.SpanContext) {
+	if s.inline {
+		var (
+			args []wire.Value
+			err  error
+			zc   bool
+
+			objID, op string
+		)
+		if h.version == protoVersionPacked {
+			args, err = wire.PackedCodec{}.DecodeAllAlias(nil, body)
+			objID, op = aliasString(h.objID), aliasString(h.op)
+			if s.obs != nil && tc.TraceID != 0 {
+				// The span ring retains the operation name beyond this
+				// dispatch; only sampled requests pay the copy.
+				op = string(h.op)
+			}
+			zc = true
+		} else {
+			args, err = wire.DecodeAll(s.codec, body)
+			objID, op = string(h.objID), string(h.op)
+		}
+		s.execute(from, h.version, h.callID, objID, op, args, err, key, sc, announcement, tc, zc, nil)
+		return
+	}
+	objID, op := string(h.objID), string(h.op)
+	if h.version == protoVersionPacked {
+		arena := wire.GetBuffer()
+		*arena = append((*arena)[:0], body...)
+		args, err := wire.PackedCodec{}.DecodeAllAlias(nil, *arena)
+		go s.execute(from, h.version, h.callID, objID, op, args, err, key, sc, announcement, tc, true, arena)
+		return
+	}
 	args, err := wire.DecodeAll(s.codec, body)
-	go s.execute(from, h, args, err, key, nil, true, tc)
+	go s.execute(from, h.version, h.callID, objID, op, args, err, key, sc, announcement, tc, false, nil)
 }
 
 // ackGrace is how long a completed call entry survives after the client's
@@ -375,8 +453,8 @@ func (s *Server) onAnnounce(from string, h header, body []byte, tc obs.SpanConte
 // must be recognised as a duplicate when it lands, not re-executed.
 const ackGrace = 250 * time.Millisecond
 
-func (s *Server) onAck(from string, h header) {
-	key := callKey{from: from, id: h.callID}
+func (s *Server) onAck(from string, callID uint64) {
+	key := callKey{from: from, id: callID}
 	sh := s.shard(key)
 	sh.mu.Lock()
 	sc, ok := sh.cur[key]
@@ -401,11 +479,19 @@ func (s *Server) onAck(from string, h header) {
 // retain them — see Incoming).
 var incomingPool = sync.Pool{New: func() interface{} { return new(Incoming) }}
 
-// execute runs the handler and, for interrogations, sends and caches the
-// reply. args were decoded synchronously by the dispatcher; decodeErr
-// carries any failure into the reply path.
-func (s *Server) execute(from string, h header, args []wire.Value, decodeErr error, key callKey, sc *serverCall, announcement bool, tc obs.SpanContext) {
+// execute runs the handler and, for interrogations, sends and caches
+// the reply, encoded in the codec of the version the request arrived
+// in. args were decoded by the dispatcher; decodeErr carries any
+// failure into the reply path. When zeroCopy is set, objID, op and the
+// argument payload alias packet or arena storage valid until this
+// function returns (arena, if non-nil, is the pooled copy backing them
+// and is released at the end — after the reply encode, which may read
+// results aliasing it).
+func (s *Server) execute(from string, version byte, callID uint64, objID, op string, args []wire.Value, decodeErr error, key callKey, sc *serverCall, announcement bool, tc obs.SpanContext, zeroCopy bool, arena *[]byte) {
 	defer s.wg.Done()
+	if arena != nil {
+		defer wire.PutBuffer(arena)
+	}
 	var (
 		outcome string
 		results []wire.Value
@@ -415,10 +501,11 @@ func (s *Server) execute(from string, h header, args []wire.Value, decodeErr err
 		in := incomingPool.Get().(*Incoming)
 		*in = Incoming{
 			From:         from,
-			ObjID:        h.objID,
-			Op:           h.op,
+			ObjID:        objID,
+			Op:           op,
 			Args:         args,
 			Announcement: announcement,
+			ZeroCopy:     zeroCopy,
 		}
 		// Handlers get the server-lifetime context: Close cancels it,
 		// so a handler that blocks (on locks, channels, or nested
@@ -429,7 +516,7 @@ func (s *Server) execute(from string, h header, args []wire.Value, decodeErr err
 		ctx := s.ctx
 		var sp *obs.Span
 		if s.obs != nil {
-			if sp = s.obs.BeginChild(tc, obs.KindDispatch, h.op); sp != nil {
+			if sp = s.obs.BeginChild(tc, obs.KindDispatch, op); sp != nil {
 				ctx = obs.ContextWith(ctx, sp.Context())
 			}
 		}
@@ -459,26 +546,29 @@ func (s *Server) execute(from string, h header, args []wire.Value, decodeErr err
 			status, msg = statusSysError, err.Error()
 		}
 	}
-	// The reply packet is retained in the at-most-once cache for
-	// retransmission, so it is built in its own allocation, header and
-	// body in one buffer.
+	// The reply goes out in the version (and so body codec) of the
+	// request it answers: a packed request earns a packed reply, and a
+	// plain peer never sees version 2. The reply packet is retained in
+	// the at-most-once cache for retransmission, so it is built in its
+	// own allocation, header and body in one buffer.
+	codec := bodyCodec(version, s.codec)
 	reply := encodeHeader(nil, header{
-		version: protoVersion,
+		version: version,
 		msgType: msgReply,
-		callID:  h.callID,
-		objID:   h.objID,
-		op:      h.op,
+		callID:  callID,
+		objID:   objID,
+		op:      op,
 	})
-	reply, encErr := appendReplyBody(s.codec, reply, status, outcome, results, msg, fwd)
+	reply, encErr := appendReplyBody(codec, reply, status, outcome, results, msg, fwd)
 	if encErr != nil {
 		reply = encodeHeader(reply[:0], header{
-			version: protoVersion,
+			version: version,
 			msgType: msgReply,
-			callID:  h.callID,
-			objID:   h.objID,
-			op:      h.op,
+			callID:  callID,
+			objID:   objID,
+			op:      op,
 		})
-		reply, _ = appendReplyBody(s.codec, reply, statusSysError, "", nil,
+		reply, _ = appendReplyBody(codec, reply, statusSysError, "", nil,
 			"reply encoding: "+encErr.Error(), wire.Ref{})
 	}
 
@@ -618,12 +708,12 @@ func NewPeer(ep transport.Endpoint, codec wire.Codec, handler Handler, opts ...P
 		Server: newServerNoHandler(ep, codec, handler, pc.serverOpts...),
 	}
 	ep.SetHandler(func(from string, pkt []byte) {
-		h, rest, err := decodeHeader(pkt)
+		h, rest, err := decodeRawHeader(pkt)
 		if err != nil {
 			return
 		}
 		if h.msgType == msgReply {
-			p.Client.deliverReply(h, rest)
+			p.Client.deliverReply(h.version, h.callID, rest)
 			return
 		}
 		p.Server.dispatch(from, h, rest)

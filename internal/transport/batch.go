@@ -36,6 +36,7 @@ package transport
 import (
 	"encoding/binary"
 	"errors"
+	"net"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,7 +52,14 @@ import (
 //
 // A HELLO frame negotiates capability:
 //
-//	[0xB7 'H' ver] [flag]     flag 0 = probe, 1 = ack
+//	[0xB7 'H' ver] [flag] [caps]     flag 0 = probe, 1 = ack
+//
+// The trailing caps byte advertises the sender's capability bits (see
+// CapPacked). It was added after version 1 shipped: version-1 decoders
+// only require four bytes and ignore the tail, so a capability-bearing
+// HELLO degrades to a plain one against an old peer, and an old peer's
+// four-byte HELLO reads as caps 0 here — negotiation stays in-band and
+// backward compatible in both directions.
 const (
 	batchMagic   = 0xB7 // first byte of every coalescer control frame
 	batchKind    = 'B'
@@ -89,6 +97,10 @@ type CoalescerStats struct {
 	HellosSent      uint64 // HELLO probes and acks emitted
 	BadFrames       uint64 // corrupt or version-mismatched control frames dropped
 	Overflows       uint64 // frames dropped because a peer's pending queue was full
+	// DirectFlushes counts batches written synchronously by a sender
+	// that found its peer idle, skipping the flusher hand-off (these are
+	// also counted in BatchesSent).
+	DirectFlushes uint64
 	// FramesPerBatch is a histogram of sent batch sizes with buckets
 	// 1, 2–3, 4–7, 8–15 and ≥16 frames.
 	FramesPerBatch [5]uint64
@@ -99,6 +111,7 @@ type coalCounters struct {
 	batchesSent, framesBatched, singleSends atomic.Uint64
 	batchesRecv, framesUnpacked             atomic.Uint64
 	hellosSent, badFrames, overflows        atomic.Uint64
+	directFlushes                           atomic.Uint64
 	buckets                                 [5]atomic.Uint64
 }
 
@@ -176,6 +189,12 @@ func WithCoalescerObserver(col *obs.Collector) CoalescerOption {
 	return func(c *Coalescer) { c.obs = col }
 }
 
+// WithCapabilities sets the capability bits this endpoint advertises in
+// its HELLO frames (see CapPacked). Default none.
+func WithCapabilities(caps byte) CoalescerOption {
+	return func(c *Coalescer) { c.caps = caps }
+}
+
 // Coalescer wraps an Endpoint with per-destination write coalescing. It
 // is itself an Endpoint, so the layers above are oblivious; rpc detects
 // it through the Batcher interface to defer acks into batches.
@@ -187,6 +206,7 @@ type Coalescer struct {
 	maxFrames    int
 	maxDelay     time.Duration
 	pendingLimit int
+	caps         byte // local capability bits advertised in HELLOs
 
 	handler atomic.Value // Handler
 
@@ -239,7 +259,12 @@ func NewCoalescer(ep Endpoint, opts ...CoalescerOption) *Coalescer {
 	return c
 }
 
-// batchPeer is the per-destination coalescing state.
+// batchPeer is the per-destination coalescing state. The batch under
+// construction is a list of per-frame segments — each one pooled and
+// already carrying its sub-frame length prefix — rather than one
+// contiguous buffer: a frame is framed exactly once, at enqueue, and
+// the whole batch goes to the inner endpoint as a segment vector
+// (writev via VecSender) without ever being recopied.
 type batchPeer struct {
 	c    *Coalescer
 	dest string
@@ -250,15 +275,36 @@ type batchPeer struct {
 	capable atomic.Bool
 	// sends counts unbatched sends, pacing HELLO probes.
 	sends atomic.Uint64
+	// peerCaps holds the capability byte the peer's HELLO advertised.
+	peerCaps atomic.Uint32
 
-	mu      sync.Mutex
-	pending []byte // batch under construction (batchHdrLen header + sub-frames)
-	count   int    // sub-frames in pending
-	firstAt time.Time
-	spare   []byte // recycled buffer, ping-ponged with pending
+	mu       sync.Mutex
+	segs     []*[]byte // queued sub-frames, each [u32 len][bytes], pooled
+	bytes    int       // queued bytes across segs (excluding the batch header)
+	count    int       // sub-frames queued
+	firstAt  time.Time
+	inFlight bool      // a claimed write is in progress; queue behind it
+	spare    []*[]byte // recycled seg-slice header, ping-ponged with segs
+
+	// Write-path scratch, owned by whichever goroutine holds the
+	// inFlight token (never touched under mu).
+	hdr    [batchHdrLen]byte
+	vec    net.Buffers
+	gather []byte // contiguous fallback when the inner endpoint lacks SendVec
 
 	wake chan struct{} // 1-buffered flusher doorbell
 }
+
+// segPool recycles per-frame segment buffers.
+var segPool = sync.Pool{
+	New: func() interface{} {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// maxPooledSeg bounds retained segment capacity.
+const maxPooledSeg = 64 << 10
 
 // Addr implements Endpoint.
 func (c *Coalescer) Addr() string { return c.inner.Addr() }
@@ -276,6 +322,13 @@ func (c *Coalescer) loadHandler() Handler {
 // admission; transmission failures then surface as drops, which is the
 // contract of the unreliable endpoint beneath. Frames to other peers
 // pass straight through.
+//
+// When no max-delay window is configured and no write is in progress,
+// the sender claims the whole queue — its own frame plus anything
+// parked by SendLazy or earlier senders — and writes the batch
+// synchronously. Serial traffic then skips the flusher hand-off (two
+// scheduler hops per frame) entirely; the flusher remains the drain for
+// frames that arrive while a claimed write is on the wire.
 func (c *Coalescer) Send(to string, pkt []byte) error {
 	if len(pkt) > MaxPacket {
 		return ErrTooLarge
@@ -297,7 +350,82 @@ func (c *Coalescer) Send(to string, pkt []byte) error {
 		c.stats.singleSends.Add(1)
 		return c.inner.Send(to, pkt)
 	}
-	return p.enqueue(pkt)
+	p.mu.Lock()
+	if !p.enqueueLocked(pkt) {
+		p.mu.Unlock()
+		c.stats.overflows.Add(1)
+		return nil
+	}
+	if c.maxDelay == 0 && !p.inFlight {
+		segs, n := p.claimLocked()
+		p.mu.Unlock()
+		c.stats.directFlushes.Add(1)
+		p.writeSegs(segs, n)
+		p.finishWrite(segs)
+		return nil
+	}
+	p.mu.Unlock()
+	p.wakeFlusher()
+	return nil
+}
+
+// SendLazy implements LazySender: pkt is queued for to but no write is
+// triggered on the caller's dime — the frame rides in the next batch a
+// substantive Send claims, or the flusher's next drain, whichever comes
+// first. Peers without batching get a plain send.
+func (c *Coalescer) SendLazy(to string, pkt []byte) error {
+	if len(pkt) > MaxPacket {
+		return ErrTooLarge
+	}
+	p := c.peer(to)
+	if p == nil {
+		return ErrClosed
+	}
+	if !p.capable.Load() {
+		// Same paced probing as Send, so a workload of nothing but lazy
+		// frames (announcement streams) still negotiates batching.
+		if (p.sends.Add(1)-1)%helloEvery == 0 {
+			c.sendHello(to, helloProbe)
+		}
+		c.stats.singleSends.Add(1)
+		return c.inner.Send(to, pkt)
+	}
+	if batchHdrLen+subHdrLen+len(pkt) > c.pendingLimit {
+		c.stats.singleSends.Add(1)
+		return c.inner.Send(to, pkt)
+	}
+	p.mu.Lock()
+	ok := p.enqueueLocked(pkt)
+	p.mu.Unlock()
+	if !ok {
+		c.stats.overflows.Add(1)
+		return nil
+	}
+	// The flusher backstops delivery if no Send follows; under serial
+	// request/reply traffic the next Send usually claims the frame first.
+	p.wakeFlusher()
+	return nil
+}
+
+// PeerCaps implements CapNegotiator: the capability byte addr advertised
+// in its HELLO, or zero while negotiation is incomplete.
+func (c *Coalescer) PeerCaps(addr string) byte {
+	c.mu.Lock()
+	p := c.peers[addr]
+	c.mu.Unlock()
+	if p == nil || !p.capable.Load() {
+		return 0
+	}
+	return byte(p.peerCaps.Load())
+}
+
+// DeliversConcurrently reports whether the inner endpoint delivers on
+// independent goroutines; the coalescer adds no serialisation of its
+// own (DecodeBatch runs in the inner delivery goroutine), so it simply
+// delegates.
+func (c *Coalescer) DeliversConcurrently() bool {
+	cd, ok := c.inner.(ConcurrentDeliverer)
+	return ok && cd.DeliversConcurrently()
 }
 
 // Close flushes whatever is pending, stops the flushers and closes the
@@ -326,6 +454,7 @@ func (c *Coalescer) BatchStats() CoalescerStats {
 		HellosSent:      c.stats.hellosSent.Load(),
 		BadFrames:       c.stats.badFrames.Load(),
 		Overflows:       c.stats.overflows.Load(),
+		DirectFlushes:   c.stats.directFlushes.Load(),
 	}
 	for i := range s.FramesPerBatch {
 		s.FramesPerBatch[i] = c.stats.buckets[i].Load()
@@ -381,7 +510,7 @@ func (c *Coalescer) markCapable(addr string) {
 
 func (c *Coalescer) sendHello(to string, flag byte) {
 	c.stats.hellosSent.Add(1)
-	_ = c.inner.Send(to, []byte{batchMagic, helloKind, batchVersion, flag})
+	_ = c.inner.Send(to, []byte{batchMagic, helloKind, batchVersion, flag, c.caps})
 }
 
 // demux is installed as the inner endpoint's handler: it intercepts
@@ -412,6 +541,11 @@ func (c *Coalescer) demux(from string, pkt []byte) {
 				c.stats.badFrames.Add(1)
 				return
 			}
+			if len(pkt) >= 5 {
+				if p := c.peer(from); p != nil {
+					p.peerCaps.Store(uint32(pkt[4]))
+				}
+			}
 			c.markCapable(from)
 			if pkt[3] == helloProbe {
 				c.sendHello(from, helloAck)
@@ -427,41 +561,70 @@ func (c *Coalescer) demux(from string, pkt []byte) {
 	}
 }
 
-// enqueue appends pkt to the destination's pending batch and rings the
-// flusher. Over the pending limit the frame is dropped (best-effort
-// semantics; the rpc layer's retransmission recovers interrogations).
-func (p *batchPeer) enqueue(pkt []byte) error {
-	c := p.c
-	p.mu.Lock()
-	if p.count == 0 {
-		if p.pending == nil {
-			p.pending, p.spare = p.spare, nil
-		}
-		p.pending = append(p.pending[:0],
-			batchMagic, batchKind, batchVersion, 0, 0, 0, 0)
-		p.firstAt = c.clk.Now()
+// enqueueLocked frames pkt into a pooled segment and queues it for the
+// destination. It reports false when the pending limit would be
+// exceeded (best-effort semantics; the rpc layer's retransmission
+// recovers interrogations). Caller holds p.mu.
+func (p *batchPeer) enqueueLocked(pkt []byte) bool {
+	if batchHdrLen+p.bytes+subHdrLen+len(pkt) > p.c.pendingLimit {
+		return false
 	}
-	if len(p.pending)+subHdrLen+len(pkt) > c.pendingLimit {
-		p.mu.Unlock()
-		c.stats.overflows.Add(1)
-		return nil
-	}
+	sp := segPool.Get().(*[]byte)
 	var lb [subHdrLen]byte
 	binary.BigEndian.PutUint32(lb[:], uint32(len(pkt)))
-	p.pending = append(p.pending, lb[:]...)
-	p.pending = append(p.pending, pkt...)
+	*sp = append(append((*sp)[:0], lb[:]...), pkt...)
+	if p.count == 0 {
+		p.firstAt = p.c.clk.Now()
+		if p.segs == nil {
+			p.segs, p.spare = p.spare, nil
+		}
+	}
+	p.segs = append(p.segs, sp)
+	p.bytes += subHdrLen + len(pkt)
 	p.count++
+	return true
+}
+
+// claimLocked takes ownership of the queued segments and the inFlight
+// write token. Caller holds p.mu and must call writeSegs followed by
+// finishWrite with the returned slice.
+func (p *batchPeer) claimLocked() ([]*[]byte, int) {
+	p.inFlight = true
+	segs, n := p.segs, p.count
+	p.segs = nil
+	p.bytes, p.count = 0, 0
+	return segs, n
+}
+
+// finishWrite releases the inFlight token, recycles the spent segment
+// slice and, if frames queued up behind the write, hands them to the
+// flusher.
+func (p *batchPeer) finishWrite(spent []*[]byte) {
+	p.mu.Lock()
+	p.inFlight = false
+	if p.spare == nil && cap(spent) <= 1024 {
+		p.spare = spent[:0]
+	}
+	more := p.count > 0
 	p.mu.Unlock()
+	if more {
+		p.wakeFlusher()
+	}
+}
+
+func (p *batchPeer) wakeFlusher() {
 	select {
 	case p.wake <- struct{}{}:
 	default:
 	}
-	return nil
 }
 
 // flusher drains one destination. It runs only once the peer is known
 // capable and exits when the coalescer stops, draining a final time so
-// Close does not strand queued frames.
+// Close does not strand queued frames. With a direct-write fast path in
+// Send it handles the leftovers: frames enqueued while a claimed write
+// was in flight, lazy frames with no follow-up send, and all traffic
+// when a max-delay window is configured.
 func (p *batchPeer) flusher() {
 	c := p.c
 	defer c.wg.Done()
@@ -474,14 +637,16 @@ func (p *batchPeer) flusher() {
 		}
 		for {
 			p.mu.Lock()
-			if p.count == 0 {
+			if p.count == 0 || p.inFlight {
+				// Nothing to do, or a direct writer owns the wire; it
+				// will ring the doorbell again if frames remain.
 				p.mu.Unlock()
 				break
 			}
 			// Below both limits with a max-delay window configured:
 			// hold the batch open for the remainder of the window so a
 			// trickle of senders still packs together.
-			if c.maxDelay > 0 && len(p.pending) < c.threshold && p.count < c.maxFrames {
+			if c.maxDelay > 0 && p.bytes < c.threshold && p.count < c.maxFrames {
 				wait := c.maxDelay - c.clk.Since(p.firstAt)
 				if wait > 0 {
 					p.mu.Unlock()
@@ -499,49 +664,73 @@ func (p *batchPeer) flusher() {
 					continue
 				}
 			}
-			buf, n := p.pending, p.count
-			p.pending, p.count = nil, 0
+			segs, n := p.claimLocked()
 			p.mu.Unlock()
-			c.writeBatch(p.dest, buf, n)
-			p.recycle(buf)
+			p.writeSegs(segs, n)
+			p.finishWrite(segs)
 		}
 	}
 }
 
-// flushNow synchronously drains whatever is pending (shutdown path).
+// flushNow synchronously drains whatever is pending (shutdown path). A
+// concurrent direct writer already owns anything it claimed; frames
+// behind it are abandoned, which the best-effort contract permits at
+// close.
 func (p *batchPeer) flushNow() {
 	p.mu.Lock()
-	buf, n := p.pending, p.count
-	p.pending, p.count = nil, 0
-	p.mu.Unlock()
-	if n > 0 {
-		p.c.writeBatch(p.dest, buf, n)
-	}
-}
-
-// recycle keeps one drained buffer for reuse unless it grew oversized.
-func (p *batchPeer) recycle(buf []byte) {
-	if cap(buf) > maxRetainedBuf {
+	if p.count == 0 || p.inFlight {
+		p.mu.Unlock()
 		return
 	}
-	p.mu.Lock()
-	if p.spare == nil && p.pending == nil {
-		p.spare = buf[:0]
-	} else if p.pending == nil {
-		p.pending = buf[:0]
-	}
+	segs, n := p.claimLocked()
 	p.mu.Unlock()
+	p.writeSegs(segs, n)
+	p.finishWrite(segs)
 }
 
-// writeBatch patches the sub-frame count into the header and sends. A
-// batch of one is still sent as a BATCH frame: the peer is known
-// capable, and rewriting the header back out of the buffer would cost
-// more than the 7 spare bytes.
-func (c *Coalescer) writeBatch(dest string, buf []byte, n int) {
-	binary.BigEndian.PutUint32(buf[3:batchHdrLen], uint32(n))
-	sp := c.obs.Begin(obs.KindFlush, dest)
-	err := c.inner.Send(dest, buf)
+// writeSegs emits one batch from its segment list. When the inner
+// endpoint is a VecSender the segments go out as a scatter-gather
+// vector — the batch is never materialised contiguously; otherwise they
+// are gathered into a retained scratch buffer first. Caller holds the
+// inFlight token (not p.mu), which makes the per-peer scratch fields
+// safe. A batch of one is still sent as a BATCH frame: the peer is
+// known capable, and the header costs only 7 bytes.
+func (p *batchPeer) writeSegs(segs []*[]byte, n int) {
+	c := p.c
+	p.hdr[0], p.hdr[1], p.hdr[2] = batchMagic, batchKind, batchVersion
+	binary.BigEndian.PutUint32(p.hdr[3:batchHdrLen], uint32(n))
+	sp := c.obs.Begin(obs.KindFlush, p.dest)
+	var err error
+	if vs, ok := c.inner.(VecSender); ok {
+		vec := append(p.vec[:0], p.hdr[:])
+		for _, s := range segs {
+			vec = append(vec, *s)
+		}
+		err = vs.SendVec(p.dest, vec)
+		for i := range vec {
+			vec[i] = nil
+		}
+		p.vec = vec[:0]
+	} else {
+		buf := append(p.gather[:0], p.hdr[:]...)
+		for _, s := range segs {
+			buf = append(buf, *s...)
+		}
+		err = c.inner.Send(p.dest, buf)
+		if cap(buf) <= maxRetainedBuf {
+			p.gather = buf[:0]
+		} else {
+			p.gather = nil
+		}
+	}
 	c.obs.End(sp)
+	for i, s := range segs {
+		if cap(*s) <= maxPooledSeg {
+			*s = (*s)[:0]
+			segPool.Put(s)
+		}
+		segs[i] = nil
+	}
 	if err != nil {
 		return
 	}

@@ -16,6 +16,7 @@ package transport
 
 import (
 	"errors"
+	"net"
 )
 
 // Handler consumes one inbound packet. Implementations are called from
@@ -39,6 +40,56 @@ type Endpoint interface {
 	SetHandler(h Handler)
 	// Close releases the endpoint. Subsequent Sends fail with ErrClosed.
 	Close() error
+}
+
+// VecSender is the scatter-gather fast path: an endpoint that can
+// transmit a frame supplied as a vector of segments, equivalent to
+// Send(to, concat(segs)) but without requiring the caller to build the
+// contiguous form. The TCP endpoint maps it onto writev via
+// net.Buffers; the write coalescer uses it to emit a batch straight
+// from its per-frame segment list, so coalesced frames are framed once
+// at enqueue and never recopied into one buffer. Implementations must
+// not retain the segment slices past the call.
+type VecSender interface {
+	SendVec(to string, segs net.Buffers) error
+}
+
+// LazySender queues a low-value frame for to without writing anything
+// itself: the frame rides in whichever batch next leaves for that
+// destination (or the coalescer's own flusher, whichever comes first).
+// The rpc client uses it for acks, so an ack and the interrogation that
+// follows it share one datagram. Endpoints without lazy capability are
+// used via plain Send instead.
+type LazySender interface {
+	SendLazy(to string, pkt []byte) error
+}
+
+// ConcurrentDeliverer is implemented by endpoints whose inbound
+// deliveries run on independent goroutines, so a Handler that blocks —
+// on a nested invocation, say — cannot stall the delivery of the very
+// packet it is waiting for. The rpc server dispatches handlers inline
+// in the delivery goroutine on such endpoints, skipping a per-request
+// goroutine hand-off; on serial transports (one read loop per
+// connection, like TCP) it must not, and keeps the asynchronous path.
+type ConcurrentDeliverer interface {
+	DeliversConcurrently() bool
+}
+
+// Capability bits exchanged in the coalescer's HELLO frames. A set bit
+// advertises something the sender can *accept*, so peers upgrade only
+// what the receiving side has proven it decodes.
+const (
+	// CapPacked: inbound rpc bodies may use the ansa-packed/1 codec
+	// (protocol version 2 headers).
+	CapPacked byte = 1 << 0
+)
+
+// CapNegotiator exposes the capability byte a peer advertised during
+// the HELLO exchange. Zero means no capabilities are known (yet) — the
+// caller must fall back to baseline behaviour, exactly as batching
+// falls back to unbatched sends.
+type CapNegotiator interface {
+	PeerCaps(addr string) byte
 }
 
 // Errors returned by endpoints.

@@ -76,7 +76,7 @@ func TestTextEncodeAllocBound(t *testing.T) {
 // TestAppendValueMatchesEncode checks the append-style spelling is
 // byte-identical to Codec.Encode for both codecs.
 func TestAppendValueMatchesEncode(t *testing.T) {
-	for _, c := range []Codec{BinaryCodec{}, TextCodec{}} {
+	for _, c := range []Codec{BinaryCodec{}, TextCodec{}, PackedCodec{}} {
 		for _, v := range hotArgs() {
 			direct, err := c.Encode(nil, v)
 			if err != nil {

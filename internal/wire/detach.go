@@ -1,0 +1,96 @@
+package wire
+
+// Detaching copies arena-aliased values out of their backing buffer so
+// they can outlive it. The zero-copy decode path (PackedCodec.
+// DecodeAllAlias) hands the rpc server values whose strings and byte
+// slices point into a pooled arena; the rpc layer's own dispatch is
+// careful never to retain them, but servants above the capsule boundary
+// keep the documented "arguments may be kept freely" contract — so the
+// capsule detaches before handing arguments over whenever the request
+// descriptor is marked zero-copy.
+
+// DetachValue returns a version of v that shares no storage with any
+// decode buffer. Scalars are already self-contained and come back as-is;
+// strings, byte slices and every container that might hold them are
+// copied.
+func DetachValue(v Value) Value {
+	switch t := v.(type) {
+	case string:
+		return cloneDetachedString(t)
+	case []byte:
+		out := make([]byte, len(t))
+		copy(out, t)
+		return out
+	case List:
+		out := make(List, len(t))
+		for i, e := range t {
+			out[i] = DetachValue(e)
+		}
+		return out
+	case Record:
+		out := make(Record, len(t))
+		for k, e := range t {
+			out[cloneDetachedString(k)] = DetachValue(e)
+		}
+		return out
+	case Ref:
+		t.ID = cloneDetachedString(t.ID)
+		t.TypeName = cloneDetachedString(t.TypeName)
+		if t.Endpoints != nil {
+			eps := make([]string, len(t.Endpoints))
+			for i, ep := range t.Endpoints {
+				eps[i] = cloneDetachedString(ep)
+			}
+			t.Endpoints = eps
+		}
+		if t.Context != nil {
+			cxs := make([]string, len(t.Context))
+			for i, cx := range t.Context {
+				cxs[i] = cloneDetachedString(cx)
+			}
+			t.Context = cxs
+		}
+		return t
+	default:
+		return v
+	}
+}
+
+// DetachArgs detaches an argument vector decoded in alias mode. The
+// common interrogation carries only scalars — then the input slice is
+// returned unchanged and detaching is free. The slice itself must
+// already be safe to retain (the rpc server allocates it fresh per
+// request, outside the descriptor pool, for exactly this reason).
+func DetachArgs(args []Value) []Value {
+	for i, a := range args {
+		if needsDetach(a) {
+			for j := i; j < len(args); j++ {
+				args[j] = DetachValue(args[j])
+			}
+			return args
+		}
+	}
+	return args
+}
+
+func needsDetach(v Value) bool {
+	switch v.(type) {
+	case string, []byte, List, Record, Ref:
+		return true
+	}
+	return false
+}
+
+// cloneDetachedString forces a fresh allocation for non-empty strings.
+// strings.Clone would also work; spelled out here so the copy is
+// obviously unconditional — these strings may alias an arena about to
+// be reused, and an "optimised" clone that returns the input would
+// reintroduce the corruption this file exists to prevent.
+func cloneDetachedString(s string) string {
+	if len(s) == 0 {
+		return ""
+	}
+	b := make([]byte, len(s))
+	copy(b, s)
+	return string(b)
+}

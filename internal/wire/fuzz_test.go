@@ -19,16 +19,16 @@ func fuzzSeedValues() []Value {
 		Context:   []string{"root", "cell-3"},
 	}
 	return []Value{
-		nil,                    // KindNil
-		true,                   // KindBool
-		int64(math.MinInt64),   // KindInt
-		uint64(math.MaxUint64), // KindUint
-		math.Copysign(0, -1),   // KindFloat (negative zero)
-		"héllo — 日本",           // KindString
-		[]byte{0x00, 0xff},     // KindBytes
-		List{List{List{List{int64(1)}}}},           // KindList, deep
-		Record{"": nil, "k": Record{"v": List{}}},  // KindRecord, empty key
-		fullRef,                                    // KindRef, every field set
+		nil,                              // KindNil
+		true,                             // KindBool
+		int64(math.MinInt64),             // KindInt
+		uint64(math.MaxUint64),           // KindUint
+		math.Copysign(0, -1),             // KindFloat (negative zero)
+		"héllo — 日本",                     // KindString
+		[]byte{0x00, 0xff},               // KindBytes
+		List{List{List{List{int64(1)}}}}, // KindList, deep
+		Record{"": nil, "k": Record{"v": List{}}}, // KindRecord, empty key
+		fullRef, // KindRef, every field set
 		List{fullRef, Record{"self": Ref{}}, true}, // mixed aggregate
 	}
 }

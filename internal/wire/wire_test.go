@@ -47,7 +47,7 @@ func sampleValues() []Value {
 }
 
 func codecs() []Codec {
-	return []Codec{BinaryCodec{}, TextCodec{}}
+	return []Codec{BinaryCodec{}, TextCodec{}, PackedCodec{}}
 }
 
 func TestRoundTripSamples(t *testing.T) {

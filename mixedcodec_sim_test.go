@@ -1,0 +1,161 @@
+package odp_test
+
+// Mixed-codec simulation scenario: one fabric carries two wire regimes
+// side by side — a batching pair whose connections upgrade to
+// ansa-packed/1 after the HELLO capability exchange, and a text-codec
+// pair speaking human-readable version-1 frames. Tracing every call on
+// all four nodes, the span forest must show the same causal shape for
+// both regimes: every remote invocation is a singular dispatch tree —
+// one root, one rpc.send, exactly one rpc.dispatch — no matter which
+// codec carried the bytes. A duplicated or missing dispatch under
+// either codec would mean the upgrade path re-delivered or dropped a
+// request.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"odp"
+	"odp/internal/sim"
+)
+
+// runMixedCodecSim drives the scenario and returns the rendered span
+// forest for determinism comparison.
+func runMixedCodecSim(t *testing.T, s *sim.Sim) string {
+	t.Helper()
+	ctx := context.Background()
+	trace := odp.WithTracing(odp.TraceSampleEvery(1))
+
+	// Packed regime: binary codec (the default) plus batching makes the
+	// platform advertise the packed capability in its HELLO probes.
+	pserver := simPlatform(t, s, "pserver", odp.WithBatching(), trace)
+	pclient := simPlatform(t, s, "pclient", odp.WithBatching(), trace)
+	// Text regime: same fabric, version-1 textual frames, no batching.
+	tserver := simPlatform(t, s, "tserver", odp.WithCodec(odp.TextCodec{}), trace)
+	tclient := simPlatform(t, s, "tclient", odp.WithCodec(odp.TextCodec{}), trace)
+
+	packed := &countingServant{}
+	pref, err := pserver.Publish("pctr", odp.Object{Servant: packed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	textual := &countingServant{}
+	tref, err := tserver.Publish("tctr", odp.Object{Servant: textual})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qos := odp.QoS{Timeout: 30 * time.Second, Retransmit: 50 * time.Millisecond}
+	call := func(p *odp.Platform, ref odp.Ref) {
+		t.Helper()
+		if err := driveCall(t, s, time.Minute, func() error {
+			_, err := p.Bind(ref).WithQoS(qos).Call(ctx, "add")
+			return err
+		}); err != nil {
+			t.Fatalf("call: %v", err)
+		}
+	}
+
+	// Drive packed-side calls until the codec upgrade is observable. The
+	// HELLO probe and its ack are ordinary simulated packets, so under
+	// the virtual clock negotiation completes within a bounded number of
+	// settled rounds — a cap distinguishes "later" from "never".
+	upgraded := func() uint64 {
+		n, _ := pclient.Gather()["rpc.client.packed_upgrades"].(uint64)
+		return n
+	}
+	for i := 0; upgraded() == 0; i++ {
+		if i >= 32 {
+			t.Fatal("packed codec never negotiated in 32 settled rounds")
+		}
+		call(pclient, pref)
+	}
+	// One invocation per regime with negotiation complete: these are the
+	// trees under test.
+	call(pclient, pref)
+	call(tclient, tref)
+	if tn, _ := tclient.Gather()["rpc.client.packed_upgrades"].(uint64); tn != 0 {
+		t.Fatalf("text-codec client reported %d packed upgrades", tn)
+	}
+	if packed.load() < 2 || textual.load() != 1 {
+		t.Fatalf("executions packed=%d text=%d, want >=2/1", packed.load(), textual.load())
+	}
+
+	// Freeze sampling so collecting the evidence does not grow it, then
+	// merge every node's ring into one forest.
+	var spans []odp.Span
+	for _, p := range []*odp.Platform{pserver, pclient, tserver, tclient} {
+		p.Observer().SetSampleEvery(0)
+		spans = append(spans, p.Observer().Snapshot()...)
+	}
+	assertSingularDispatchTrees(t, spans)
+	return odp.FormatSpans(spans)
+}
+
+// assertSingularDispatchTrees checks that every traced remote invocation
+// — packed and text alike — forms exactly one tree with exactly one
+// rpc.dispatch span: the singular-dispatch property of the forest.
+func assertSingularDispatchTrees(t *testing.T, spans []odp.Span) {
+	t.Helper()
+	type shape struct{ roots, sends, dispatches int }
+	byTrace := make(map[uint64]*shape)
+	dispatchNodes := make(map[uint64]string)
+	for _, sp := range spans {
+		sh := byTrace[sp.TraceID]
+		if sh == nil {
+			sh = &shape{}
+			byTrace[sp.TraceID] = sh
+		}
+		switch {
+		case sp.ParentID == 0:
+			sh.roots++
+		}
+		switch sp.Kind {
+		case "rpc.send":
+			sh.sends++
+		case "rpc.dispatch":
+			sh.dispatches++
+			dispatchNodes[sp.TraceID] = sp.Node
+		}
+	}
+	var packedTrees, textTrees int
+	for id, sh := range byTrace {
+		if sh.sends == 0 {
+			continue // a management or local trace, not a remote call
+		}
+		if sh.roots != 1 || sh.sends != 1 || sh.dispatches != 1 {
+			t.Errorf("trace %x is not a singular dispatch tree: %d roots, %d sends, %d dispatches\n%s",
+				id, sh.roots, sh.sends, sh.dispatches, odp.FormatSpans(spans))
+		}
+		switch dispatchNodes[id] {
+		case "pserver":
+			packedTrees++
+		case "tserver":
+			textTrees++
+		}
+	}
+	if packedTrees == 0 || textTrees == 0 {
+		t.Errorf("forest misses a regime: %d packed trees, %d text trees\n%s",
+			packedTrees, textTrees, odp.FormatSpans(spans))
+	}
+}
+
+// TestSimMixedCodecSingularDispatch pins both the structural property
+// and its determinism: the same seed replayed twice renders the
+// byte-identical mixed-codec forest, packed upgrade and all.
+func TestSimMixedCodecSingularDispatch(t *testing.T) {
+	run := func() string {
+		s := sim.New(41,
+			sim.WithStrictSettle(),
+			sim.WithDefaultLink(odp.LinkProfile{Latency: 500 * time.Microsecond}),
+		)
+		defer s.Close()
+		return runMixedCodecSim(t, s)
+	}
+	f1, f2 := run(), run()
+	if f1 != f2 {
+		t.Fatalf("mixed-codec span forest diverged for seed 41:\n--- run 1\n%s\n--- run 2\n%s", f1, f2)
+	}
+	t.Logf("seed=41 mixed-codec span forest (%d bytes):\n%s", len(f1), f1)
+}

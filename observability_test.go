@@ -185,6 +185,9 @@ func TestSimTracedInterrogation(t *testing.T) {
 // platforms carrying the full tracing plumbing with sampling off must
 // allocate exactly what an untraced platform does.
 func TestUnsampledTracingAddsNoAllocsE1(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are skewed under -race: sync.Pool drops puts by design")
+	}
 	measure := func(opts ...odp.Option) float64 {
 		f := odp.NewFabric(odp.WithSeed(1))
 		defer f.Close()

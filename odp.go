@@ -78,6 +78,9 @@ type (
 	// TextCodec is the alternative representation used across federation
 	// technology boundaries.
 	TextCodec = wire.TextCodec
+	// PackedCodec is the compact varint representation (ansa-packed/1),
+	// negotiated per connection over batching endpoints.
+	PackedCodec = wire.PackedCodec
 )
 
 // Interface types and signatures.

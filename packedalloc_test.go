@@ -1,0 +1,89 @@
+package odp_test
+
+// Allocation gate for the packed-codec hot path: once two batching
+// platforms have negotiated ansa-packed/1, an E1 remote loopback call
+// must stay under 15 allocations — the budget that keeps the sub-10 µs
+// latency target reachable. The count is measured with AllocsPerRun so
+// a regression fails deterministically instead of showing up as bench
+// noise.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"odp"
+)
+
+// packedE1AllocBudget is the ceiling for allocations per packed E1
+// call. The path currently costs 13; the two-alloc headroom absorbs
+// runtime jitter without letting a real leak (≥1 alloc) through.
+const packedE1AllocBudget = 15
+
+func TestPackedE1AllocGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are skewed under -race: sync.Pool drops puts by design")
+	}
+	f := odp.NewFabric(odp.WithSeed(1))
+	defer f.Close()
+	sep, err := f.Endpoint("server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := odp.NewPlatform("server", sep, odp.WithBatching())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	cep, err := f.Endpoint("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := odp.NewPlatform("client", cep, odp.WithBatching())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ref, err := server.Publish("cell", odp.Object{Servant: &countingServant{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := client.Bind(ref).WithQoS(odp.QoS{Timeout: 30 * time.Second})
+	ctx := context.Background()
+	call := func() {
+		if _, err := proxy.Call(ctx, "add"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm until the HELLO exchange lands and calls upgrade to packed;
+	// the probe's delivery can trail the request/reply ping-pong, so
+	// poll the negotiated state instead of assuming a fixed count.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		call()
+		if n, _ := client.Gather()["rpc.client.packed_upgrades"].(uint64); n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("packed codec not negotiated within warm-up deadline")
+		}
+		runtime.Gosched()
+	}
+	for i := 0; i < 100; i++ { // settle pools, shards, routes
+		call()
+	}
+
+	before, _ := client.Gather()["rpc.client.packed_upgrades"].(uint64)
+	allocs := testing.AllocsPerRun(200, call)
+	after, _ := client.Gather()["rpc.client.packed_upgrades"].(uint64)
+	if after <= before {
+		t.Fatalf("measured calls were not packed: upgrades %d -> %d", before, after)
+	}
+	if allocs >= packedE1AllocBudget {
+		t.Fatalf("packed E1 loopback allocates %.1f/op, budget < %d", allocs, packedE1AllocBudget)
+	}
+	t.Logf("packed E1 loopback: %.1f allocs/op (budget < %d)", allocs, packedE1AllocBudget)
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package odp_test
+
+// raceEnabled reports that this binary carries the race detector.
+// Allocation-count gates skip under it: sync.Pool deliberately drops a
+// fraction of Puts when racing (to surface retain-after-put bugs), so
+// pooled hot paths show allocations production never pays.
+const raceEnabled = true
