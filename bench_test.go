@@ -426,6 +426,12 @@ func BenchmarkE10Import1000Offers(b *testing.B) {
 	}
 }
 
+// ---- E19: sharded trader store at scale (§6) ----
+
+func BenchmarkTraderImport10k(b *testing.B)  { bench.MicroTraderImport10k(b) }
+func BenchmarkTraderImport100k(b *testing.B) { bench.MicroTraderImport100k(b) }
+func BenchmarkTraderChurn10k(b *testing.B)   { bench.MicroTraderChurn10k(b) }
+
 // ---- E11: security guards (§7.1) ----
 
 func benchGuard(b *testing.B, seal bool) {

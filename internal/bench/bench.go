@@ -64,6 +64,7 @@ func All() []Experiment {
 		{ID: "E14", Title: "At-most-once under loss", Claim: "§5.1: invocation survives loss without duplicate execution", Run: E14Loss},
 		{ID: "E15", Title: "Selective transparency", Claim: "§3/§4.5: unused transparencies cost nothing; each is pay-as-you-go", Run: E15Selective},
 		{ID: "E16", Title: "Write coalescing amortisation", Claim: "§5.5: transparency is an effect of the channel — per-packet overhead batched away without touching the computational model", Run: E16Batching},
+		{ID: "E19", Title: "Trader offer store at scale", Claim: "§6: trading must scale to very large offer populations — sharded RCU snapshots keep import latency flat; admission control sheds overload instead of queueing it", Run: E19TraderScale},
 	}
 }
 

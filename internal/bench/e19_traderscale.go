@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"odp"
+)
+
+// E19TraderScale measures the sharded trader offer store (§6) at scale:
+// import latency over populations from ten thousand to a million offers,
+// with and without advertise/withdraw churn, plus server-side admission
+// control shedding an overload instead of queueing it.
+//
+// The paper's claim is that trading must "scale to very large numbers of
+// offers"; the store's answer is RCU — imports walk per-shard immutable
+// snapshots with zero lock acquisitions, so p99 import latency should
+// stay essentially flat in population for a bounded-match import, and
+// churn should only cost the bounded snapshot-rebuild work.
+func E19TraderScale(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	var rows []Row
+
+	requirement := cellTypeOnly("get")
+	populations := []int{10_000, 100_000, 1_000_000}
+	iterations := 200
+	if quick {
+		populations = []int{1_000, 10_000}
+		iterations = 40
+	}
+
+	for _, pop := range populations {
+		p, err := newPair(odp.LinkProfile{}, odp.WithTrader("bench"),
+			// Bounded-staleness snapshots: churn defers rebuilds instead
+			// of paying one on the first read after every write.
+			odp.WithTraderSnapshotPolicy(50*time.Millisecond, 1<<16))
+		if err != nil {
+			return nil, err
+		}
+		tr := p.server.Trader
+		// One in ten offers matches the requirement; the rest pad the
+		// store across other service types (and therefore shards).
+		for i := 0; i < pop; i++ {
+			t := cellTypeOnly("get")
+			if i%10 != 0 {
+				t = odp.Type{Name: fmt.Sprintf("Pad%02d", i%32), Ops: map[string]odp.Operation{
+					"frob": {Outcomes: map[string][]odp.Desc{"ok": {}}},
+				}}
+			}
+			if _, err := tr.Advertise(t,
+				odp.Ref{ID: fmt.Sprintf("o-%d", i), Endpoints: []string{"x"}},
+				map[string]odp.Value{"i": int64(i)}); err != nil {
+				p.close()
+				return nil, err
+			}
+		}
+		spec := odp.ImportSpec{Requirement: requirement, MaxMatches: 5}
+
+		// Steady state: no writes, every lookup hits a current snapshot.
+		if _, err := tr.Import(ctx, spec); err != nil { // publish snapshots
+			p.close()
+			return nil, err
+		}
+		// Settle the collector: the population build grows the heap by
+		// hundreds of MB at 1M offers, and a concurrent mark still in
+		// flight would tax the measured imports with assist work that
+		// belongs to setup, not to the store.
+		runtime.GC()
+		lat := make([]time.Duration, iterations)
+		for i := range lat {
+			start := time.Now()
+			if _, err := tr.Import(ctx, spec); err != nil {
+				p.close()
+				return nil, err
+			}
+			lat[i] = time.Since(start)
+		}
+		param := fmt.Sprintf("offers=%d", pop)
+		rows = append(rows,
+			Row{Case: "import-steady", Param: param, Metric: "p50", Value: float64(percentile(lat, 0.50).Microseconds()), Unit: "us"},
+			Row{Case: "import-steady", Param: param, Metric: "p99", Value: float64(percentile(lat, 0.99).Microseconds()), Unit: "us"},
+		)
+
+		// Churn: every import races an advertise/withdraw pair, so
+		// snapshots go stale continuously and the policy amortises the
+		// rebuilds.
+		churnID := ""
+		for i := range lat {
+			if churnID != "" {
+				if err := tr.Withdraw(churnID); err != nil {
+					p.close()
+					return nil, err
+				}
+			}
+			id, err := tr.Advertise(cellTypeOnly("get"),
+				odp.Ref{ID: fmt.Sprintf("churn-%d", i), Endpoints: []string{"x"}}, nil)
+			if err != nil {
+				p.close()
+				return nil, err
+			}
+			churnID = id
+			start := time.Now()
+			if _, err := tr.Import(ctx, spec); err != nil {
+				p.close()
+				return nil, err
+			}
+			lat[i] = time.Since(start)
+		}
+		rows = append(rows,
+			Row{Case: "import-churn", Param: param, Metric: "p50", Value: float64(percentile(lat, 0.50).Microseconds()), Unit: "us"},
+			Row{Case: "import-churn", Param: param, Metric: "p99", Value: float64(percentile(lat, 0.99).Microseconds()), Unit: "us"},
+		)
+		st := tr.Stats()
+		rows = append(rows, Row{
+			Case: "import-churn", Param: param, Metric: "rebuild-share",
+			Value: 100 * float64(st.SnapshotRebuilds) / float64(st.SnapshotHits+st.StaleServes+st.SnapshotRebuilds),
+			Unit:  "%lookups",
+		})
+		p.close()
+	}
+
+	// Admission control: a client hammering a budgeted server sees the
+	// overload shed as ErrServerBusy, and a backoff-retrying client
+	// still completes its work.
+	p, err := newPair(odp.LinkProfile{},
+		odp.WithAdmission(odp.AdmissionConfig{Rate: 2000, Burst: 16}))
+	if err != nil {
+		return nil, err
+	}
+	defer p.close()
+	ref, err := p.server.Publish("cell", odp.Object{Servant: newCell(0)})
+	if err != nil {
+		return nil, err
+	}
+	calls := iters(quick, 400)
+	var busy int
+	for i := 0; i < calls; i++ {
+		_, _, err := p.client.Capsule.Invoke(ctx, ref, "get", nil)
+		switch {
+		case err == nil:
+		case errors.Is(err, odp.ErrServerBusy):
+			busy++
+		default:
+			return nil, err
+		}
+	}
+	rows = append(rows, Row{
+		Case: "admission", Param: fmt.Sprintf("calls=%d", calls),
+		Metric: "shed", Value: 100 * float64(busy) / float64(calls), Unit: "%calls",
+	})
+	retried := 0
+	for i := 0; i < iters(quick, 50); i++ {
+		_, _, err := p.client.Capsule.Invoke(ctx, ref, "get", nil,
+			odp.WithBusyRetry(6, time.Millisecond))
+		if err != nil {
+			return nil, fmt.Errorf("backoff retry exhausted: %w", err)
+		}
+		retried++
+	}
+	rows = append(rows, Row{
+		Case: "admission", Param: fmt.Sprintf("retried=%d", retried),
+		Metric: "retry-success", Value: 100, Unit: "%calls",
+	})
+	return rows, nil
+}

@@ -38,6 +38,9 @@ func MicroBenchmarks() []struct {
 		{"E4AnnouncementDrained", MicroE4Announcement},
 		{"E4AnnounceConcurrent", MicroE4AnnounceConcurrent},
 		{"E12FrameSend", MicroE12FrameSend},
+		{"TraderImport10k", MicroTraderImport10k},
+		{"TraderImport100k", MicroTraderImport100k},
+		{"TraderChurn10k", MicroTraderChurn10k},
 	}
 }
 
@@ -346,6 +349,91 @@ func MicroE12FrameSend(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := bind.Send(int64(i), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// traderRig builds a trader populated with n offers (one in ten matching
+// the Cell requirement) for the store micro-benchmarks.
+func traderRig(b *testing.B, n int, opts ...odp.Option) (*pair, odp.ImportSpec) {
+	b.Helper()
+	p, err := newPair(odp.LinkProfile{}, append([]odp.Option{odp.WithTrader("bench")}, opts...)...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		t := cellTypeOnly("get")
+		if i%10 != 0 {
+			t = odp.Type{Name: "Other", Ops: map[string]odp.Operation{
+				"frob": {Outcomes: map[string][]odp.Desc{"ok": {}}},
+			}}
+		}
+		if _, err := p.server.Trader.Advertise(t,
+			odp.Ref{ID: "o", Endpoints: []string{"x"}},
+			map[string]odp.Value{"i": int64(i)}); err != nil {
+			p.close()
+			b.Fatal(err)
+		}
+	}
+	return p, odp.ImportSpec{Requirement: cellTypeOnly("get"), MaxMatches: 1}
+}
+
+// microTraderImport measures a steady-state single-match import: every
+// shard lookup hits a current RCU snapshot, so the op is sixteen atomic
+// loads plus one offer clone regardless of population.
+func microTraderImport(b *testing.B, n int) {
+	p, spec := traderRig(b, n)
+	defer p.close()
+	ctx := context.Background()
+	tr := p.server.Trader
+	if _, err := tr.Import(ctx, spec); err != nil { // publish snapshots
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Import(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MicroTraderImport10k: single-match import over ten thousand offers.
+func MicroTraderImport10k(b *testing.B) { microTraderImport(b, 10_000) }
+
+// MicroTraderImport100k: the same import over ten times the population —
+// the trajectory gate holds the pair together, pinning the flatness
+// claim of E19.
+func MicroTraderImport100k(b *testing.B) { microTraderImport(b, 100_000) }
+
+// MicroTraderChurn10k interleaves advertise/withdraw churn with imports
+// under the bounded-staleness snapshot policy: the cost of keeping the
+// store hot while it changes.
+func MicroTraderChurn10k(b *testing.B) {
+	p, spec := traderRig(b, 10_000,
+		odp.WithTraderSnapshotPolicy(10*time.Millisecond, 1<<16))
+	defer p.close()
+	ctx := context.Background()
+	tr := p.server.Trader
+	if _, err := tr.Import(ctx, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	id := ""
+	for i := 0; i < b.N; i++ {
+		if id != "" {
+			if err := tr.Withdraw(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+		var err error
+		if id, err = tr.Advertise(cellTypeOnly("get"),
+			odp.Ref{ID: "churn", Endpoints: []string{"x"}}, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Import(ctx, spec); err != nil {
 			b.Fatal(err)
 		}
 	}

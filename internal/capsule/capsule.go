@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"odp/internal/clock"
 	"odp/internal/obs"
@@ -103,6 +104,9 @@ type Capsule struct {
 	// clk, when non-nil, drives the peer's timeouts, retransmission and
 	// reply-cache lifecycle (virtual time under the sim harness).
 	clk clock.Clock
+	// admission, when non-nil, enables per-client token-bucket admission
+	// control on the capsule's server role.
+	admission *rpc.AdmissionConfig
 	// obs, when non-nil, is the node's span collector: shared with the
 	// protocol peer, and used here to record the co-located bypass as a
 	// distinct span kind so tests can assert which path an invocation took.
@@ -137,6 +141,14 @@ func WithObserver(col *obs.Collector) Option {
 	return func(c *Capsule) { c.obs = col }
 }
 
+// WithAdmission enables per-client token-bucket admission control on
+// the capsule's server role: inbound invocations beyond a client's
+// budget are shed with rpc.ErrServerBusy instead of queueing. Clients
+// opt into automatic backoff with WithBusyRetry.
+func WithAdmission(cfg rpc.AdmissionConfig) Option {
+	return func(c *Capsule) { c.admission = &cfg }
+}
+
 // New creates a capsule on ep. name scopes generated object identifiers.
 func New(name string, ep transport.Endpoint, codec wire.Codec, opts ...Option) *Capsule {
 	c := &Capsule{
@@ -157,6 +169,9 @@ func New(name string, ep transport.Endpoint, codec wire.Codec, opts ...Option) *
 	}
 	if c.obs != nil {
 		popts = append(popts, rpc.WithPeerObserver(c.obs))
+	}
+	if c.admission != nil {
+		popts = append(popts, rpc.WithPeerServerOptions(rpc.WithAdmission(*c.admission)))
 	}
 	c.peer = rpc.NewPeer(ep, codec, c.handle, popts...)
 	return c
@@ -451,6 +466,13 @@ type InvokeConfig struct {
 	ForceRemote bool
 	// MaxForwards bounds forwarding-reference hops.
 	MaxForwards int
+	// BusyRetries bounds automatic retries when the server sheds the
+	// invocation under admission control (rpc.ErrServerBusy). Zero — the
+	// default — surfaces the error to the caller on first rejection.
+	BusyRetries int
+	// BusyBackoff is the wait before the first busy retry, doubling per
+	// attempt; each retry is a fresh call id, so it re-enters admission.
+	BusyBackoff time.Duration
 }
 
 // DefaultInvokeConfig is the configuration of an option-less invocation.
@@ -476,6 +498,15 @@ func WithQoS(q rpc.QoS) InvokeOption {
 // invocation, pushing it through the full protocol stack.
 func ForceRemote() InvokeOption {
 	return func(cfg *InvokeConfig) { cfg.ForceRemote = true }
+}
+
+// WithBusyRetry retries an invocation shed by server admission control
+// up to retries times, backing off exponentially from backoff.
+func WithBusyRetry(retries int, backoff time.Duration) InvokeOption {
+	return func(cfg *InvokeConfig) {
+		cfg.BusyRetries = retries
+		cfg.BusyBackoff = backoff
+	}
 }
 
 // Invoke performs an interrogation on ref. Co-located interfaces are
@@ -517,6 +548,15 @@ func (c *Capsule) InvokeWith(ctx context.Context, ref wire.Ref, op string, args 
 			outcome, results, err = c.dispatchLocal(ctx, ref.ID, op, wire.CloneArgs(args))
 		} else {
 			outcome, results, err = c.peer.Client.Call(ctx, ep, ref.ID, op, args, cfg.QoS)
+			// A busy reply is the server shedding load (admission
+			// control): back off and re-offer the call if the caller
+			// opted in. Each retry mints a fresh call id, so it passes
+			// through admission again against a refilled bucket.
+			for attempt := 0; attempt < cfg.BusyRetries &&
+				errors.Is(err, rpc.ErrServerBusy) && ctx.Err() == nil; attempt++ {
+				c.sleep(cfg.BusyBackoff << attempt)
+				outcome, results, err = c.peer.Client.Call(ctx, ep, ref.ID, op, args, cfg.QoS)
+			}
 		}
 		if err == nil {
 			return outcome, results, nil
@@ -533,6 +573,19 @@ func (c *Capsule) InvokeWith(ctx context.Context, ref wire.Ref, op string, args 
 		}
 	}
 	return "", nil, lastErr
+}
+
+// sleep blocks on the capsule clock (real time when none was injected),
+// so busy backoff runs in virtual time under the sim harness.
+func (c *Capsule) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	clk := c.clk
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	clk.Sleep(d)
 }
 
 // Announce performs a request-only invocation on ref (§5.1).

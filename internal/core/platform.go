@@ -99,6 +99,7 @@ type platformConfig struct {
 	relocator     wire.Ref
 	hostRelocator bool
 	traderContext string
+	traderOpts    []trader.TraderOption
 	capsuleOpts   []capsule.Option
 	batching      bool
 	batchOpts     []transport.CoalescerOption
@@ -133,6 +134,18 @@ func WithTrader(contextName string) Option {
 	return func(cfg *platformConfig) { cfg.traderContext = contextName }
 }
 
+// WithTraderSnapshotPolicy relaxes the trader's snapshot freshness: an
+// import may serve a shard snapshot up to maxStaleness old as long as
+// fewer than maxPending writes landed since it was built, instead of
+// rebuilding on the first read after every write. Suits high-churn
+// offer populations where bounded advertisement lag is acceptable.
+func WithTraderSnapshotPolicy(maxStaleness time.Duration, maxPending int) Option {
+	return func(cfg *platformConfig) {
+		cfg.traderOpts = append(cfg.traderOpts,
+			trader.WithSnapshotPolicy(maxStaleness, maxPending))
+	}
+}
+
 // WithLockWait bounds transactional lock waits.
 func WithLockWait(d time.Duration) Option {
 	return func(cfg *platformConfig) { cfg.lockWait = d }
@@ -151,6 +164,21 @@ func WithGCGrace(d time.Duration) Option {
 // harness). Default clock.Real{}.
 func WithClock(c clock.Clock) Option {
 	return func(cfg *platformConfig) { cfg.clk = c }
+}
+
+// WithAdmission enables per-client token-bucket admission control on
+// the node's server dispatch path: inbound invocations beyond a
+// client's budget are shed with rpc.ErrServerBusy (and over-budget
+// announcements dropped) instead of queueing without bound. Admission
+// is a node-level property of the server's environment, not a
+// per-object Env constraint — the budget is per *client*, spanning
+// every interface the node hosts. Clients opt into automatic backoff
+// per invocation with capsule.WithBusyRetry. Rejects surface in Gather
+// as rpc.server.admission_rejects / admission_drops.
+func WithAdmission(cfg rpc.AdmissionConfig) Option {
+	return func(pc *platformConfig) {
+		pc.capsuleOpts = append(pc.capsuleOpts, capsule.WithAdmission(cfg))
+	}
 }
 
 // WithCapsuleOptions forwards options to the underlying capsule.
@@ -273,9 +301,15 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 		return nil, fmt.Errorf("core: migration host: %w", err)
 	}
 	if cfg.traderContext != "" {
-		if p.Trader, err = trader.New(cfg.traderContext, p.Capsule, p.Types); err != nil {
+		topts := append([]trader.TraderOption{trader.WithTraderClock(cfg.clk)}, cfg.traderOpts...)
+		if p.Trader, err = trader.New(cfg.traderContext, p.Capsule, p.Types, topts...); err != nil {
 			return nil, fmt.Errorf("core: trader: %w", err)
 		}
+		// The trader joins the unified Gather namespace like any other
+		// subsystem: per-shard offer counts, snapshot freshness and
+		// import counters land under "trader." for odptop.
+		tr := p.Trader
+		p.AddStatsSource(func(rec wire.Record) { obs.Fold(rec, "trader", tr.Stats()) })
 	}
 	var bopts []naming.BinderOption
 	if p.obs != nil {

@@ -56,6 +56,10 @@ const (
 	KindAnnounce = "rpc.announce"
 	// KindDispatch covers handler execution at the server.
 	KindDispatch = "rpc.dispatch"
+	// KindReject marks a traced request shed by server-side admission
+	// control before dispatch (the busy reply carries no trace block, so
+	// the event is the only span the rejected invocation leaves).
+	KindReject = "rpc.reject"
 	// KindFlush covers one coalescer batch write (infrastructure span:
 	// it belongs to no invocation trace).
 	KindFlush = "coalescer.flush"

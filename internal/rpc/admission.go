@@ -1,0 +1,110 @@
+package rpc
+
+import (
+	"sync"
+	"time"
+
+	"odp/internal/clock"
+)
+
+// AdmissionConfig bounds per-client request admission with a token
+// bucket: each client (keyed by transport address) starts with Burst
+// tokens, earns Rate tokens per second, and spends one per invocation.
+// A request arriving at an empty bucket is shed with an immediate
+// statusBusy reply (surfaced as ErrServerBusy) instead of queueing —
+// the paper's QoS annotations (§5.1) want overload reported, not
+// absorbed into unbounded latency. Announcements at an empty bucket are
+// dropped and counted (§5.1: announcement failures cannot be reported).
+type AdmissionConfig struct {
+	// Rate is tokens added per second per client.
+	Rate float64
+	// Burst is the bucket capacity and initial balance.
+	Burst int
+}
+
+// admissionIdleTTL is how long an untouched bucket survives before the
+// janitor reclaims it; a returning client simply mints a fresh full
+// bucket, which is exactly the state an idle one converges to anyway.
+const admissionIdleTTL = time.Minute
+
+// admission holds the per-client token buckets, sharded by FNV-1a over
+// the client address so concurrent clients contend only within a stripe.
+// Bucket arithmetic runs on the server clock, so admission windows are
+// deterministic under a clock.Fake.
+type admission struct {
+	cfg    AdmissionConfig
+	clk    clock.Clock
+	shards [numShards]admissionShard
+}
+
+type admissionShard struct {
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens  float64
+	touched time.Time
+}
+
+func newAdmission(cfg AdmissionConfig, clk clock.Clock) *admission {
+	a := &admission{cfg: cfg, clk: clk}
+	for i := range a.shards {
+		a.shards[i].buckets = make(map[string]*tokenBucket)
+	}
+	return a
+}
+
+func (a *admission) shard(from string) *admissionShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(from); i++ {
+		h ^= uint64(from[i])
+		h *= prime64
+	}
+	return &a.shards[h&(numShards-1)]
+}
+
+// admit spends one token from from's bucket, reporting false when the
+// bucket is empty (the caller sheds the invocation).
+func (a *admission) admit(from string) bool {
+	now := a.clk.Now()
+	sh := a.shard(from)
+	sh.mu.Lock()
+	b := sh.buckets[from]
+	if b == nil {
+		b = &tokenBucket{tokens: float64(a.cfg.Burst)}
+		sh.buckets[from] = b
+	} else if elapsed := now.Sub(b.touched); elapsed > 0 {
+		b.tokens += elapsed.Seconds() * a.cfg.Rate
+		if capacity := float64(a.cfg.Burst); b.tokens > capacity {
+			b.tokens = capacity
+		}
+	}
+	b.touched = now
+	ok := b.tokens >= 1
+	if ok {
+		b.tokens--
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// prune drops buckets idle past admissionIdleTTL. Called from the
+// server janitor on its rotation tick, so abandoned clients cannot leak
+// bucket state.
+func (a *admission) prune(now time.Time) {
+	for i := range a.shards {
+		sh := &a.shards[i]
+		sh.mu.Lock()
+		for from, b := range sh.buckets {
+			if now.Sub(b.touched) > admissionIdleTTL {
+				delete(sh.buckets, from)
+			}
+		}
+		sh.mu.Unlock()
+	}
+}

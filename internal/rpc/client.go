@@ -568,6 +568,8 @@ func (c *Client) interpret(rb replyBody) (string, []wire.Value, error) {
 		return "", nil, &MovedError{Forward: rb.fwd}
 	case statusDenied:
 		return "", nil, ErrDenied
+	case statusBusy:
+		return "", nil, ErrServerBusy
 	default:
 		return "", nil, ErrBadMessage
 	}

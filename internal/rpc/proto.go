@@ -52,6 +52,7 @@ const (
 	statusNoObject = 2 // destination object unknown at this endpoint
 	statusMoved    = 3 // object relocated; body carries a forwarding ref
 	statusDenied   = 4 // a guard refused the invocation (§7.1)
+	statusBusy     = 5 // admission control shed the request; back off and retry
 )
 
 // protoVersion guards against cross-version confusion.
@@ -90,6 +91,11 @@ var (
 	ErrBadMessage = errors.New("rpc: bad message")
 	// ErrClosed reports use of a closed client or server.
 	ErrClosed = errors.New("rpc: closed")
+	// ErrServerBusy reports that server-side admission control shed the
+	// invocation: the client exceeded its token bucket. Transient by
+	// construction — the caller should back off and retry (the capsule
+	// layer can do so automatically, see capsule.WithBusyRetry).
+	ErrServerBusy = errors.New("rpc: server busy")
 )
 
 // MovedError carries a forwarding reference for a relocated object
@@ -224,6 +230,7 @@ func readTraceCtx(src []byte) (obs.SpanContext, []byte, error) {
 //	NoObject: (empty)
 //	Moved:    encoded forwarding ref
 //	Denied:   message string
+//	Busy:     (empty)
 
 // appendReplyBody appends a reply body to dst, so header and body can
 // share one allocation.
@@ -243,7 +250,7 @@ func appendReplyBody(codec wire.Codec, dst []byte, status byte, outcome string, 
 		if dst, err = codec.Encode(dst, fwd); err != nil {
 			return nil, err
 		}
-	case statusNoObject:
+	case statusNoObject, statusBusy:
 	}
 	return dst, nil
 }
@@ -289,7 +296,7 @@ func decodeReplyBody(codec wire.Codec, src []byte) (replyBody, error) {
 			return replyBody{}, fmt.Errorf("%w: moved body is %T", ErrBadMessage, v)
 		}
 		rb.fwd = ref
-	case statusNoObject:
+	case statusNoObject, statusBusy:
 	default:
 		return replyBody{}, fmt.Errorf("%w: status %d", ErrBadMessage, rb.status)
 	}

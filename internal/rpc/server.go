@@ -52,17 +52,25 @@ type ServerStats struct {
 	Announcements  uint64 // announcement executions
 	AnnounceDedup  uint64 // duplicate announcements suppressed
 	CacheEvictions uint64
+
+	// AdmissionRejects counts interrogations shed with a busy reply;
+	// AdmissionDrops counts announcements silently dropped. Both zero
+	// unless the server was built WithAdmission.
+	AdmissionRejects uint64
+	AdmissionDrops   uint64
 }
 
 // serverCounters is the hot-path form of ServerStats: independent
 // atomics, so concurrent dispatches do not serialize on counting.
 type serverCounters struct {
-	requests       atomic.Uint64
-	duplicates     atomic.Uint64
-	repliesResent  atomic.Uint64
-	announcements  atomic.Uint64
-	announceDedup  atomic.Uint64
-	cacheEvictions atomic.Uint64
+	requests         atomic.Uint64
+	duplicates       atomic.Uint64
+	repliesResent    atomic.Uint64
+	announcements    atomic.Uint64
+	announceDedup    atomic.Uint64
+	cacheEvictions   atomic.Uint64
+	admissionRejects atomic.Uint64
+	admissionDrops   atomic.Uint64
 }
 
 // callShard is one stripe of the at-most-once call table. Interrogations
@@ -135,6 +143,13 @@ type Server struct {
 	// under the span context the packet carried. Nil means tracing off.
 	obs *obs.Collector
 
+	// admission, when set, meters inbound invocations per client before
+	// they claim a call-table slot. Nil means every invocation admitted.
+	admission *admission
+	// admissionCfg holds the WithAdmission config until the clock is
+	// resolved (options apply in any order).
+	admissionCfg *AdmissionConfig
+
 	stats serverCounters
 }
 
@@ -195,6 +210,16 @@ func WithServerObserver(col *obs.Collector) ServerOption {
 	return func(s *Server) { s.obs = col }
 }
 
+// WithAdmission enables per-client token-bucket admission control:
+// requests beyond a client's bucket are shed with an immediate busy
+// reply (ErrServerBusy at the client) before claiming any call-table
+// state, and over-budget announcements are dropped. The buckets run on
+// the server clock (WithClock), so admission windows are deterministic
+// under a clock.Fake.
+func WithAdmission(cfg AdmissionConfig) ServerOption {
+	return func(s *Server) { s.admissionCfg = &cfg }
+}
+
 // WithInlineDispatch overrides the automatic inline-dispatch detection.
 // Inline dispatch runs handlers synchronously in the delivery goroutine
 // — no per-request goroutine, and argument payloads may be decoded
@@ -236,6 +261,9 @@ func newServerNoHandler(ep transport.Endpoint, codec wire.Codec, handler Handler
 	for _, o := range opts {
 		o(s)
 	}
+	if s.admissionCfg != nil {
+		s.admission = newAdmission(*s.admissionCfg, s.clk)
+	}
 	s.wg.Add(1)
 	go s.janitor()
 	return s
@@ -244,12 +272,14 @@ func newServerNoHandler(ep transport.Endpoint, codec wire.Codec, handler Handler
 // Stats returns a snapshot of server counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Requests:       s.stats.requests.Load(),
-		Duplicates:     s.stats.duplicates.Load(),
-		RepliesResent:  s.stats.repliesResent.Load(),
-		Announcements:  s.stats.announcements.Load(),
-		AnnounceDedup:  s.stats.announceDedup.Load(),
-		CacheEvictions: s.stats.cacheEvictions.Load(),
+		Requests:         s.stats.requests.Load(),
+		Duplicates:       s.stats.duplicates.Load(),
+		RepliesResent:    s.stats.repliesResent.Load(),
+		Announcements:    s.stats.announcements.Load(),
+		AnnounceDedup:    s.stats.announceDedup.Load(),
+		CacheEvictions:   s.stats.cacheEvictions.Load(),
+		AdmissionRejects: s.stats.admissionRejects.Load(),
+		AdmissionDrops:   s.stats.admissionDrops.Load(),
 	}
 }
 
@@ -376,8 +406,57 @@ func (s *Server) onRequest(from string, h rawHeader, body []byte, tc obs.SpanCon
 		return
 	}
 
+	// Admission runs after duplicate suppression (a retransmission of an
+	// admitted call must not pay twice) but before execution claims any
+	// lasting state: a rejected request surrenders its freshly-claimed
+	// slot, so a later retransmission re-attempts admission against a
+	// refilled bucket instead of being suppressed into a timeout.
+	if s.admission != nil && !s.admission.admit(from) {
+		s.unclaim(key)
+		s.stats.admissionRejects.Add(1)
+		if s.obs != nil && tc.Valid() {
+			// The op string must outlive the packet: the span ring keeps it.
+			s.obs.Event(tc, obs.KindReject, string(h.op))
+		}
+		s.sendBusy(from, h)
+		return
+	}
+
 	s.stats.requests.Add(1)
 	s.startExecute(from, h, body, key, sc, false, tc)
+}
+
+// unclaim releases a request slot claimed but never executed (admission
+// reject). The slot may have rotated into prev if the janitor ticked in
+// between, so both generations are checked.
+func (s *Server) unclaim(key callKey) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	if _, ok := sh.cur[key]; ok {
+		delete(sh.cur, key)
+	} else {
+		delete(sh.prev, key)
+	}
+	sh.mu.Unlock()
+	s.wg.Done()
+}
+
+// sendBusy issues an immediate uncached statusBusy reply: nothing is
+// retained, so retransmissions of the shed request re-enter admission.
+func (s *Server) sendBusy(from string, h rawHeader) {
+	reply := encodeHeader(nil, header{
+		version: h.version,
+		msgType: msgReply,
+		callID:  h.callID,
+		objID:   aliasString(h.objID),
+		op:      aliasString(h.op),
+	})
+	reply, err := appendReplyBody(bodyCodec(h.version, s.codec), reply,
+		statusBusy, "", nil, "", wire.Ref{})
+	if err != nil {
+		return
+	}
+	_ = s.ep.Send(from, reply)
 }
 
 func (s *Server) onAnnounce(from string, h rawHeader, body []byte, tc obs.SpanContext) {
@@ -389,6 +468,18 @@ func (s *Server) onAnnounce(from string, h rawHeader, body []byte, tc obs.SpanCo
 	if dup {
 		// Repeated announcement (QoS.Repeats): execute once only.
 		s.stats.announceDedup.Add(1)
+		return
+	}
+
+	// Over-budget announcements are dropped, not answered: §5.1 —
+	// announcement failures cannot be reported. The ring entry stays, so
+	// QoS.Repeats copies of the dropped announcement dedup as usual.
+	if s.admission != nil && !s.admission.admit(from) {
+		s.stats.admissionDrops.Add(1)
+		if s.obs != nil && tc.Valid() {
+			s.obs.Event(tc, obs.KindReject, string(h.op))
+		}
+		s.wg.Done()
 		return
 	}
 
@@ -645,6 +736,9 @@ func (s *Server) janitor() {
 			}
 			if evicted > 0 {
 				s.stats.cacheEvictions.Add(evicted)
+			}
+			if rotate && s.admission != nil {
+				s.admission.prune(now)
 			}
 		}
 	}

@@ -30,8 +30,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"odp/internal/capsule"
+	"odp/internal/clock"
 	"odp/internal/types"
 	"odp/internal/wire"
 )
@@ -158,35 +161,114 @@ type ImportSpec struct {
 	visited []string
 }
 
-// Trader is one trading context.
+// Trader is one trading context. The offer store is sharded by service
+// type (see store.go): imports walk per-shard immutable snapshots with
+// zero lock acquisitions, and writes touch only the shard they hash to.
 type Trader struct {
 	// contextName identifies this trader in context-relative names.
 	contextName string
 	typeManager *types.Manager
 	cap         *capsule.Capsule
+	clk         clock.Clock
 
-	mu     sync.RWMutex
-	offers map[string]*Offer
+	shards [NumShards]offerShard
+	nextID atomic.Uint64
+
+	// maxStaleness > 0 lets an import serve a snapshot up to that much
+	// behind real time without rebuilding, as long as fewer than
+	// maxPending writes have landed since it was built. The default (0)
+	// rebuilds on the first read after any write: strictly fresh reads,
+	// still lock-free between writes.
+	maxStaleness time.Duration
+	maxPending   uint64
+
+	// linkMu guards the federation links; imports only touch it when
+	// spec.MaxHops > 0.
+	linkMu sync.RWMutex
 	links  map[string]wire.Ref // link name -> peer trader ref
-	nextID uint64
 
-	// resourceManagers maps offer id -> resource manager ref to poke on
-	// selection (§6 "link offers to a resource manager").
+	// rmMu guards resourceManagers (offer id -> resource manager ref to
+	// poke on selection, §6 "link offers to a resource manager").
+	// rmCount keeps the common no-manager import path lock-free.
+	rmMu             sync.RWMutex
 	resourceManagers map[string]wire.Ref
+	rmCount          atomic.Int64
+
+	stats traderCounters
 
 	ref wire.Ref
 }
 
+// traderCounters is the hot-path form of TraderStats.
+type traderCounters struct {
+	advertises       atomic.Uint64
+	withdraws        atomic.Uint64
+	imports          atomic.Uint64
+	importedOffers   atomic.Uint64
+	snapshotHits     atomic.Uint64
+	staleServes      atomic.Uint64
+	snapshotRebuilds atomic.Uint64
+}
+
+// TraderStats counts offer-store events, shaped for obs.Fold: every
+// field lands in Platform.Gather under "trader." (per-shard counts as
+// trader.shard_offers.0 … trader.shard_offers.15).
+type TraderStats struct {
+	Offers           uint64 // live offers across all shards
+	Advertises       uint64
+	Withdraws        uint64
+	Imports          uint64 // Import calls served
+	ImportedOffers   uint64 // offers returned (post-constraint, pre-federation)
+	SnapshotHits     uint64 // shard lookups served from a current snapshot
+	StaleServes      uint64 // shard lookups served from a within-policy stale snapshot
+	SnapshotRebuilds uint64 // snapshot publications
+	SnapshotAgeMs    uint64 // age of the oldest published shard snapshot
+	ShardOffers      [NumShards]uint64
+}
+
+// TraderOption configures New.
+type TraderOption func(*Trader)
+
+// WithTraderClock drives the snapshot staleness policy from clk instead
+// of real time (virtual time under the sim harness).
+func WithTraderClock(clk clock.Clock) TraderOption {
+	return func(t *Trader) { t.clk = clk }
+}
+
+// WithSnapshotPolicy relaxes snapshot freshness: an import may serve a
+// shard snapshot up to maxStaleness old as long as fewer than maxPending
+// writes landed since it was built, deferring the rebuild instead of
+// paying it on the first read after every write. Offers become visible
+// at most maxStaleness late. The zero default keeps reads strictly
+// fresh; maxPending defaults to 4096 when only an age is given.
+func WithSnapshotPolicy(maxStaleness time.Duration, maxPending int) TraderOption {
+	return func(t *Trader) {
+		t.maxStaleness = maxStaleness
+		if maxPending > 0 {
+			t.maxPending = uint64(maxPending)
+		}
+	}
+}
+
 // New creates a trader named contextName, hosted on c, using tm for type
 // matching. The trader exports itself as an ODP interface.
-func New(contextName string, c *capsule.Capsule, tm *types.Manager) (*Trader, error) {
+func New(contextName string, c *capsule.Capsule, tm *types.Manager, opts ...TraderOption) (*Trader, error) {
 	t := &Trader{
 		contextName:      contextName,
 		typeManager:      tm,
 		cap:              c,
-		offers:           make(map[string]*Offer),
+		clk:              clock.Real{},
+		maxPending:       4096,
 		links:            make(map[string]wire.Ref),
 		resourceManagers: make(map[string]wire.Ref),
+	}
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.byID = make(map[string]*storedOffer)
+		sh.buckets = make(map[string]*offerBucket)
+	}
+	for _, o := range opts {
+		o(t)
 	}
 	ref, err := c.Export(capsule.ServantFunc(t.dispatch),
 		capsule.WithID(c.Name()+"/trader"),
@@ -216,17 +298,16 @@ func (t *Trader) Advertise(serviceType types.Type, ref wire.Ref, properties map[
 	for k, v := range properties {
 		props[k] = wire.Clone(v)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.nextID++
-	id := t.contextName + "/offer-" + strconv.FormatUint(t.nextID, 10)
-	t.offers[id] = &Offer{
+	id := t.contextName + "/offer-" + strconv.FormatUint(t.nextID.Add(1), 10)
+	o := &Offer{
 		ID:          id,
 		ServiceType: serviceType.Name,
-		Type:        serviceType.Clone(),
+		Type:        serviceType, // replaced by the bucket's canonical clone on insert
 		Ref:         wire.Clone(ref).(wire.Ref),
 		Properties:  props,
 	}
+	t.shards[typeShard(serviceType.Name)].insert(o, serviceType.Signature())
+	t.stats.advertises.Add(1)
 	return id, nil
 }
 
@@ -240,16 +321,25 @@ func (t *Trader) AdvertiseOffer(serviceType string, ref wire.Ref, properties map
 	return t.Advertise(typ, ref, properties)
 }
 
-// Withdraw removes an offer.
+// Withdraw removes an offer. The offer id does not carry its shard (ids
+// are allocated before the type is hashed), so withdrawal probes the
+// shards — 16 O(1) map lookups on a cold path.
 func (t *Trader) Withdraw(offerID string) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.offers[offerID]; !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownOffer, offerID)
+	for i := range t.shards {
+		if t.shards[i].remove(offerID) {
+			t.stats.withdraws.Add(1)
+			if t.rmCount.Load() > 0 {
+				t.rmMu.Lock()
+				if _, ok := t.resourceManagers[offerID]; ok {
+					delete(t.resourceManagers, offerID)
+					t.rmCount.Add(-1)
+				}
+				t.rmMu.Unlock()
+			}
+			return nil
+		}
 	}
-	delete(t.offers, offerID)
-	delete(t.resourceManagers, offerID)
-	return nil
+	return fmt.Errorf("%w: %q", ErrUnknownOffer, offerID)
 }
 
 // WithdrawOffer implements capsule.Advertiser.
@@ -258,34 +348,100 @@ func (t *Trader) WithdrawOffer(offerID string) error { return t.Withdraw(offerID
 // LinkTo federates this trader with a peer: imports may traverse the link
 // and returned references are context-qualified with linkName.
 func (t *Trader) LinkTo(linkName string, peer wire.Ref) {
-	t.mu.Lock()
+	t.linkMu.Lock()
 	t.links[linkName] = peer
-	t.mu.Unlock()
+	t.linkMu.Unlock()
 }
 
 // SetResourceManager attaches a resource manager to an offer. When the
 // offer is selected by an import, the manager's "selected" announcement
 // fires (activating a passive object, for example).
 func (t *Trader) SetResourceManager(offerID string, rm wire.Ref) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if _, ok := t.offers[offerID]; !ok {
+	found := false
+	for i := range t.shards {
+		if t.shards[i].contains(offerID) {
+			found = true
+			break
+		}
+	}
+	if !found {
 		return fmt.Errorf("%w: %q", ErrUnknownOffer, offerID)
 	}
+	t.rmMu.Lock()
+	if _, ok := t.resourceManagers[offerID]; !ok {
+		t.rmCount.Add(1)
+	}
 	t.resourceManagers[offerID] = rm
+	t.rmMu.Unlock()
 	return nil
 }
 
 // OfferCount returns the number of live offers.
 func (t *Trader) OfferCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.offers)
+	var n int64
+	for i := range t.shards {
+		n += t.shards[i].count.Load()
+	}
+	return int(n)
+}
+
+// Stats returns a snapshot of the trader's counters.
+func (t *Trader) Stats() TraderStats {
+	st := TraderStats{
+		Advertises:       t.stats.advertises.Load(),
+		Withdraws:        t.stats.withdraws.Load(),
+		Imports:          t.stats.imports.Load(),
+		ImportedOffers:   t.stats.importedOffers.Load(),
+		SnapshotHits:     t.stats.snapshotHits.Load(),
+		StaleServes:      t.stats.staleServes.Load(),
+		SnapshotRebuilds: t.stats.snapshotRebuilds.Load(),
+	}
+	now := t.clk.Now()
+	var oldest time.Duration
+	for i := range t.shards {
+		n := t.shards[i].count.Load()
+		st.ShardOffers[i] = uint64(n)
+		st.Offers += uint64(n)
+		if snap := t.shards[i].snap.Load(); snap != nil {
+			if age := now.Sub(snap.builtAt); age > oldest {
+				oldest = age
+			}
+		}
+	}
+	st.SnapshotAgeMs = uint64(oldest / time.Millisecond)
+	return st
+}
+
+// lookup returns the read view of shard sh per the freshness policy: a
+// current snapshot is served straight from the atomic pointer (the
+// zero-lock hot path); a within-policy stale one is served as-is; only a
+// snapshot out of policy pays a rebuild under the shard lock.
+func (t *Trader) lookup(sh *offerShard) *shardSnapshot {
+	v := sh.version.Load()
+	snap := sh.snap.Load()
+	if snap != nil && snap.version == v {
+		t.stats.snapshotHits.Add(1)
+		return snap
+	}
+	if snap != nil && t.maxStaleness > 0 && v-snap.version < t.maxPending &&
+		t.clk.Now().Sub(snap.builtAt) < t.maxStaleness {
+		t.stats.staleServes.Add(1)
+		return snap
+	}
+	t.stats.snapshotRebuilds.Add(1)
+	return sh.rebuild(t.clk.Now())
 }
 
 // Import finds offers conforming to spec, searching linked traders up to
-// spec.MaxHops away. Matching offers are returned sorted by id for
-// determinism; references from linked traders carry the link's context.
+// spec.MaxHops away. Matching offers are returned in a stable canonical
+// order — shard index, then (service type, signature), then offer id —
+// so repeated imports over an unchanged store are byte-identical;
+// references from linked traders carry the link's context.
+//
+// The local scan takes zero locks when every shard snapshot is current:
+// each shard costs one atomic pointer load, structural matching runs
+// once per (type, signature) group rather than once per offer, and
+// offers are deep-cloned only until MaxMatches is satisfied.
 func (t *Trader) Import(ctx context.Context, spec ImportSpec) ([]Offer, error) {
 	for _, seen := range spec.visited {
 		if seen == t.contextName {
@@ -293,52 +449,59 @@ func (t *Trader) Import(ctx context.Context, spec ImportSpec) ([]Offer, error) {
 		}
 	}
 	spec.visited = append(spec.visited, t.contextName)
+	t.stats.imports.Add(1)
 
 	var matched []Offer
-	t.mu.RLock()
-	ids := make([]string, 0, len(t.offers))
-	for id := range t.offers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
-		offer := t.offers[id]
-		if err := t.typeManager.MatchTypes(spec.Requirement, offer.Type); err != nil {
-			continue
-		}
-		ok := true
-		for _, c := range spec.Constraints {
-			m, err := c.matches(offer.Properties)
-			if err != nil {
-				t.mu.RUnlock()
-				return nil, err
+scan:
+	for i := range t.shards {
+		snap := t.lookup(&t.shards[i])
+		for _, g := range snap.groups {
+			if err := t.typeManager.MatchTypes(spec.Requirement, g.typ); err != nil {
+				continue
 			}
-			if !m {
-				ok = false
-				break
+			for _, offer := range g.offers {
+				ok := true
+				for _, c := range spec.Constraints {
+					m, err := c.matches(offer.Properties)
+					if err != nil {
+						return nil, err
+					}
+					if !m {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					matched = append(matched, cloneOffer(offer))
+					if spec.MaxMatches > 0 && len(matched) >= spec.MaxMatches {
+						break scan
+					}
+				}
 			}
 		}
-		if ok {
-			matched = append(matched, cloneOffer(offer))
-		}
 	}
-	links := make(map[string]wire.Ref, len(t.links))
-	for name, ref := range t.links {
-		links[name] = ref
-	}
-	t.mu.RUnlock()
+	t.stats.importedOffers.Add(uint64(len(matched)))
 
-	// Poke resource managers for selected local offers.
-	for _, o := range matched {
-		t.mu.RLock()
-		rm, ok := t.resourceManagers[o.ID]
-		t.mu.RUnlock()
-		if ok {
-			_ = t.cap.Announce(rm, "selected", []wire.Value{o.Ref})
+	// Poke resource managers for selected local offers. rmCount gates the
+	// common no-manager case off the lock entirely.
+	if t.rmCount.Load() > 0 {
+		for _, o := range matched {
+			t.rmMu.RLock()
+			rm, ok := t.resourceManagers[o.ID]
+			t.rmMu.RUnlock()
+			if ok {
+				_ = t.cap.Announce(rm, "selected", []wire.Value{o.Ref})
+			}
 		}
 	}
 
 	if spec.MaxHops > 0 && (spec.MaxMatches == 0 || len(matched) < spec.MaxMatches) {
+		t.linkMu.RLock()
+		links := make(map[string]wire.Ref, len(t.links))
+		for name, ref := range t.links {
+			links[name] = ref
+		}
+		t.linkMu.RUnlock()
 		linkNames := make([]string, 0, len(links))
 		for name := range links {
 			linkNames = append(linkNames, name)

@@ -151,6 +151,9 @@ type (
 	Interceptor = capsule.Interceptor
 	// QoS is the communications quality-of-service constraint.
 	QoS = rpc.QoS
+	// AdmissionConfig bounds per-client admission on a node's server
+	// dispatch path; see WithAdmission.
+	AdmissionConfig = rpc.AdmissionConfig
 	// Clock abstracts the time source a platform runs on; see WithClock.
 	Clock = clock.Clock
 	// FakeClock is a manually advanced Clock for virtual-time testing.
@@ -189,6 +192,10 @@ var (
 	WithRelocator = core.WithRelocator
 	// WithTrader hosts a trading service under a federation context name.
 	WithTrader = core.WithTrader
+	// WithTraderSnapshotPolicy lets trader imports serve bounded-stale
+	// offer snapshots instead of rebuilding on the first read after
+	// every write (experiment E19).
+	WithTraderSnapshotPolicy = core.WithTraderSnapshotPolicy
 	// WithLockWait bounds transactional lock waits.
 	WithLockWait = core.WithLockWait
 	// WithGCGrace sets the collector's activity grace window.
@@ -203,6 +210,13 @@ var (
 	// concurrent frames to one destination share BATCH datagrams,
 	// amortising per-packet channel overhead (experiment E16).
 	WithBatching = core.WithBatching
+	// WithAdmission enables per-client token-bucket admission control on
+	// the node's server dispatch path: over-budget invocations are shed
+	// with ErrServerBusy instead of queueing (experiment E19).
+	WithAdmission = core.WithAdmission
+	// WithBusyRetry (an invoke option) retries an invocation shed by
+	// admission control with exponential backoff.
+	WithBusyRetry = capsule.WithBusyRetry
 	// CapsuleTypeChecking toggles dispatch-time signature checking
 	// (default on); pass through WithCapsuleOptions.
 	CapsuleTypeChecking = capsule.WithTypeChecking
@@ -350,6 +364,9 @@ type (
 	Offer = trader.Offer
 	// Constraint restricts matching offers by a property.
 	Constraint = trader.Constraint
+	// TraderStats snapshots a trader's offer-store counters (also folded
+	// into Platform.Gather under "trader.").
+	TraderStats = trader.TraderStats
 )
 
 // Trading constraint operators.
@@ -503,6 +520,10 @@ func DecodeRef(s string) (Ref, error) {
 	}
 	return ref, nil
 }
+
+// ErrServerBusy reports that server-side admission control shed an
+// invocation; back off and retry (or opt into WithBusyRetry).
+var ErrServerBusy = rpc.ErrServerBusy
 
 // DefaultQoS returns the platform's default invocation constraints.
 func DefaultQoS() QoS {
