@@ -65,6 +65,7 @@ func All() []Experiment {
 		{ID: "E15", Title: "Selective transparency", Claim: "§3/§4.5: unused transparencies cost nothing; each is pay-as-you-go", Run: E15Selective},
 		{ID: "E16", Title: "Write coalescing amortisation", Claim: "§5.5: transparency is an effect of the channel — per-packet overhead batched away without touching the computational model", Run: E16Batching},
 		{ID: "E19", Title: "Trader offer store at scale", Claim: "§6: trading must scale to very large offer populations — sharded RCU snapshots keep import latency flat; admission control sheds overload instead of queueing it", Run: E19TraderScale},
+		{ID: "E20", Title: "Federated trading over gateway topology", Claim: "§5.6/§6: domains federate through explicit gateway links — per-hop import cost is the gateway traversal, and per-domain rollups localise the trading work", Run: E20Swarm},
 	}
 }
 

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"odp"
+)
+
+// E20Swarm measures federated trading across a sparse gateway topology
+// (§5.6/§6): a chain of administrative domains, each its own subnet with
+// a fast intra-domain profile, joined only by explicit gateway links.
+// Import latency is reported per hop count — each extra gateway adds one
+// deterministic link traversal both ways — and the per-domain rollup
+// (GatherDomains over WithDomain-tagged nodes) shows where the offers
+// and the import work landed.
+func E20Swarm(quick bool) ([]Row, error) {
+	ctx := context.Background()
+	var rows []Row
+
+	domains := 6
+	offersPerDomain := 150
+	iterations := 40
+	hops := []int{0, 1, 3, 5}
+	if quick {
+		domains = 3
+		offersPerDomain = 30
+		iterations = 10
+		hops = []int{0, 1, 2}
+	}
+
+	// No jitter anywhere: the experiment isolates topology cost, so the
+	// per-hop latency step should be the gateway profile, exactly.
+	intra := odp.LinkProfile{Latency: 50 * time.Microsecond}
+	gateway := odp.LinkProfile{Latency: 1 * time.Millisecond}
+
+	f := odp.NewFabric(odp.WithSeed(20))
+	defer func() { _ = f.Close() }()
+
+	domName := func(d int) string { return fmt.Sprintf("d%02d", d) }
+	platforms := make([]*odp.Platform, domains)
+	for d := 0; d < domains; d++ {
+		dom := domName(d)
+		f.AddSubnet(dom, intra)
+		if d > 0 {
+			f.LinkSubnets(domName(d-1), dom, gateway)
+		}
+		addr := dom + "/trader"
+		ep, err := f.Endpoint(addr)
+		if err != nil {
+			return nil, err
+		}
+		f.JoinSubnet(addr, dom)
+		platforms[d], err = odp.NewPlatform(addr, ep,
+			odp.WithDomain(dom), odp.WithTrader(dom))
+		if err != nil {
+			return nil, err
+		}
+	}
+	defer func() {
+		for i := len(platforms) - 1; i >= 0; i-- {
+			_ = platforms[i].Close()
+		}
+	}()
+	for d := 0; d < domains-1; d++ {
+		platforms[d].Trader.LinkTo("east", platforms[d+1].Trader.Ref())
+	}
+
+	// Every domain holds the same offer mix: one in ten offers matches
+	// the requirement and carries its domain name as a property, so a
+	// constrained import pins the match k hops away; the rest pad the
+	// stores across other service types.
+	for d := 0; d < domains; d++ {
+		dom := domName(d)
+		for i := 0; i < offersPerDomain; i++ {
+			t := cellTypeOnly("get")
+			if i%10 != 0 {
+				t = odp.Type{Name: fmt.Sprintf("Pad%02d", i%16), Ops: map[string]odp.Operation{
+					"frob": {Outcomes: map[string][]odp.Desc{"ok": {}}},
+				}}
+			}
+			if _, err := platforms[d].Trader.Advertise(t,
+				odp.Ref{ID: fmt.Sprintf("%s-o%d", dom, i), Endpoints: []string{"x"}},
+				map[string]odp.Value{"dom": dom}); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	requirement := cellTypeOnly("get")
+	for _, k := range hops {
+		if k > domains-1 {
+			continue
+		}
+		target := domName(k)
+		spec := odp.ImportSpec{
+			Requirement: requirement,
+			Constraints: []odp.Constraint{{Key: "dom", Op: odp.OpEq, Value: target}},
+			MaxHops:     k,
+			MaxMatches:  2,
+		}
+		lat := make([]time.Duration, iterations)
+		for i := range lat {
+			start := time.Now()
+			offers, err := platforms[0].Trader.Import(ctx, spec)
+			if err != nil {
+				return nil, fmt.Errorf("hops=%d: %w", k, err)
+			}
+			if len(offers) == 0 {
+				return nil, fmt.Errorf("hops=%d: no offers from %s", k, target)
+			}
+			lat[i] = time.Since(start)
+		}
+		param := fmt.Sprintf("hops=%d", k)
+		rows = append(rows,
+			Row{Case: "gateway-import", Param: param, Metric: "p50", Value: float64(percentile(lat, 0.50).Microseconds()), Unit: "us"},
+			Row{Case: "gateway-import", Param: param, Metric: "p99", Value: float64(percentile(lat, 0.99).Microseconds()), Unit: "us"},
+		)
+	}
+
+	// Per-domain rollup: one Gather sweep over the tagged platforms,
+	// folded into domain.<name>.<key> sums. The offer populations are
+	// uniform by construction; the import counters trace the query path
+	// (every domain on the route to the farthest target served work).
+	record := odp.GatherDomains(platforms...)
+	for d := 0; d < domains; d++ {
+		dom := domName(d)
+		param := "domain=" + dom
+		for _, metric := range []string{"trader.offers", "trader.imports"} {
+			v, ok := recordNumeric(record["domain."+dom+"."+metric])
+			if !ok {
+				return nil, fmt.Errorf("rollup missing domain.%s.%s", dom, metric)
+			}
+			rows = append(rows, Row{
+				Case: "rollup", Param: param, Metric: metric,
+				Value: float64(v), Unit: "count",
+			})
+		}
+	}
+	return rows, nil
+}
+
+// recordNumeric widens a GatherDomains value to uint64.
+func recordNumeric(v odp.Value) (uint64, bool) {
+	switch n := v.(type) {
+	case uint64:
+		return n, true
+	case int64:
+		if n < 0 {
+			return 0, false
+		}
+		return uint64(n), true
+	case int:
+		if n < 0 {
+			return 0, false
+		}
+		return uint64(n), true
+	}
+	return 0, false
+}

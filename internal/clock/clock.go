@@ -146,9 +146,22 @@ func ReleaseTimer(t Timer) {
 // deadline and let the system settle between steps rather than jumping a
 // whole window at once.
 type Fake struct {
-	mu      sync.Mutex
-	now     time.Time
+	mu  sync.Mutex
+	now time.Time
+
+	// waiters is a binary min-heap ordered by (deadline, seq): earliest
+	// deadline first, registration order breaking ties — the same
+	// deterministic coincident-deadline order the original linear scan
+	// gave, at O(log n) per scheduling event instead of O(n). A swarm
+	// simulation parks thousands of timers (every platform's janitor
+	// tick, every in-flight packet) on one fake clock, which is where the
+	// scan showed up. Stopped waiters are discarded lazily when they
+	// surface at the root; dead counts them so compactLocked can bound
+	// the garbage they pin.
 	waiters []*fakeWaiter
+	seq     uint64
+	live    int // waiters in the heap not yet stopped
+	dead    int // stopped waiters still in the heap
 
 	// gen counts scheduling-state changes (waiter added, stopped, fired,
 	// callback completed); pollers use it to detect quiescence.
@@ -162,11 +175,18 @@ type Fake struct {
 	cbMu   sync.Mutex
 	cbQ    []func()
 	cbBusy bool
+
+	// delivered holds waiters whose channel send succeeded during an
+	// Advance but whose receiver has not been seen to drain it yet.
+	// ObserveDrains scans it so quiescence pollers learn the instant a
+	// parked goroutine actually woke (see that method for why).
+	delivered []*fakeWaiter
 }
 
 // fakeWaiter is one pending timer, ticker channel or callback.
 type fakeWaiter struct {
 	deadline time.Time
+	seq      uint64        // registration order, the coincident tie-break
 	interval time.Duration // 0 for one-shot timers
 	ch       chan time.Time
 	fn       func() // non-nil for AfterFunc waiters; ch is then unused
@@ -241,10 +261,105 @@ func (f *Fake) addWaiter(d, interval time.Duration, fn func()) *fakeWaiter {
 		f.bump()
 		return w
 	}
-	f.waiters = append(f.waiters, w)
+	w.seq = f.seq
+	f.seq++
+	f.heapPush(w)
+	f.live++
 	f.mu.Unlock()
 	f.bump()
 	return w
+}
+
+// waiterLess orders the heap: deadline first, registration order breaking
+// coincident deadlines, so replays fire ties identically every run.
+func waiterLess(a, b *fakeWaiter) bool {
+	if !a.deadline.Equal(b.deadline) {
+		return a.deadline.Before(b.deadline)
+	}
+	return a.seq < b.seq
+}
+
+// heapPush, heapPop, siftUp and siftDown are a plain binary heap over
+// waiters; all called with f.mu held.
+func (f *Fake) heapPush(w *fakeWaiter) {
+	f.waiters = append(f.waiters, w)
+	f.siftUp(len(f.waiters) - 1)
+}
+
+func (f *Fake) heapPop() *fakeWaiter {
+	n := len(f.waiters) - 1
+	w := f.waiters[0]
+	f.waiters[0] = f.waiters[n]
+	f.waiters[n] = nil
+	f.waiters = f.waiters[:n]
+	if n > 0 {
+		f.siftDown(0)
+	}
+	return w
+}
+
+func (f *Fake) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !waiterLess(f.waiters[i], f.waiters[parent]) {
+			return
+		}
+		f.waiters[i], f.waiters[parent] = f.waiters[parent], f.waiters[i]
+		i = parent
+	}
+}
+
+func (f *Fake) siftDown(i int) {
+	n := len(f.waiters)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && waiterLess(f.waiters[l], f.waiters[least]) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && waiterLess(f.waiters[r], f.waiters[least]) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		f.waiters[i], f.waiters[least] = f.waiters[least], f.waiters[i]
+		i = least
+	}
+}
+
+// dropStoppedRootLocked pops stopped waiters off the heap root. Called
+// with f.mu held.
+func (f *Fake) dropStoppedRootLocked() {
+	for len(f.waiters) > 0 && f.waiters[0].stopped {
+		f.heapPop()
+		f.dead--
+	}
+}
+
+// compactLocked rebuilds the heap without its stopped entries once they
+// dominate it: a stopped far-deadline timer (a QoS deadline released
+// after the reply, say) never surfaces at the root on its own, and a
+// long simulation arms and releases one per call. Called with f.mu held.
+func (f *Fake) compactLocked() {
+	if f.dead <= 64 || f.dead*2 < len(f.waiters) {
+		return
+	}
+	liveW := f.waiters[:0]
+	for _, w := range f.waiters {
+		if !w.stopped {
+			liveW = append(liveW, w)
+		}
+	}
+	for i := len(liveW); i < len(f.waiters); i++ {
+		f.waiters[i] = nil
+	}
+	f.waiters = liveW
+	f.dead = 0
+	// Re-heapify: filtering breaks the shape property. waiterLess is a
+	// total order, so pop order — and with it determinism — is unchanged.
+	for i := len(f.waiters)/2 - 1; i >= 0; i-- {
+		f.siftDown(i)
+	}
 }
 
 // spawn enqueues an AfterFunc callback for the runner goroutine, tracked
@@ -291,39 +406,93 @@ func (f *Fake) bump() { f.gen.Add(1) }
 func (f *Fake) Advance(d time.Duration) {
 	f.mu.Lock()
 	target := f.now.Add(d)
-	for {
-		var next *fakeWaiter
-		for _, w := range f.waiters {
-			if w.stopped || w.deadline.After(target) {
-				continue
-			}
-			if next == nil || w.deadline.Before(next.deadline) {
-				next = w
-			}
+	for len(f.waiters) > 0 {
+		next := f.waiters[0]
+		if next.stopped {
+			f.heapPop()
+			f.dead--
+			continue
 		}
-		if next == nil {
+		if next.deadline.After(target) {
 			break
 		}
 		f.now = next.deadline
 		if next.fn != nil {
 			next.stopped = true
+			f.live--
+			f.heapPop()
 			f.spawn(next.fn)
 			continue
 		}
 		select {
 		case next.ch <- f.now:
+			f.noteDeliveredLocked(next)
 		default: // receiver hasn't drained the last tick; drop, like time.Ticker
 		}
 		if next.interval > 0 {
+			// Re-arm in place: the ticker keeps its registration seq, so
+			// among coincident deadlines it still fires in its original
+			// registration order, exactly as the linear scan did.
 			next.deadline = next.deadline.Add(next.interval)
+			f.siftDown(0)
 		} else {
 			next.stopped = true
+			f.live--
+			f.heapPop()
 		}
 	}
 	f.now = target
-	f.gcLocked()
+	f.compactLocked()
 	f.mu.Unlock()
 	f.bump()
+}
+
+// noteDeliveredLocked remembers a waiter whose channel send just
+// succeeded, so ObserveDrains can report when its receiver wakes.
+// Called with f.mu held. The list is bounded: a fired channel nobody
+// ever reads (an After armed in a select that took another branch)
+// must not pin memory for the rest of a long simulation, so the oldest
+// entries are shed once the list is clearly stale.
+func (f *Fake) noteDeliveredLocked(w *fakeWaiter) {
+	if len(f.delivered) >= 256 {
+		f.delivered = append(f.delivered[:0], f.delivered[128:]...)
+	}
+	f.delivered = append(f.delivered, w)
+}
+
+// ObserveDrains checks whether any timer or ticker channel delivered by
+// a past Advance has since been drained by its receiver, and bumps Gen
+// if so. This closes a quiescence blind spot: a channel send inside
+// Advance makes the parked goroutine runnable, but until that goroutine
+// touches the clock or the fabric again it is invisible to Gen-polling
+// settle loops — if the runtime is slow to schedule it (a GC pause, OS
+// preemption), the driver can mistake the lull for quiescence and
+// advance virtual time out from under it. The drain of the fired
+// channel is the earliest scheduler-visible sign the goroutine actually
+// ran, and it happens while the goroutine is on-CPU, so a settle loop
+// that restarts its stability window on drains gives the woken code a
+// fresh window measured from when it truly started executing — not from
+// when it merely became runnable. Channels that are never drained do
+// not block anything; they just age out of the tracking list.
+func (f *Fake) ObserveDrains() {
+	f.mu.Lock()
+	kept := f.delivered[:0]
+	drained := 0
+	for _, w := range f.delivered {
+		if len(w.ch) == 0 {
+			drained++
+			continue
+		}
+		kept = append(kept, w)
+	}
+	for i := len(kept); i < len(f.delivered); i++ {
+		f.delivered[i] = nil
+	}
+	f.delivered = kept
+	f.mu.Unlock()
+	if drained > 0 {
+		f.bump()
+	}
 }
 
 // NextDeadline reports the earliest pending waiter deadline, if any: the
@@ -331,18 +500,11 @@ func (f *Fake) Advance(d time.Duration) {
 func (f *Fake) NextDeadline() (time.Time, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var best time.Time
-	found := false
-	for _, w := range f.waiters {
-		if w.stopped {
-			continue
-		}
-		if !found || w.deadline.Before(best) {
-			best = w.deadline
-			found = true
-		}
+	f.dropStoppedRootLocked()
+	if len(f.waiters) == 0 {
+		return time.Time{}, false
 	}
-	return best, found
+	return f.waiters[0].deadline, true
 }
 
 // PendingWaiters reports how many timers, tickers and callbacks are
@@ -350,13 +512,7 @@ func (f *Fake) NextDeadline() (time.Time, bool) {
 func (f *Fake) PendingWaiters() int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	n := 0
-	for _, w := range f.waiters {
-		if !w.stopped {
-			n++
-		}
-	}
-	return n
+	return f.live
 }
 
 // FiringCallbacks reports AfterFunc callbacks spawned but not yet
@@ -368,17 +524,6 @@ func (f *Fake) FiringCallbacks() int { return int(f.firing.Load()) }
 // (the sim harness's settle loop) treat an unchanged Gen alongside zero
 // FiringCallbacks as evidence of quiescence.
 func (f *Fake) Gen() uint64 { return f.gen.Load() }
-
-// gcLocked drops stopped waiters. Called with f.mu held.
-func (f *Fake) gcLocked() {
-	live := f.waiters[:0]
-	for _, w := range f.waiters {
-		if !w.stopped {
-			live = append(live, w)
-		}
-	}
-	f.waiters = live
-}
 
 // fakeStopper is the shared half of the Ticker and Timer adapters.
 type fakeStopper struct {
@@ -392,6 +537,12 @@ func (s *fakeStopper) stop() bool {
 	s.f.mu.Lock()
 	was := !s.w.stopped
 	s.w.stopped = true
+	if was {
+		// The waiter stays heap-resident until it surfaces at the root or
+		// compaction reclaims it; only the counters move now.
+		s.f.live--
+		s.f.dead++
+	}
 	s.f.mu.Unlock()
 	s.f.bump()
 	return was

@@ -84,6 +84,9 @@ type Platform struct {
 	// obs is non-nil when WithTracing installed a span collector; it is
 	// shared by the binder, capsule, protocol peer and coalescer.
 	obs *obs.Collector
+	// domain is the administrative-domain tag set by WithDomain; empty
+	// for untagged nodes.
+	domain string
 	// statsSources are extra contributors to Gather registered after
 	// construction (replica-group members, application subsystems).
 	srcMu        sync.Mutex
@@ -106,6 +109,7 @@ type platformConfig struct {
 	clk           clock.Clock
 	tracing       bool
 	obsOpts       []obs.CollectorOption
+	domain        string
 }
 
 // Option configures NewPlatform.
@@ -146,6 +150,18 @@ func WithTraderSnapshotPolicy(maxStaleness time.Duration, maxPending int) Option
 	}
 }
 
+// WithTraderFederationQoS sets the per-hop QoS base for federated trader
+// imports: each link traversal gets q.Timeout scaled by its remaining
+// hop budget (so hops near the importer outlive their downstream chain)
+// and retransmits at q.Retransmit. Swarm simulations tighten this so a
+// partitioned domain costs milliseconds of virtual time, not the default
+// invocation timeout.
+func WithTraderFederationQoS(q rpc.QoS) Option {
+	return func(cfg *platformConfig) {
+		cfg.traderOpts = append(cfg.traderOpts, trader.WithFederationQoS(q))
+	}
+}
+
 // WithLockWait bounds transactional lock waits.
 func WithLockWait(d time.Duration) Option {
 	return func(cfg *platformConfig) { cfg.lockWait = d }
@@ -154,6 +170,13 @@ func WithLockWait(d time.Duration) Option {
 // WithGCGrace sets the collector's activity grace window.
 func WithGCGrace(d time.Duration) Option {
 	return func(cfg *platformConfig) { cfg.gcGrace = d }
+}
+
+// WithDomain tags the node with the administrative domain it belongs to
+// (the paper's §6 federation domains). The tag rides in Gather under
+// "domain" and keys the per-domain rollups of GatherDomains.
+func WithDomain(name string) Option {
+	return func(cfg *platformConfig) { cfg.domain = name }
 }
 
 // WithClock drives every time-dependent subsystem of the node — RPC
@@ -246,6 +269,7 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 		Keys:     security.NewKeyring(),
 		Types:    types.NewManager(),
 		clk:      cfg.clk,
+		domain:   cfg.domain,
 	}
 	if injected {
 		p.Registry.SetClock(cfg.clk)
@@ -348,6 +372,10 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 // was built WithTracing.
 func (p *Platform) Observer() *obs.Collector { return p.obs }
 
+// Domain reports the administrative-domain tag set by WithDomain, empty
+// for untagged nodes.
+func (p *Platform) Domain() string { return p.domain }
+
 // AddStatsSource registers an extra contributor to Gather: fn is called
 // with the record under assembly and may add any keys. Infrastructure
 // built on top of the platform (replica groups, application services)
@@ -365,6 +393,9 @@ func (p *Platform) AddStatsSource(fn func(wire.Record)) {
 // <subsystem>.<snake_case_field> by obs.Fold.
 func (p *Platform) Gather() wire.Record {
 	rec := wire.Record{}
+	if p.domain != "" {
+		rec["domain"] = p.domain
+	}
 	obs.Fold(rec, "rpc.client", p.Capsule.Client().Stats())
 	obs.Fold(rec, "rpc.server", p.Capsule.ServerStats())
 	obs.Fold(rec, "binder", p.binder.Stats())

@@ -1,0 +1,60 @@
+package core
+
+import "odp/internal/wire"
+
+// GatherDomains folds the Gather snapshots of many platforms into one
+// per-domain record: every numeric key of a platform tagged WithDomain
+// is summed into "domain.<name>.<key>", and "domain.<name>.platforms"
+// counts the nodes. A federation-swarm experiment asks each domain one
+// question — how much trading, how much traffic, how many collections —
+// and this is the rollup that answers it without 1,000 separate records.
+// Untagged platforms are skipped; non-numeric values (the "domain" tag
+// itself, codec names) don't sum and are dropped.
+func GatherDomains(platforms ...*Platform) wire.Record {
+	out := wire.Record{}
+	for _, p := range platforms {
+		dom := p.Domain()
+		if dom == "" {
+			continue
+		}
+		prefix := "domain." + dom + "."
+		out[prefix+"platforms"] = addNumeric(out[prefix+"platforms"], uint64(1))
+		for k, v := range p.Gather() {
+			if _, ok := numeric(v); !ok {
+				continue
+			}
+			key := prefix + k
+			out[key] = addNumeric(out[key], v)
+		}
+	}
+	return out
+}
+
+// numeric widens a Gather value to uint64 when it is a countable number.
+// Gather records carry uint64 (obs.Fold), int64 (registry counters) and
+// the occasional int; floats don't appear and negatives mean a bug, so
+// both report non-numeric rather than wrapping.
+func numeric(v interface{}) (uint64, bool) {
+	switch n := v.(type) {
+	case uint64:
+		return n, true
+	case int64:
+		if n < 0 {
+			return 0, false
+		}
+		return uint64(n), true
+	case int:
+		if n < 0 {
+			return 0, false
+		}
+		return uint64(n), true
+	}
+	return 0, false
+}
+
+// addNumeric sums v into an accumulator that may not exist yet.
+func addNumeric(acc, v interface{}) uint64 {
+	a, _ := numeric(acc)
+	b, _ := numeric(v)
+	return a + b
+}

@@ -334,23 +334,28 @@ func (h *Holder) loop() {
 	if interval <= 0 {
 		interval = time.Second
 	}
-	ticker := h.clk.NewTicker(interval)
-	defer ticker.Stop()
+	// Re-armed one-shot timer, not a free-running ticker: a renewal that
+	// blocks on a cut link outlasts the interval, and whether the
+	// saturated ticker's ticks are delivered or dropped would depend on
+	// real drain timing — felt as nondeterminism under virtual time.
+	timer := h.clk.NewTimer(interval)
+	defer func() { timer.Stop() }()
 	for {
 		select {
 		case <-h.stop:
 			return
-		case <-ticker.C():
-			h.mu.Lock()
-			entries := make(map[string]wire.Ref, len(h.held))
-			for id, ref := range h.held {
-				entries[id] = ref
-			}
-			h.mu.Unlock()
-			for id, ref := range entries {
-				h.renew(id, ref)
-			}
+		case <-timer.C():
 		}
+		h.mu.Lock()
+		entries := make(map[string]wire.Ref, len(h.held))
+		for id, ref := range h.held {
+			entries[id] = ref
+		}
+		h.mu.Unlock()
+		for id, ref := range entries {
+			h.renew(id, ref)
+		}
+		timer = h.clk.NewTimer(interval)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
+	"odp/internal/capsule"
 	"odp/internal/rpc"
 	"odp/internal/wire"
 )
@@ -19,43 +21,102 @@ import (
 //     the first live backup wins).
 func (m *Member) failureLoop() {
 	defer close(m.done)
-	ticker := m.cfg.Clock.NewTicker(m.cfg.HeartbeatInterval)
-	defer ticker.Stop()
+	// Pace passes with a one-shot timer re-armed after each pass, not a
+	// free-running ticker: a detection pass over a large view — or one
+	// where silent members each cost a full call timeout — can outlast
+	// the interval, and a saturated ticker drops ticks depending on how
+	// promptly this goroutine drains the channel. That makes the pass
+	// cadence a function of real scheduling latency, which a
+	// deterministic simulation must never feel. Interval-after-pass
+	// pacing keeps every pass instant a pure function of virtual time.
+	timer := m.cfg.Clock.NewTimer(m.cfg.HeartbeatInterval)
+	defer func() { timer.Stop() }()
 	missed := make(map[string]time.Time) // backup id -> silent since
 	for {
 		select {
 		case <-m.stop:
 			return
-		case <-ticker.C():
+		case <-timer.C():
 		}
-		m.mu.Lock()
-		if m.stopped || len(m.v.members) == 0 {
-			m.mu.Unlock()
-			continue
-		}
-		isSequencer := m.v.sequencer().id == m.id
-		rank := m.v.rankOf(m.id)
-		viewID := m.v.id
-		peers := m.peersLocked()
-		silent := m.cfg.Clock.Since(m.lastHeard)
-		m.mu.Unlock()
-
-		if isSequencer {
-			m.heartbeatPeers(peers, viewID, missed)
-			continue
-		}
-		if rank > 0 && silent > time.Duration(rank)*m.cfg.FailureTimeout {
-			m.promote()
-		}
+		timer = m.cfg.Clock.NewTimer(m.detectionPass(missed))
 	}
 }
 
-// heartbeatPeers pings each backup, expelling those silent too long.
+// detectionPass runs one iteration of the failure detector — the
+// sequencer heartbeats its backups, a backup checks its own promotion
+// window — and returns how long to wait before the next pass. The
+// sequencer keeps the heartbeat cadence; a backup's only deadline is its
+// promotion instant, so it wakes no more often than FailureTimeout/4
+// (bounded staleness for view changes that move the deadline closer)
+// and no later than the deadline itself. In a swarm simulation the
+// difference is thousands of idle backup polls that never become
+// distinct virtual instants.
+func (m *Member) detectionPass(missed map[string]time.Time) time.Duration {
+	m.mu.Lock()
+	if m.stopped || len(m.v.members) == 0 {
+		m.mu.Unlock()
+		return m.cfg.HeartbeatInterval
+	}
+	isSequencer := m.v.sequencer().id == m.id
+	rank := m.v.rankOf(m.id)
+	viewID := m.v.id
+	peers := m.peersLocked()
+	silent := m.cfg.Clock.Since(m.lastHeard)
+	m.mu.Unlock()
+
+	if isSequencer {
+		m.heartbeatPeers(peers, viewID, missed)
+		return m.cfg.HeartbeatInterval
+	}
+	if rank > 0 && silent > time.Duration(rank)*m.cfg.FailureTimeout {
+		m.promote()
+		return m.cfg.HeartbeatInterval
+	}
+	next := m.cfg.FailureTimeout / 4
+	if rank > 0 {
+		if remaining := time.Duration(rank)*m.cfg.FailureTimeout - silent; remaining < next {
+			next = remaining
+		}
+	}
+	if next < m.cfg.HeartbeatInterval {
+		next = m.cfg.HeartbeatInterval
+	}
+	return next
+}
+
+// heartbeatPeers pings every backup concurrently, then expels those
+// silent too long. The fan-out matters twice over: a sequential pass
+// over a large view takes len(peers) round-trips — longer than the
+// heartbeat interval itself once the view grows — and a single silent
+// member would stall the whole pass for its call timeout, starving the
+// healthy majority of liveness evidence. Concurrently, a pass costs one
+// round-trip (one call timeout worst case) regardless of view size.
+// Results are judged in view order after the pass completes, so expel
+// order stays deterministic.
 func (m *Member) heartbeatPeers(peers []memberInfo, viewID uint64, missed map[string]time.Time) {
-	for _, p := range peers {
-		_, _, err := m.call(context.Background(), p.addr, opHeartbeat,
-			[]wire.Value{viewID}, m.cfg.HeartbeatInterval*2)
-		if err == nil {
+	alive := make([]bool, len(peers))
+	timeout := m.cfg.HeartbeatInterval * 2
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			// No retransmission within the call: the next pass is the
+			// retransmit, and a duplicate ping buys nothing a fresh one
+			// doesn't. During a partition every suppressed resend is also
+			// one fewer timer-paced send into the void, which keeps the
+			// detector's virtual-time schedule as sparse as possible.
+			ref := wire.Ref{ID: m.objID, Endpoints: []string{addr}}
+			_, _, err := m.cap.Invoke(context.Background(), ref, opHeartbeat,
+				[]wire.Value{viewID},
+				capsule.WithQoS(rpc.QoS{Timeout: timeout, Retransmit: 2 * timeout}),
+				capsule.ForceRemote())
+			alive[i] = err == nil
+		}(i, p.addr)
+	}
+	wg.Wait()
+	for i, p := range peers {
+		if alive[i] {
 			delete(missed, p.id)
 			continue
 		}
@@ -165,13 +226,12 @@ func (m *Member) replayLocked() {
 	}
 }
 
-// multicastView announces a new view to its members (best effort).
+// multicastView announces a new view to its members.
 func (m *Member) multicastView(v view, peers []memberInfo) {
 	rec := encodeView(v)
 	for _, p := range peers {
 		go func(p memberInfo) {
-			_, _, _ = m.call(context.Background(), p.addr, opView,
-				[]wire.Value{rec}, m.cfg.DeliverTimeout)
+			_, _, _ = m.call(context.Background(), p.addr, opView, []wire.Value{rec}, m.cfg.DeliverTimeout)
 		}(p)
 	}
 }

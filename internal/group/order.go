@@ -248,8 +248,14 @@ func (m *Member) applier() {
 func (m *Member) waitOrder() {
 	done := make(chan struct{})
 	go func() {
+		// A stoppable timer, not clk.After: an abandoned After waiter
+		// (the cond fired first) would still fire later into a channel
+		// nobody reads — a phantom deadline every virtual-time driver
+		// then has to advance through.
+		t := m.cfg.Clock.NewTimer(m.cfg.HeartbeatInterval)
+		defer t.Stop()
 		select {
-		case <-m.cfg.Clock.After(m.cfg.HeartbeatInterval):
+		case <-t.C():
 		case <-done:
 			return
 		}

@@ -110,6 +110,16 @@ func fixtureCases() []fixtureCase {
 			},
 		},
 		{
+			// Loaded as a computational-model package: the simulated
+			// fabric — including the sparse-topology subnet surface — may
+			// only be owned by the façade or the sim harness.
+			dir: "netsimreach", asPath: "odp/internal/group",
+			analyzer: NewLayering(DefaultLayeringConfig()),
+			want: []string{
+				"netsimreach.go:9: [layering] odp/internal/group imports odp/internal/netsim directly: only odp, odp/internal/sim may bypass the proxy layers",
+			},
+		},
+		{
 			// Loaded as a low-layer package: its module-internal import
 			// points upward.
 			dir: "lowreach", asPath: "odp/internal/clock",

@@ -1,0 +1,16 @@
+// Package netsimreach is a known-bad layering fixture: a
+// computational-model package wiring simulated subnets directly instead
+// of letting the sim harness (or the platform façade) own the fabric.
+// The sparse-topology surface — AddSubnet, JoinSubnet, LinkSubnets — is
+// exactly as restricted as the flat pair-map was. The test loads it
+// under a computational import path.
+package netsimreach
+
+import "odp/internal/netsim"
+
+// Mesh builds a topology where only the harness may.
+func Mesh(f *netsim.Fabric, a, b string) {
+	f.AddSubnet(a, netsim.LinkProfile{})
+	f.AddSubnet(b, netsim.LinkProfile{})
+	f.LinkSubnets(a, b, netsim.LinkProfile{})
+}

@@ -216,6 +216,142 @@ func TestVirtualDeliveryWaitsForAdvance(t *testing.T) {
 	}
 }
 
+// TestIsolateIdempotent pins the Isolate/Heal contract: isolation is a
+// single per-address flag, so repeated Isolates need exactly one Heal —
+// the old per-pair expansion made the pair state and the isolation state
+// indistinguishable, and stacked cuts that a single heal then missed.
+func TestIsolateIdempotent(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan struct{}, 4)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+
+	f.Isolate("b", true)
+	f.Isolate("b", true) // idempotent: still one flag
+	f.Isolate("b", false)
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("one Heal should undo any number of Isolates")
+	}
+}
+
+// TestIsolateCoversLateEndpoints: isolation applies to endpoints that
+// register after the Isolate call. The old expansion snapshotted the
+// endpoint set at call time, so a node that joined later could talk to a
+// "crashed" address.
+func TestIsolateCoversLateEndpoints(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	_, _ = f.Endpoint("a")
+	f.Isolate("a", true)
+
+	late, _ := f.Endpoint("late") // joins after the isolation
+	got := make(chan struct{}, 1)
+	a, _ := f.Endpoint("a")
+	a.SetHandler(func(string, []byte) { got <- struct{}{} })
+	if err := late.Send("a", []byte("x")); err != nil {
+		t.Fatal(err) // silent cut, not an error
+	}
+	select {
+	case <-got:
+		t.Fatal("late-registered endpoint reached an isolated address")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if f.Stats().Cut != 1 {
+		t.Fatalf("Cut = %d, want 1", f.Stats().Cut)
+	}
+}
+
+// TestIsolateUnknownAddressCreatesNoPairState: isolating (or healing) an
+// address nobody has claimed must not manufacture per-pair partition
+// entries — a later Partition heal of some unrelated pair has nothing to
+// collide with, and healing the unknown address is a clean no-op.
+func TestIsolateUnknownAddressCreatesNoPairState(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan struct{}, 4)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+
+	f.Isolate("ghost", false) // heal of a never-isolated address: no-op
+	f.Isolate("ghost", true)  // isolation of an unclaimed address
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("isolating an unknown address disturbed unrelated traffic")
+	}
+	if cut := f.Stats().Cut; cut != 0 {
+		t.Fatalf("Cut = %d, want 0", cut)
+	}
+}
+
+// TestIsolateLeavesPartitionStateIntact: Isolate/Heal and Partition are
+// independent fault axes — healing an isolation must not heal a pairwise
+// partition opened separately, which the per-pair expansion used to do.
+func TestIsolateLeavesPartitionStateIntact(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan struct{}, 4)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+
+	f.Partition("a", "b", true)
+	f.Isolate("a", true)
+	f.Isolate("a", false) // heals the isolation only
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+		t.Fatal("healing an isolation also healed an independent partition")
+	case <-time.After(20 * time.Millisecond):
+	}
+	f.Partition("a", "b", false)
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("pair not reachable after its own heal")
+	}
+}
+
+// TestIsolationCutsMidFlight: like a partition, an isolation that opens
+// while a packet is in flight counts the packet Cut at delivery time.
+func TestIsolationCutsMidFlight(t *testing.T) {
+	fake := clock.NewFake(time.Unix(0, 0))
+	f := NewFabric(WithClock(fake), WithDefaultLink(LinkProfile{Latency: time.Millisecond}))
+	defer f.Close()
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	var delivered atomic.Int64
+	b.SetHandler(func(string, []byte) { delivered.Add(1) })
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f.Isolate("b", true)
+	fake.Advance(2 * time.Millisecond)
+	waitInFlightZero(t, f)
+	if got := f.Stats(); got.Cut != 1 || got.Delivered != 0 {
+		t.Fatalf("mid-flight isolation: %+v, want Cut=1 Delivered=0", got)
+	}
+	if delivered.Load() != 0 {
+		t.Fatal("handler ran across a mid-flight isolation")
+	}
+}
+
 // waitInFlightZero spins until the fabric has no in-flight deliveries.
 func waitInFlightZero(t *testing.T, f *Fabric) {
 	t.Helper()

@@ -90,8 +90,17 @@ type Fabric struct {
 	links       map[string]LinkProfile // "from|to" overrides
 	defaultLink LinkProfile
 	partitioned map[string]bool // "a|b" unordered-pair key
+	isolated    map[string]bool // addresses cut off by Isolate
 	closed      bool
 	wg          sync.WaitGroup
+
+	// Sparse topology state (see topology.go): named subnets, address
+	// membership, directed gateway profiles and subnet-level faults.
+	subnets            map[string]*subnet
+	memberOf           map[string]string      // addr -> subnet name
+	gateways           map[string]LinkProfile // "a|b" directed subnet pair
+	partitionedSubnets map[string]bool        // unordered subnet-pair key
+	isolatedSubnets    map[string]bool
 
 	// clk is non-nil when deliveries are scheduled in virtual time.
 	clk   clock.Clock
@@ -174,7 +183,15 @@ func NewFabric(opts ...Option) *Fabric {
 		links:       make(map[string]LinkProfile),
 		defaultLink: Loopback,
 		partitioned: make(map[string]bool),
-		pending:     make(map[uint64]pendEntry),
+		isolated:    make(map[string]bool),
+
+		subnets:            make(map[string]*subnet),
+		memberOf:           make(map[string]string),
+		gateways:           make(map[string]LinkProfile),
+		partitionedSubnets: make(map[string]bool),
+		isolatedSubnets:    make(map[string]bool),
+
+		pending: make(map[uint64]pendEntry),
 		jobq:        make(chan *delivery),
 		workStop:    make(chan struct{}),
 	}
@@ -251,17 +268,20 @@ func (f *Fabric) Partition(a, b string, cut bool) {
 
 // Isolate cuts (or heals) every link touching addr, simulating a crashed
 // or unplugged node as seen by the network.
+//
+// Isolation is a single per-address flag, not an expansion over the
+// endpoints registered at call time: it is idempotent (two Isolates need
+// one Heal), covers endpoints that register later, leaves pairwise
+// Partition state untouched, and isolating an address nobody has claimed
+// records one flag instead of silently manufacturing per-pair override
+// entries. Healing an address that was never isolated is a no-op.
 func (f *Fabric) Isolate(addr string, cut bool) {
 	f.mu.Lock()
-	names := make([]string, 0, len(f.endpoints))
-	for n := range f.endpoints {
-		if n != addr {
-			names = append(names, n)
-		}
-	}
-	f.mu.Unlock()
-	for _, n := range names {
-		f.Partition(addr, n, cut)
+	defer f.mu.Unlock()
+	if cut {
+		f.isolated[addr] = true
+	} else {
+		delete(f.isolated, addr)
 	}
 }
 
@@ -351,7 +371,7 @@ func (f *Fabric) route(from, to string, n int) (dst *endpoint, delay time.Durati
 		f.mu.Unlock()
 		return nil, 0, false, fmt.Errorf("%w: %q", transport.ErrUnreachable, to)
 	}
-	if f.partitioned[pairKey(from, to)] {
+	if f.cutLocked(from, to) {
 		f.mu.Unlock()
 		f.count(func(s *Stats) { s.Sent++; s.Cut++ })
 		if f.trace != nil {
@@ -359,9 +379,13 @@ func (f *Fabric) route(from, to string, n int) (dst *endpoint, delay time.Durati
 		}
 		return nil, 0, false, nil // silently dropped: the sender cannot tell
 	}
-	profile, found := f.links[from+"|"+to]
-	if !found {
-		profile = f.defaultLink
+	profile, perr := f.profileLocked(from, to)
+	if perr != nil {
+		// Subnets with no gateway link between them: there is no channel,
+		// which the sender can tell (unlike a partition, which silently
+		// swallows traffic on an existing route).
+		f.mu.Unlock()
+		return nil, 0, false, perr
 	}
 	drop := profile.Loss > 0 && f.rng.Float64() < profile.Loss
 	if !drop {
@@ -410,7 +434,7 @@ func (d *delivery) run() {
 	defer f.release(cpp, cp)
 	defer f.executing.Add(-1)
 	f.mu.Lock()
-	cut := f.partitioned[pairKey(from, to)]
+	cut := f.cutLocked(from, to)
 	f.mu.Unlock()
 	if cut {
 		// The partition appeared while the packet was in flight.

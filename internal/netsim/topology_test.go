@@ -1,0 +1,257 @@
+package netsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"odp/internal/transport"
+)
+
+// expectDelivery asserts a send from a to b lands (or not) within a real
+// timeout; the fabrics under test here run real-time with zero delay.
+func expectDelivery(t *testing.T, got chan struct{}, want bool, msg string) {
+	t.Helper()
+	if want {
+		select {
+		case <-got:
+		case <-time.After(time.Second):
+			t.Fatalf("%s: no delivery", msg)
+		}
+		return
+	}
+	select {
+	case <-got:
+		t.Fatalf("%s: unexpected delivery", msg)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestSubnetIntraProfileApplied(t *testing.T) {
+	f := NewFabric(WithDefaultLink(LinkProfile{Latency: time.Hour})) // would hang if used
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{}) // instantaneous intra profile
+	f.JoinSubnet("a", "east")
+	f.JoinSubnet("b", "east")
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan struct{}, 1)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, got, true, "intra-subnet send should use the subnet profile, not the default")
+}
+
+func TestNoGatewayIsUnreachable(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{})
+	f.AddSubnet("west", LinkProfile{})
+	f.JoinSubnet("a", "east")
+	f.JoinSubnet("b", "west")
+	a, _ := f.Endpoint("a")
+	_, _ = f.Endpoint("b")
+	err := a.Send("b", []byte("x"))
+	if !errors.Is(err, transport.ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable without a gateway link, got %v", err)
+	}
+	if st := f.Stats(); st.Sent != 0 {
+		t.Fatalf("a rejected packet is not traffic: Sent = %d", st.Sent)
+	}
+}
+
+func TestGatewayLinkConnectsSubnets(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{})
+	f.AddSubnet("west", LinkProfile{})
+	f.LinkSubnets("east", "west", LinkProfile{})
+	f.JoinSubnet("a", "east")
+	f.JoinSubnet("b", "west")
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan struct{}, 2)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, got, true, "gateway-linked subnets should deliver")
+
+	// The gateway is bidirectional.
+	gotA := make(chan struct{}, 2)
+	a.SetHandler(func(string, []byte) { gotA <- struct{}{} })
+	if err := b.Send("a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, gotA, true, "reverse direction should deliver")
+}
+
+func TestGatewayCompositionSumsSegments(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{Latency: 10 * time.Millisecond, PerPacket: time.Millisecond})
+	f.AddSubnet("west", LinkProfile{Latency: 20 * time.Millisecond})
+	f.LinkSubnets("east", "west", LinkProfile{Latency: 30 * time.Millisecond})
+	f.JoinSubnet("a", "east")
+	f.JoinSubnet("b", "west")
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan time.Time, 1)
+	b.SetHandler(func(string, []byte) { got <- time.Now() })
+	start := time.Now()
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	at := <-got
+	// egress 10ms+1ms + gateway 30ms + ingress 20ms = 61ms one way.
+	if d := at.Sub(start); d < 55*time.Millisecond {
+		t.Fatalf("delivered after %v, want >= ~61ms of composed latency", d)
+	}
+}
+
+func TestComposeProfilesLoss(t *testing.T) {
+	p := composeProfiles(LinkProfile{Loss: 0.5}, LinkProfile{Loss: 0.5}, LinkProfile{})
+	if math.Abs(p.Loss-0.75) > 1e-9 {
+		t.Fatalf("composed loss = %v, want 0.75", p.Loss)
+	}
+	if p := composeProfiles(LinkProfile{}, LinkProfile{}, LinkProfile{}); p.Loss != 0 {
+		t.Fatalf("lossless segments composed to loss %v", p.Loss)
+	}
+}
+
+func TestSetLinkOverridesTopology(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{})
+	f.AddSubnet("west", LinkProfile{})
+	f.JoinSubnet("a", "east")
+	f.JoinSubnet("b", "west")
+	// No gateway — but a per-pair override is precedent over topology, so
+	// the pair stays connected (a debug backdoor, same as flat fabrics).
+	f.SetLink("a", "b", LinkProfile{})
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan struct{}, 1)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, got, true, "SetLink override should win over missing gateway")
+}
+
+func TestUnplacedAddressesKeepFlatBehaviour(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{})
+	f.JoinSubnet("a", "east")
+	// b never joins a subnet: a→b falls back to the default link, exactly
+	// as a flat fabric would route it.
+	a, _ := f.Endpoint("a")
+	b, _ := f.Endpoint("b")
+	got := make(chan struct{}, 1)
+	b.SetHandler(func(string, []byte) { got <- struct{}{} })
+	if err := a.Send("b", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, got, true, "subnet member to unplaced address should use the default link")
+}
+
+func TestPartitionSubnetsCutsOnlyGatewayTraffic(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{})
+	f.AddSubnet("west", LinkProfile{})
+	f.LinkSubnets("east", "west", LinkProfile{})
+	f.JoinSubnet("a1", "east")
+	f.JoinSubnet("a2", "east")
+	f.JoinSubnet("b1", "west")
+	a1, _ := f.Endpoint("a1")
+	a2, _ := f.Endpoint("a2")
+	b1, _ := f.Endpoint("b1")
+	gotA2 := make(chan struct{}, 4)
+	gotB1 := make(chan struct{}, 4)
+	a2.SetHandler(func(string, []byte) { gotA2 <- struct{}{} })
+	b1.SetHandler(func(string, []byte) { gotB1 <- struct{}{} })
+
+	f.PartitionSubnets("east", "west", true)
+	if err := a1.Send("b1", []byte("x")); err != nil {
+		t.Fatal(err) // silent, like any partition
+	}
+	expectDelivery(t, gotB1, false, "cross-subnet send under subnet partition")
+	if err := a1.Send("a2", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, gotA2, true, "intra-subnet traffic should survive the partition")
+
+	f.PartitionSubnets("east", "west", false)
+	if err := a1.Send("b1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	expectDelivery(t, gotB1, true, "cross-subnet send after heal")
+	if f.Stats().Cut != 1 {
+		t.Fatalf("cut count = %d, want 1", f.Stats().Cut)
+	}
+}
+
+func TestIsolateSubnetKeepsIntraTraffic(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{})
+	f.AddSubnet("west", LinkProfile{})
+	f.LinkSubnets("east", "west", LinkProfile{})
+	f.JoinSubnet("a1", "east")
+	f.JoinSubnet("a2", "east")
+	f.JoinSubnet("b1", "west")
+	a1, _ := f.Endpoint("a1")
+	a2, _ := f.Endpoint("a2")
+	b1, _ := f.Endpoint("b1")
+	gotA1 := make(chan struct{}, 4)
+	gotA2 := make(chan struct{}, 4)
+	gotB1 := make(chan struct{}, 4)
+	a1.SetHandler(func(string, []byte) { gotA1 <- struct{}{} })
+	a2.SetHandler(func(string, []byte) { gotA2 <- struct{}{} })
+	b1.SetHandler(func(string, []byte) { gotB1 <- struct{}{} })
+
+	f.IsolateSubnet("east", true)
+	_ = a1.Send("b1", []byte("x")) // outbound across the boundary: cut
+	expectDelivery(t, gotB1, false, "outbound from isolated subnet")
+	_ = b1.Send("a1", []byte("x")) // inbound across the boundary: cut
+	expectDelivery(t, gotA1, false, "inbound to isolated subnet")
+	_ = a1.Send("a2", []byte("x")) // intra-domain: survives
+	expectDelivery(t, gotA2, true, "intra-subnet traffic during isolation")
+
+	f.IsolateSubnet("east", false)
+	_ = a1.Send("b1", []byte("x"))
+	expectDelivery(t, gotB1, true, "cross-subnet send after rejoin")
+}
+
+func TestSubnetOfAndMoves(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	f.AddSubnet("east", LinkProfile{})
+	f.AddSubnet("west", LinkProfile{})
+	if _, ok := f.SubnetOf("a"); ok {
+		t.Fatal("unplaced address reported a subnet")
+	}
+	f.JoinSubnet("a", "east")
+	if sn, _ := f.SubnetOf("a"); sn != "east" {
+		t.Fatalf("SubnetOf = %q, want east", sn)
+	}
+	f.JoinSubnet("a", "west") // joining again moves
+	if sn, _ := f.SubnetOf("a"); sn != "west" {
+		t.Fatalf("SubnetOf after move = %q, want west", sn)
+	}
+}
+
+func TestJoinUnknownSubnetPanics(t *testing.T) {
+	f := NewFabric()
+	defer f.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("JoinSubnet of an undeclared subnet should panic")
+		}
+	}()
+	f.JoinSubnet("a", "ghost")
+}

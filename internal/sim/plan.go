@@ -90,6 +90,36 @@ func (ps *PlanStep) Rejoin(addr string) *FaultPlan {
 	})
 }
 
+// PartitionSubnets cuts every path between two subnets — the gateway link
+// going dark as the fault plan sees it; intra-subnet traffic continues.
+func (ps *PlanStep) PartitionSubnets(a, b string) *FaultPlan {
+	return ps.add(fmt.Sprintf("partition-subnets %s|%s", a, b), func(s *Sim) {
+		s.Fabric.PartitionSubnets(a, b, true)
+	})
+}
+
+// HealSubnets restores connectivity between two subnets.
+func (ps *PlanStep) HealSubnets(a, b string) *FaultPlan {
+	return ps.add(fmt.Sprintf("heal-subnets %s|%s", a, b), func(s *Sim) {
+		s.Fabric.PartitionSubnets(a, b, false)
+	})
+}
+
+// IsolateSubnet cuts every path crossing the subnet's boundary — a whole
+// domain dropping off the federation while its internal traffic continues.
+func (ps *PlanStep) IsolateSubnet(name string) *FaultPlan {
+	return ps.add("isolate-subnet "+name, func(s *Sim) {
+		s.Fabric.IsolateSubnet(name, true)
+	})
+}
+
+// RejoinSubnet heals the subnet's boundary.
+func (ps *PlanStep) RejoinSubnet(name string) *FaultPlan {
+	return ps.add("rejoin-subnet "+name, func(s *Sim) {
+		s.Fabric.IsolateSubnet(name, false)
+	})
+}
+
 // SetLink swaps the directed link from→to onto profile — latency, jitter
 // and loss-rate changes at a logical instant.
 func (ps *PlanStep) SetLink(from, to string, profile netsim.LinkProfile) *FaultPlan {

@@ -226,6 +226,11 @@ func (s *Sim) Settle() {
 	stable := 0
 	start := time.Now()
 	for spin := 0; ; spin++ {
+		// A fired timer channel being drained is the first visible sign
+		// its receiver got scheduled; folding that into Gen restarts the
+		// stability count from the moment the woken goroutine is actually
+		// running, not from when Advance merely made it runnable.
+		s.Clock.ObserveDrains()
 		gen := s.Clock.Gen()
 		idle := s.Fabric.Executing() == 0 && s.Clock.FiringCallbacks() == 0
 		if idle && seen && gen == lastGen {
@@ -239,6 +244,10 @@ func (s *Sim) Settle() {
 		lastGen, seen = gen, true
 		switch {
 		case s.strict:
+			// Yield before sleeping: on a single-CPU box the Gosched hands
+			// the processor straight to whatever Advance woke, instead of
+			// betting the whole stability window on the sleep alone.
+			runtime.Gosched()
 			time.Sleep(strictPause)
 		case spin < spinBudget:
 			runtime.Gosched()

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+
+	"odp/internal/netsim"
+)
+
+// Swarm describes a sparse multi-domain topology at federation scale: a
+// fixed number of administrative domains (netsim subnets), each holding a
+// fixed number of capsule addresses, joined by gateway links. Build
+// registers the whole topology on a Sim's fabric from O(domains) state —
+// 1,000 capsules cost 1,000 membership entries, never a million pair
+// entries — which is what lets the paper's §6 federation scenarios run in
+// tier-1 wall time.
+type Swarm struct {
+	// Domains is the number of subnets ("d00", "d01", …).
+	Domains int
+	// CapsulesPerDomain is the number of capsule addresses per subnet
+	// ("d00/c000", "d00/c001", …).
+	CapsulesPerDomain int
+	// Intra is the link profile within each domain.
+	Intra netsim.LinkProfile
+	// Gateway is the profile of each inter-domain gateway link.
+	Gateway netsim.LinkProfile
+	// Ring closes the chain d(last) — d0 into a ring. By default domains
+	// form an open chain: d0—d1—…—d(n−1), so a query from d0 to the far
+	// end must follow every gateway link in sequence.
+	Ring bool
+}
+
+// SwarmNet is the built topology: pure naming plus the fabric wiring.
+type SwarmNet struct {
+	spec Swarm
+}
+
+// Build registers the swarm's subnets, memberships and gateway links on
+// the simulation's fabric and returns the naming handle.
+func (w Swarm) Build(s *Sim) *SwarmNet {
+	if w.Domains <= 0 || w.CapsulesPerDomain <= 0 {
+		panic("sim: Swarm needs at least one domain and one capsule per domain")
+	}
+	n := &SwarmNet{spec: w}
+	for d := 0; d < w.Domains; d++ {
+		s.Fabric.AddSubnet(n.Domain(d), w.Intra)
+	}
+	for d := 0; d < w.Domains; d++ {
+		for c := 0; c < w.CapsulesPerDomain; c++ {
+			s.Fabric.JoinSubnet(n.Addr(d, c), n.Domain(d))
+		}
+		if d+1 < w.Domains {
+			s.Fabric.LinkSubnets(n.Domain(d), n.Domain(d+1), w.Gateway)
+		}
+	}
+	if w.Ring && w.Domains > 2 {
+		s.Fabric.LinkSubnets(n.Domain(w.Domains-1), n.Domain(0), w.Gateway)
+	}
+	return n
+}
+
+// Domains reports the domain count.
+func (n *SwarmNet) Domains() int { return n.spec.Domains }
+
+// CapsulesPerDomain reports the per-domain capsule count.
+func (n *SwarmNet) CapsulesPerDomain() int { return n.spec.CapsulesPerDomain }
+
+// Domain names domain d. Zero-padded so lexicographic order is domain
+// order wherever names are sorted (trace lines, Gather rollup keys).
+func (n *SwarmNet) Domain(d int) string { return fmt.Sprintf("d%02d", d) }
+
+// Addr names capsule c of domain d.
+func (n *SwarmNet) Addr(d, c int) string {
+	return fmt.Sprintf("%s/c%03d", n.Domain(d), c)
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -80,11 +81,12 @@ func (tr *Trace) Hash() string {
 }
 
 // Dump renders the canonical trace, for debugging failed determinism
-// assertions.
+// assertions. Built with a Builder: a swarm trace holds tens of
+// thousands of events and naive concatenation is quadratic.
 func (tr *Trace) Dump() string {
-	out := ""
+	var b strings.Builder
 	for _, e := range tr.Events() {
-		out += fmt.Sprintf("%s %s\n", e.At.Format("15:04:05.000000000"), e.What)
+		fmt.Fprintf(&b, "%s %s\n", e.At.Format("15:04:05.000000000"), e.What)
 	}
-	return out
+	return b.String()
 }

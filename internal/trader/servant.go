@@ -3,9 +3,9 @@ package trader
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"odp/internal/capsule"
-	"odp/internal/rpc"
 	"odp/internal/types"
 	"odp/internal/wire"
 )
@@ -89,9 +89,16 @@ func (t *Trader) dispatch(ctx context.Context, op string, args []wire.Value) (st
 func (t *Trader) importRemote(ctx context.Context, peer wire.Ref, spec ImportSpec) ([]Offer, error) {
 	hop := spec
 	hop.MaxHops--
+	// Scale the hop deadline by the remaining hop budget: the peer may
+	// itself wait out a cut link hop.MaxHops levels down, and a uniform
+	// per-hop timeout would expire here exactly when the peer's own wait
+	// does — cascading one dead far-end peer into an empty result. With
+	// the +1 headroom each level outlives its child by one timeout unit.
+	q := t.fedQoS
+	q.Timeout *= time.Duration(hop.MaxHops + 1)
 	outcome, results, err := t.cap.Invoke(ctx, peer, "import",
 		[]wire.Value{encodeImportSpec(hop)},
-		capsule.WithQoS(rpc.QoS{Timeout: rpc.DefaultTimeout}))
+		capsule.WithQoS(q))
 	if err != nil {
 		return nil, err
 	}

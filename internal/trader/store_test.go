@@ -362,3 +362,121 @@ func TestImportBoundedCloning(t *testing.T) {
 		t.Fatalf("single-match import over 512 offers costs %.0f allocs/op — cloning is not bounded by MaxMatches", allocs)
 	}
 }
+
+// TestSnapshotPolicyPendingBoundary pins the pending-writes bound as
+// exclusive: a gap of exactly maxPending rebuilds, one fewer serves
+// stale. The age bound is kept far away so only the write gap decides.
+func TestSnapshotPolicyPendingBoundary(t *testing.T) {
+	e := newEnv(t)
+	fc := clock.NewFake(time.Unix(500, 0))
+	tr := e.traderWith("t1",
+		WithTraderClock(fc),
+		WithSnapshotPolicy(time.Hour, 3))
+	svc := serviceN(0)
+	imp := func() int {
+		t.Helper()
+		offers, err := tr.Import(context.Background(), ImportSpec{Requirement: svc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(offers)
+	}
+	if _, err := tr.Advertise(svc, mkRef("r0"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := imp(); n != 1 {
+		t.Fatalf("initial import: %d offers, want 1", n) // builds the snapshot
+	}
+
+	// Gap of maxPending-1: still within policy, writes invisible.
+	for i := 1; i < 3; i++ {
+		if _, err := tr.Advertise(svc, mkRef(fmt.Sprintf("r%d", i)), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := imp(); n != 1 {
+		t.Fatalf("gap maxPending-1: %d offers, want 1 (stale serve)", n)
+	}
+	rebuildsBefore := tr.Stats().SnapshotRebuilds
+
+	// One more write makes the gap exactly maxPending: must rebuild.
+	if _, err := tr.Advertise(svc, mkRef("r3"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := imp(); n != 4 {
+		t.Fatalf("gap == maxPending: %d offers, want 4 (rebuild)", n)
+	}
+	if got := tr.Stats().SnapshotRebuilds; got != rebuildsBefore+1 {
+		t.Fatalf("SnapshotRebuilds = %d, want %d", got, rebuildsBefore+1)
+	}
+}
+
+// TestSnapshotPolicyAgeBoundary pins the age bound as exclusive: a
+// snapshot exactly maxStaleness old rebuilds; a nanosecond younger is
+// still served stale.
+func TestSnapshotPolicyAgeBoundary(t *testing.T) {
+	e := newEnv(t)
+	fc := clock.NewFake(time.Unix(500, 0))
+	tr := e.traderWith("t1",
+		WithTraderClock(fc),
+		WithSnapshotPolicy(100*time.Millisecond, 1000))
+	svc := serviceN(0)
+	imp := func() int {
+		t.Helper()
+		offers, err := tr.Import(context.Background(), ImportSpec{Requirement: svc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(offers)
+	}
+	if _, err := tr.Advertise(svc, mkRef("r0"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := imp(); n != 1 {
+		t.Fatalf("initial import: %d offers, want 1", n)
+	}
+	if _, err := tr.Advertise(svc, mkRef("r1"), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	fc.Advance(100*time.Millisecond - time.Nanosecond)
+	if n := imp(); n != 1 {
+		t.Fatalf("age maxStaleness-1ns: %d offers, want 1 (stale serve)", n)
+	}
+	fc.Advance(time.Nanosecond)
+	if n := imp(); n != 2 {
+		t.Fatalf("age == maxStaleness: %d offers, want 2 (rebuild)", n)
+	}
+}
+
+// TestSnapshotPolicyZeroStaleness pins that an explicit zero age bound
+// keeps reads strictly fresh no matter how generous the pending bound:
+// with writes pending, the next read rebuilds and never serves stale.
+func TestSnapshotPolicyZeroStaleness(t *testing.T) {
+	e := newEnv(t)
+	tr := e.traderWith("t1", WithSnapshotPolicy(0, 1000))
+	svc := serviceN(0)
+	imp := func() int {
+		t.Helper()
+		offers, err := tr.Import(context.Background(), ImportSpec{Requirement: svc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(offers)
+	}
+	if _, err := tr.Advertise(svc, mkRef("r0"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := imp(); n != 1 {
+		t.Fatalf("initial import: %d offers, want 1", n)
+	}
+	if _, err := tr.Advertise(svc, mkRef("r1"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := imp(); n != 2 {
+		t.Fatalf("zero staleness with pending write: %d offers, want 2 (rebuild)", n)
+	}
+	if st := tr.Stats(); st.StaleServes != 0 {
+		t.Fatalf("StaleServes = %d, want 0 under zero staleness", st.StaleServes)
+	}
+}

@@ -35,6 +35,7 @@ import (
 
 	"odp/internal/capsule"
 	"odp/internal/clock"
+	"odp/internal/rpc"
 	"odp/internal/types"
 	"odp/internal/wire"
 )
@@ -187,6 +188,12 @@ type Trader struct {
 	linkMu sync.RWMutex
 	links  map[string]wire.Ref // link name -> peer trader ref
 
+	// fedQoS is the per-hop QoS base for federated imports. The timeout
+	// is scaled by the remaining hop budget (see importRemote), so a hop
+	// near the importer always outlives its downstream chain and one cut
+	// peer at the far end cannot cascade timeouts up the whole path.
+	fedQoS rpc.QoS
+
 	// rmMu guards resourceManagers (offer id -> resource manager ref to
 	// poke on selection, §6 "link offers to a resource manager").
 	// rmCount keeps the common no-manager import path lock-free.
@@ -250,6 +257,23 @@ func WithSnapshotPolicy(maxStaleness time.Duration, maxPending int) TraderOption
 	}
 }
 
+// WithFederationQoS sets the per-hop QoS base for federated imports.
+// Each hop's invocation deadline is q.Timeout scaled by the remaining
+// hop budget, so an importer N links from the horizon waits out at most
+// N+1 timeout units while every intermediate hop still outlives its
+// downstream chain. The zero default keeps the platform's standard
+// invocation timeout as the base.
+func WithFederationQoS(q rpc.QoS) TraderOption {
+	return func(t *Trader) {
+		if q.Timeout > 0 {
+			t.fedQoS.Timeout = q.Timeout
+		}
+		if q.Retransmit > 0 {
+			t.fedQoS.Retransmit = q.Retransmit
+		}
+	}
+}
+
 // New creates a trader named contextName, hosted on c, using tm for type
 // matching. The trader exports itself as an ODP interface.
 func New(contextName string, c *capsule.Capsule, tm *types.Manager, opts ...TraderOption) (*Trader, error) {
@@ -259,6 +283,7 @@ func New(contextName string, c *capsule.Capsule, tm *types.Manager, opts ...Trad
 		cap:              c,
 		clk:              clock.Real{},
 		maxPending:       4096,
+		fedQoS:           rpc.QoS{Timeout: rpc.DefaultTimeout},
 		links:            make(map[string]wire.Ref),
 		resourceManagers: make(map[string]wire.Ref),
 	}

@@ -175,8 +175,13 @@ func (lm *LockManager) Acquire(ctx context.Context, txnID, resource string, excl
 func (lm *LockManager) waitWithWakeup() {
 	done := make(chan struct{})
 	go func() {
+		// A stoppable timer, not clk.After: an abandoned After waiter
+		// would fire later into a channel nobody reads, a phantom
+		// deadline for virtual-time drivers.
+		t := lm.clk.NewTimer(20 * time.Millisecond)
+		defer t.Stop()
 		select {
-		case <-lm.clk.After(20 * time.Millisecond):
+		case <-t.C():
 			lm.mu.Lock()
 			lm.cond.Broadcast()
 			lm.mu.Unlock()

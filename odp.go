@@ -196,10 +196,16 @@ var (
 	// offer snapshots instead of rebuilding on the first read after
 	// every write (experiment E19).
 	WithTraderSnapshotPolicy = core.WithTraderSnapshotPolicy
+	// WithTraderFederationQoS sets the per-hop QoS base for federated
+	// trader imports (timeout scaled by remaining hop budget).
+	WithTraderFederationQoS = core.WithTraderFederationQoS
 	// WithLockWait bounds transactional lock waits.
 	WithLockWait = core.WithLockWait
 	// WithGCGrace sets the collector's activity grace window.
 	WithGCGrace = core.WithGCGrace
+	// WithDomain tags the node with its administrative domain; the tag
+	// rides in Gather and keys GatherDomains rollups (experiment E20).
+	WithDomain = core.WithDomain
 	// WithClock drives every time-dependent subsystem of the node from one
 	// injected clock; share a clock.Fake across nodes and the netsim
 	// fabric to run a whole system in virtual time (internal/sim).
@@ -381,6 +387,13 @@ const (
 // NewTraderClient binds a platform to the trading service at ref.
 func NewTraderClient(p *Platform, ref Ref) *TraderClient {
 	return trader.NewClient(p.Capsule, ref)
+}
+
+// GatherDomains folds many platforms' Gather snapshots into per-domain
+// "domain.<name>.<key>" sums, keyed by each node's WithDomain tag — the
+// per-domain view of a federation swarm (experiment E20).
+func GatherDomains(platforms ...*Platform) Record {
+	return core.GatherDomains(platforms...)
 }
 
 // Streams.
