@@ -136,6 +136,7 @@ func mustCall(b *testing.B, p *odp.Proxy, op string, args ...odp.Value) odp.Outc
 func BenchmarkE1DirectGoCall(b *testing.B)       { bench.MicroE1DirectGoCall(b) }
 func BenchmarkE1CoLocatedOptimised(b *testing.B) { bench.MicroE1CoLocatedOptimised(b) }
 func BenchmarkE1RemoteLoopback(b *testing.B)     { bench.MicroE1RemoteLoopback(b) }
+func BenchmarkE1HistogramLoopback(b *testing.B)  { bench.MicroE1HistogramLoopback(b) }
 func BenchmarkE1BinaryLoopback(b *testing.B)     { bench.MicroE1BinaryLoopback(b) }
 func BenchmarkE1PipelinedLoopback(b *testing.B)  { bench.MicroE1PipelinedLoopback(b) }
 

@@ -36,27 +36,33 @@ func main() {
 		echoSvc    = flag.Bool("echo", true, "publish a demo echo interface")
 		traceEvery = flag.Int("trace-every", 0, "sample one trace in n invocations (0 = off; retune live via the obs.sample_every management parameter)")
 		batch      = flag.Bool("batch", false, "coalesce writes per destination; two -batch nodes also upgrade to the packed codec in-band")
+		series     = flag.Duration("series", 0, "sample the Gather snapshot at this interval so the management \"series\" op serves rates (0 = off)")
+		sloP99     = flag.Duration("slo-dispatch-p99", 0, "arm the flight recorder with this dispatch p99 ceiling; breaches land behind the \"blackbox\" op (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*name, *listen, *traderCtx, *storeDir, *relocator, *echoSvc, *traceEvery, *batch); err != nil {
+	cfg := nodeConfig{
+		name:           *name,
+		traderCtx:      *traderCtx,
+		storeDir:       *storeDir,
+		relocator:      *relocator,
+		traceEvery:     *traceEvery,
+		batch:          *batch,
+		series:         *series,
+		sloDispatchP99: *sloP99,
+	}
+	if err := run(*listen, *echoSvc, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(name, listen, traderCtx, storeDir, relocator string, echoSvc bool, traceEvery int, batch bool) error {
+func run(listen string, echoSvc bool, cfg nodeConfig) error {
+	name := cfg.name
 	ep, err := odp.ListenTCP(listen)
 	if err != nil {
 		return err
 	}
-	node, err := newNode(ep, nodeConfig{
-		name:       name,
-		traderCtx:  traderCtx,
-		storeDir:   storeDir,
-		relocator:  relocator,
-		traceEvery: traceEvery,
-		batch:      batch,
-	})
+	node, err := newNode(ep, cfg)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"time"
 
 	"odp"
 )
@@ -23,6 +24,14 @@ type nodeConfig struct {
 	// -batch nodes upgrade their connection to ansa-packed/1 in-band;
 	// against a non-batching peer everything falls back silently.
 	batch bool
+	// series > 0 samples the node's Gather snapshot at this interval, so
+	// the management "series" op serves rates and odptop shows them.
+	series time.Duration
+	// sloDispatchP99 > 0 arms the flight recorder: a dispatch p99 above
+	// this ceiling (or six windows without dispatch progress while armed)
+	// captures a black-box report behind the "blackbox" op. Implies a
+	// recorder even without -series.
+	sloDispatchP99 time.Duration
 	// clk, when non-nil, drives the whole node in virtual time
 	// (odp.WithClock). Deterministic-simulation setups share one
 	// odp.FakeClock across every node and the fabric; the TCP main path
@@ -57,6 +66,16 @@ func platformOptions(cfg nodeConfig) ([]odp.Option, error) {
 			return nil, fmt.Errorf("bad -relocator: %w", err)
 		}
 		opts = append(opts, odp.WithRelocator(ref))
+	}
+	if cfg.series > 0 {
+		opts = append(opts, odp.WithRecorder(cfg.series))
+	}
+	if cfg.sloDispatchP99 > 0 {
+		p99us := float64(cfg.sloDispatchP99) / float64(time.Microsecond)
+		opts = append(opts, odp.WithFlightRecorder(
+			odp.CeilingRule("dispatch-p99", "rpc.server.dispatch_p99", p99us),
+			odp.StallRule("dispatch-stall", "rpc.server.requests", 6),
+		))
 	}
 	if cfg.clk != nil {
 		opts = append(opts, odp.WithClock(cfg.clk))

@@ -2,14 +2,17 @@
 // unified stats snapshot plus recent span trees — "top" for an ODP node.
 //
 // Point it at the management interface reference (the agent exported as
-// "<node>/mgmt"); it issues the "gather" and "spans" interrogations and
-// prints one frame per poll:
+// "<node>/mgmt"); it issues the "gather", "series" and "spans"
+// interrogations and prints one frame per poll:
 //
 //	odptop -ref <encoded mgmt ref>            # poll every 2s
 //	odptop -ref <encoded mgmt ref> -once      # one frame and exit
 //
-// Counters come out sorted by name so frames diff cleanly; spans render
-// as per-trace causal trees (see odp.FormatSpans).
+// Counters come out sorted by name so frames diff cleanly; latency
+// histograms render as sparkline columns with derived quantiles; rates
+// come from the node's own recorder (the "series" op), so odptop shows
+// invocations per second without having to keep state between polls;
+// spans render as per-trace causal trees (see odp.FormatSpans).
 package main
 
 import (
@@ -31,19 +34,20 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll deadline")
 		once     = flag.Bool("once", false, "print one frame and exit")
 		noSpans  = flag.Bool("no-spans", false, "omit the span-tree section")
+		noSeries = flag.Bool("no-series", false, "omit the rates section")
 	)
 	flag.Parse()
 	if *refStr == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*refStr, *interval, *timeout, *once, !*noSpans); err != nil {
+	if err := run(*refStr, *interval, *timeout, *once, !*noSpans, !*noSeries); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(refStr string, interval, timeout time.Duration, once, withSpans bool) error {
+func run(refStr string, interval, timeout time.Duration, once, withSpans, withSeries bool) error {
 	ref, err := odp.DecodeRef(refStr)
 	if err != nil {
 		return err
@@ -60,7 +64,7 @@ func run(refStr string, interval, timeout time.Duration, once, withSpans bool) e
 	proxy := client.Bind(ref).WithQoS(odp.QoS{Timeout: timeout})
 
 	for {
-		frame, err := poll(proxy, timeout, withSpans)
+		frame, err := poll(proxy, timeout, withSpans, withSeries)
 		if err != nil {
 			return err
 		}
@@ -72,7 +76,7 @@ func run(refStr string, interval, timeout time.Duration, once, withSpans bool) e
 	}
 }
 
-func poll(proxy *odp.Proxy, timeout time.Duration, withSpans bool) (string, error) {
+func poll(proxy *odp.Proxy, timeout time.Duration, withSpans, withSeries bool) (string, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
 
@@ -85,7 +89,16 @@ func poll(proxy *odp.Proxy, timeout time.Duration, withSpans bool) (string, erro
 	var b strings.Builder
 	fmt.Fprintf(&b, "=== %s ===\n", time.Now().Format(time.RFC3339))
 	b.WriteString(renderRecord(rec))
+	b.WriteString(renderLatency(rec))
 
+	if withSeries {
+		// A node predating the recorder answers "series" with an error;
+		// older frames just lack the rates section.
+		if out, err = proxy.Call(ctx, "series"); err == nil {
+			series, _ := out.Result(0).(odp.Record)
+			b.WriteString(renderSeries(series))
+		}
+	}
 	if withSpans {
 		out, err = proxy.Call(ctx, "spans")
 		if err != nil {
@@ -101,10 +114,16 @@ func poll(proxy *odp.Proxy, timeout time.Duration, withSpans bool) (string, erro
 	return b.String(), nil
 }
 
+// renderRecord prints every key sorted and aligned. Histogram bucket
+// keys ("<base>_hist.<i>") are elided — renderLatency shows those
+// distributions as sparkline columns instead of 32 counter lines each.
 func renderRecord(rec odp.Record) string {
 	keys := make([]string, 0, len(rec))
 	width := 0
 	for k := range rec {
+		if strings.Contains(k, "_hist.") {
+			continue
+		}
 		keys = append(keys, k)
 		if len(k) > width {
 			width = len(k)
@@ -114,6 +133,122 @@ func renderRecord(rec odp.Record) string {
 	var b strings.Builder
 	for _, k := range keys {
 		fmt.Fprintf(&b, "%-*s  %v\n", width, k, rec[k])
+	}
+	return b.String()
+}
+
+// renderLatency reassembles the folded latency histograms and prints one
+// sparkline row per channel stage: observation count, derived quantiles
+// and the bucket profile over the occupied log2-µs range. Output is a
+// pure function of the record, so identical snapshots render
+// byte-identically.
+func renderLatency(rec odp.Record) string {
+	hists := odp.HistogramKeys(rec)
+	if len(hists) == 0 {
+		return ""
+	}
+	bases := make([]string, 0, len(hists))
+	width := 0
+	for base := range hists {
+		bases = append(bases, base)
+		if len(base) > width {
+			width = len(base)
+		}
+	}
+	sort.Strings(bases)
+	var b strings.Builder
+	b.WriteString("\nlatency:\n")
+	for _, base := range bases {
+		s := hists[base]
+		fmt.Fprintf(&b, "%-*s  n=%d p50=%.0fµs p90=%.0fµs p99=%.0fµs  %s\n",
+			width, base, s.Count(),
+			s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99),
+			sparkline(s))
+	}
+	return b.String()
+}
+
+// sparkline renders the occupied bucket range as block characters scaled
+// to the fullest bucket, annotated with the range's µs bounds.
+func sparkline(s odp.HistogramSnapshot) string {
+	lo, hi := -1, -1
+	var max uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if lo < 0 {
+			lo = i
+		}
+		hi = i
+		if n > max {
+			max = n
+		}
+	}
+	if lo < 0 {
+		return "-"
+	}
+	levels := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	b.WriteByte('|')
+	for i := lo; i <= hi; i++ {
+		n := s.Buckets[i]
+		if n == 0 {
+			b.WriteByte('_')
+			continue
+		}
+		b.WriteRune(levels[int(uint64(len(levels)-1)*n/max)])
+	}
+	fmt.Fprintf(&b, "| [%s..%s)", bucketFloor(lo), bucketFloor(hi+1))
+	return b.String()
+}
+
+// bucketFloor formats bucket i's lower bound (2^(i-1) µs; bucket 0
+// starts at 0) in a humane unit.
+func bucketFloor(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	us := uint64(1) << (i - 1)
+	switch {
+	case us >= 1e6:
+		return fmt.Sprintf("%ds", us/1e6)
+	case us >= 1e3:
+		return fmt.Sprintf("%dms", us/1e3)
+	default:
+		return fmt.Sprintf("%dµs", us)
+	}
+}
+
+// renderSeries prints the recorder-derived rates sorted, one decimal
+// place, skipping zero rates so the section names what is moving.
+func renderSeries(series odp.Record) string {
+	keys := make([]string, 0, len(series))
+	width := 0
+	for k, v := range series {
+		if !strings.HasSuffix(k, "_per_sec") {
+			continue
+		}
+		if rate, ok := v.(float64); !ok || rate == 0 {
+			continue
+		}
+		keys = append(keys, k)
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	if len(keys) == 0 {
+		return ""
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	samples, _ := series["series.samples"].(uint64)
+	windowUS, _ := series["series.window_us"].(uint64)
+	fmt.Fprintf(&b, "\nrates (%d samples, %s window):\n",
+		samples, time.Duration(windowUS)*time.Microsecond)
+	for _, k := range keys {
+		rate, _ := series[k].(float64)
+		fmt.Fprintf(&b, "%-*s  %.1f\n", width, k, rate)
 	}
 	return b.String()
 }

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"odp"
+)
+
+// sampleGather builds a snapshot with counters, a folded latency
+// histogram and bucket keys, the way a node's "gather" op serves it.
+func sampleGather() odp.Record {
+	return odp.Record{
+		"rpc.client.sent":                 uint64(42),
+		"rpc.server.dispatches":           uint64(40),
+		"domain":                          "edge",
+		"rpc.server.dispatch_count":       uint64(7),
+		"rpc.server.dispatch_p50":         3.5,
+		"rpc.server.dispatch_hist.1":      uint64(2),
+		"rpc.server.dispatch_hist.3":      uint64(4),
+		"rpc.server.dispatch_hist.5":      uint64(1),
+		"transport.coalescer.flush_count": uint64(0),
+	}
+}
+
+func TestRenderRecordSortedAndHistElided(t *testing.T) {
+	out := renderRecord(sampleGather())
+	if strings.Contains(out, "_hist.") {
+		t.Fatalf("bucket keys should be elided from the counter listing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	var prev string
+	for _, l := range lines {
+		key := strings.Fields(l)[0]
+		if key < prev {
+			t.Fatalf("keys out of order: %q after %q", key, prev)
+		}
+		prev = key
+	}
+	if !strings.Contains(out, "rpc.client.sent") {
+		t.Fatalf("missing counter line:\n%s", out)
+	}
+}
+
+func TestRenderLatencySparkline(t *testing.T) {
+	out := renderLatency(sampleGather())
+	if !strings.Contains(out, "rpc.server.dispatch") {
+		t.Fatalf("missing histogram row:\n%s", out)
+	}
+	if !strings.Contains(out, "n=7") {
+		t.Fatalf("missing observation count:\n%s", out)
+	}
+	// Buckets 1..5 occupied with a gap at 2 and 4: the sparkline spans
+	// exactly that range, zero buckets as underscores, fullest as █.
+	if !strings.Contains(out, "|▄_█_▂|") {
+		t.Fatalf("unexpected sparkline:\n%s", out)
+	}
+	if !strings.Contains(out, "[1µs..32µs)") {
+		t.Fatalf("missing range annotation:\n%s", out)
+	}
+}
+
+func TestRenderSeriesRates(t *testing.T) {
+	series := odp.Record{
+		"series.samples":              uint64(5),
+		"series.window_us":            uint64(1000000),
+		"rpc.client.sent_per_sec":     12.5,
+		"gc.collected_per_sec":        0.0, // zero rates are skipped
+		"rpc.server.dispatch_per_sec": 11.0,
+	}
+	out := renderSeries(series)
+	if !strings.Contains(out, "rates (5 samples, 1s window):") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "rpc.client.sent_per_sec") || !strings.Contains(out, "12.5") {
+		t.Fatalf("missing rate line:\n%s", out)
+	}
+	if strings.Contains(out, "gc.collected_per_sec") {
+		t.Fatalf("zero rate should be skipped:\n%s", out)
+	}
+	if strings.Index(out, "rpc.client.sent_per_sec") > strings.Index(out, "rpc.server.dispatch_per_sec") {
+		t.Fatalf("rates out of order:\n%s", out)
+	}
+}
+
+// TestRenderersDeterministic re-renders the same records and demands
+// byte-identical frames: odptop output diffs cleanly between polls only
+// if rendering is a pure function of the snapshot.
+func TestRenderersDeterministic(t *testing.T) {
+	rec, series := sampleGather(), odp.Record{
+		"series.samples":          uint64(3),
+		"series.window_us":        uint64(500000),
+		"rpc.client.sent_per_sec": 4.0,
+	}
+	for i := 0; i < 10; i++ {
+		if a, b := renderRecord(rec), renderRecord(rec); a != b {
+			t.Fatalf("renderRecord not deterministic:\n%s\nvs\n%s", a, b)
+		}
+		if a, b := renderLatency(rec), renderLatency(rec); a != b {
+			t.Fatalf("renderLatency not deterministic:\n%s\nvs\n%s", a, b)
+		}
+		if a, b := renderSeries(series), renderSeries(series); a != b {
+			t.Fatalf("renderSeries not deterministic:\n%s\nvs\n%s", a, b)
+		}
+	}
+}

@@ -66,6 +66,7 @@ func All() []Experiment {
 		{ID: "E16", Title: "Write coalescing amortisation", Claim: "§5.5: transparency is an effect of the channel — per-packet overhead batched away without touching the computational model", Run: E16Batching},
 		{ID: "E19", Title: "Trader offer store at scale", Claim: "§6: trading must scale to very large offer populations — sharded RCU snapshots keep import latency flat; admission control sheds overload instead of queueing it", Run: E19TraderScale},
 		{ID: "E20", Title: "Federated trading over gateway topology", Claim: "§5.6/§6: domains federate through explicit gateway links — per-hop import cost is the gateway traversal, and per-domain rollups localise the trading work", Run: E20Swarm},
+		{ID: "E21", Title: "Always-on observability overhead", Claim: "§5.5/§7: observability is a channel function — per-invocation latency histograms, a sampling recorder, and SLO flight recording cost nothing measurable on the hot path", Run: E21Observability},
 	}
 }
 

@@ -8,8 +8,8 @@ import (
 
 func TestAllRegistered(t *testing.T) {
 	exps := All()
-	if len(exps) != 18 {
-		t.Fatalf("registered %d experiments, want 18", len(exps))
+	if len(exps) != 19 {
+		t.Fatalf("registered %d experiments, want 19", len(exps))
 	}
 	seen := make(map[string]bool)
 	for i, e := range exps {

@@ -30,6 +30,7 @@ func MicroBenchmarks() []struct {
 		{"E1DirectGoCall", MicroE1DirectGoCall},
 		{"E1CoLocatedOptimised", MicroE1CoLocatedOptimised},
 		{"E1RemoteLoopback", MicroE1RemoteLoopback},
+		{"E1HistogramLoopback", MicroE1HistogramLoopback},
 		{"E1BinaryLoopback", MicroE1BinaryLoopback},
 		{"E1TracedLoopback", MicroE1TracedLoopback},
 		{"E1TracedUnsampledLoopback", MicroE1TracedUnsampledLoopback},
@@ -116,6 +117,41 @@ func MicroE1RemoteLoopback(b *testing.B) {
 		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// MicroE1HistogramLoopback is MicroE1RemoteLoopback with the latency
+// histograms pinned into the measured path: after the timed loop it
+// checks both ends' histogram counts advanced once per call. Recording
+// is always on — there is no sampling knob to turn it off — so this
+// rung and E1RemoteLoopback measure the same path and should track each
+// other exactly; what the assertion buys is that a refactor which
+// routes the hot path around the histograms fails the benchmark instead
+// of silently recording an uninstrumented number.
+func MicroE1HistogramLoopback(b *testing.B) {
+	p, proxy := mustBatchedPair(b, odp.LinkProfile{}, odp.QoS{Timeout: 30 * time.Second})
+	defer p.close()
+	if n, _ := p.client.Gather()["rpc.client.packed_upgrades"].(uint64); n == 0 {
+		b.Fatal("packed codec not negotiated after warm-up")
+	}
+	callsBefore, _ := p.client.Gather()["rpc.client.call_count"].(uint64)
+	dispatchBefore, _ := p.server.Gather()["rpc.server.dispatch_count"].(uint64)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proxy.Call(ctx, "add", int64(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	callsAfter, _ := p.client.Gather()["rpc.client.call_count"].(uint64)
+	dispatchAfter, _ := p.server.Gather()["rpc.server.dispatch_count"].(uint64)
+	if got := callsAfter - callsBefore; got < uint64(b.N) {
+		b.Fatalf("client call histogram advanced %d over %d measured calls", got, b.N)
+	}
+	if got := dispatchAfter - dispatchBefore; got < uint64(b.N) {
+		b.Fatalf("server dispatch histogram advanced %d over %d measured calls", got, b.N)
 	}
 }
 

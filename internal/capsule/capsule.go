@@ -111,6 +111,12 @@ type Capsule struct {
 	// protocol peer, and used here to record the co-located bypass as a
 	// distinct span kind so tests can assert which path an invocation took.
 	obs *obs.Collector
+	// latClk is clk resolved against the real-time default; it stamps
+	// the bypass latency histogram without a nil check per invocation.
+	latClk clock.Clock
+	// bypassLat is the §4.5 direct-local-access latency distribution
+	// (dispatch through the woven chain, argument cloning included).
+	bypassLat obs.Histogram
 }
 
 // Option configures a capsule.
@@ -163,6 +169,10 @@ func New(name string, ep transport.Endpoint, codec wire.Codec, opts ...Option) *
 	for _, o := range opts {
 		o(c)
 	}
+	c.latClk = c.clk
+	if c.latClk == nil {
+		c.latClk = clock.Real{}
+	}
 	var popts []rpc.PeerOption
 	if c.clk != nil {
 		popts = append(popts, rpc.WithPeerClock(c.clk))
@@ -192,6 +202,18 @@ func (c *Capsule) Client() *rpc.Client { return c.peer.Client }
 
 // ServerStats exposes protocol server counters.
 func (c *Capsule) ServerStats() rpc.ServerStats { return c.peer.Server.Stats() }
+
+// DispatchLatency snapshots the protocol server's handler-execution
+// latency histogram.
+func (c *Capsule) DispatchLatency() obs.HistogramSnapshot {
+	return c.peer.Server.DispatchLatency()
+}
+
+// BypassLatency snapshots the §4.5 co-located fast-path latency
+// histogram.
+func (c *Capsule) BypassLatency() obs.HistogramSnapshot {
+	return c.bypassLat.Snapshot()
+}
 
 // Close shuts the capsule down.
 func (c *Capsule) Close() error {
@@ -379,7 +401,9 @@ func (c *Capsule) tryLocal(ctx context.Context, objID, op string, args []wire.Va
 			ctx = obs.ContextWith(ctx, sp.Context())
 		}
 	}
+	began := c.latClk.Now()
 	outcome, results, err = reg.chain.Dispatch(ctx, op, wire.CloneArgs(args))
+	c.bypassLat.Observe(c.latClk.Since(began))
 	c.obs.End(sp)
 	return outcome, wire.CloneArgs(results), err, true
 }

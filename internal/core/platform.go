@@ -78,6 +78,13 @@ type Platform struct {
 	// coalescer is non-nil when WithBatching wrapped the endpoint; the
 	// platform owns it and Close drains it.
 	coalescer *transport.Coalescer
+	// recorder is non-nil when WithRecorder (or WithFlightRecorder)
+	// enabled periodic Gather sampling; the platform owns it and Close
+	// stops it.
+	recorder *obs.Recorder
+	// flight is non-nil when WithFlightRecorder armed SLO rules against
+	// the recorder.
+	flight *obs.FlightRecorder
 	// clk is the platform-wide time source (clock.Real{} unless WithClock
 	// injected one).
 	clk clock.Clock
@@ -110,6 +117,10 @@ type platformConfig struct {
 	tracing       bool
 	obsOpts       []obs.CollectorOption
 	domain        string
+	recInterval   time.Duration
+	recOpts       []obs.RecorderOption
+	sloRules      []obs.Rule
+	flightOpts    []obs.FlightOption
 }
 
 // Option configures NewPlatform.
@@ -238,6 +249,35 @@ func WithTracing(opts ...obs.CollectorOption) Option {
 	}
 }
 
+// WithRecorder enables the metrics time series: a clock-driven recorder
+// samples the node's Gather snapshot every interval into a bounded ring
+// (obs.Recorder), from which the management "series" op derives rates —
+// invocations_per_sec, admission_rejects_per_sec — that a single
+// snapshot cannot answer. On a simulated node the recorder runs in
+// virtual time. interval <= 0 means the recorder default (one second).
+func WithRecorder(interval time.Duration, opts ...obs.RecorderOption) Option {
+	return func(cfg *platformConfig) {
+		cfg.recInterval = interval
+		cfg.recOpts = append(cfg.recOpts, opts...)
+	}
+}
+
+// WithFlightRecorder arms service-level objectives (obs.CeilingRule,
+// obs.StallRule) against the node's recorder samples: on a breach the
+// flight recorder captures a black-box report — triggering rule, the
+// breaching window's counter deltas, the last spans — into a bounded
+// ring served by the management "blackbox" op. Implies WithRecorder;
+// pass that too to choose the sampling interval.
+func WithFlightRecorder(rules ...obs.Rule) Option {
+	return func(cfg *platformConfig) { cfg.sloRules = append(cfg.sloRules, rules...) }
+}
+
+// WithFlightOptions forwards options (ring depth, span limit) to the
+// flight recorder.
+func WithFlightOptions(opts ...obs.FlightOption) Option {
+	return func(cfg *platformConfig) { cfg.flightOpts = append(cfg.flightOpts, opts...) }
+}
+
 // NewPlatform assembles a node on ep.
 func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform, error) {
 	cfg := platformConfig{
@@ -333,9 +373,12 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 		// subsystem: per-shard offer counts, snapshot freshness and
 		// import counters land under "trader." for odptop.
 		tr := p.Trader
-		p.AddStatsSource(func(rec wire.Record) { obs.Fold(rec, "trader", tr.Stats()) })
+		p.AddStatsSource(func(rec wire.Record) {
+			obs.Fold(rec, "trader", tr.Stats())
+			obs.FoldLatency(rec, "trader.import", tr.ImportLatency())
+		})
 	}
-	var bopts []naming.BinderOption
+	bopts := []naming.BinderOption{naming.WithBinderClock(cfg.clk)}
 	if p.obs != nil {
 		bopts = append(bopts, naming.WithBinderObserver(p.obs))
 	}
@@ -365,12 +408,36 @@ func NewPlatform(name string, ep transport.Endpoint, opts ...Option) (*Platform,
 			},
 		})
 	}
+
+	// The recorder samples Gather, so it starts last: every subsystem it
+	// will snapshot is already assembled, and the flight recorder's hook
+	// is attached before the first sample can fire.
+	if cfg.recInterval > 0 || len(cfg.sloRules) > 0 {
+		ropts := append([]obs.RecorderOption{obs.WithRecorderClock(cfg.clk)}, cfg.recOpts...)
+		p.recorder = obs.NewRecorder(p.Gather, cfg.recInterval, ropts...)
+		if len(cfg.sloRules) > 0 {
+			p.flight = obs.NewFlightRecorder(p.recorder, p.obs, cfg.sloRules, cfg.flightOpts...)
+			fl := p.flight
+			p.Agent.SetBlackbox(fl.ReportsList)
+		}
+		rec := p.recorder
+		p.Agent.SetSeries(rec.Series)
+		p.recorder.Start()
+	}
 	return p, nil
 }
 
 // Observer returns the platform's span collector, nil unless the node
 // was built WithTracing.
 func (p *Platform) Observer() *obs.Collector { return p.obs }
+
+// Recorder returns the platform's metrics recorder, nil unless the node
+// was built WithRecorder or WithFlightRecorder.
+func (p *Platform) Recorder() *obs.Recorder { return p.recorder }
+
+// Flight returns the platform's flight recorder, nil unless the node
+// was built WithFlightRecorder.
+func (p *Platform) Flight() *obs.FlightRecorder { return p.flight }
 
 // Domain reports the administrative-domain tag set by WithDomain, empty
 // for untagged nodes.
@@ -399,13 +466,21 @@ func (p *Platform) Gather() wire.Record {
 	obs.Fold(rec, "rpc.client", p.Capsule.Client().Stats())
 	obs.Fold(rec, "rpc.server", p.Capsule.ServerStats())
 	obs.Fold(rec, "binder", p.binder.Stats())
+	obs.FoldLatency(rec, "rpc.client.call", p.Capsule.Client().CallLatency())
+	obs.FoldLatency(rec, "rpc.server.dispatch", p.Capsule.DispatchLatency())
+	obs.FoldLatency(rec, "capsule.bypass", p.Capsule.BypassLatency())
+	obs.FoldLatency(rec, "binder.resolve", p.binder.ResolveLatency())
 	if cs, ok := p.BatchStats(); ok {
 		obs.Fold(rec, "transport.coalescer", cs)
+		obs.FoldLatency(rec, "transport.coalescer.flush_delay", p.coalescer.FlushDelay())
 	}
 	rec["gc.collected"] = p.Collector.Collected()
 	rec["gc.renewals"] = p.Collector.Renewals()
 	if p.obs != nil {
 		obs.Fold(rec, "obs", p.obs.Stats())
+	}
+	if p.flight != nil {
+		obs.Fold(rec, "blackbox", p.flight.Stats())
 	}
 	for k, v := range p.Registry.Snapshot() {
 		rec["registry."+k] = v
@@ -419,9 +494,13 @@ func (p *Platform) Gather() wire.Record {
 	return rec
 }
 
-// Close shuts the platform down. A batching platform drains and closes
-// its coalescer (and with it the wrapped endpoint) after the capsule.
+// Close shuts the platform down. The recorder stops first (no samples
+// during teardown); a batching platform drains and closes its coalescer
+// (and with it the wrapped endpoint) after the capsule.
 func (p *Platform) Close() error {
+	if p.recorder != nil {
+		p.recorder.Close()
+	}
 	err := p.Capsule.Close()
 	if p.coalescer != nil {
 		if cerr := p.coalescer.Close(); err == nil {

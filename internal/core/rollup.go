@@ -1,6 +1,11 @@
 package core
 
-import "odp/internal/wire"
+import (
+	"strings"
+
+	"odp/internal/obs"
+	"odp/internal/wire"
+)
 
 // GatherDomains folds the Gather snapshots of many platforms into one
 // per-domain record: every numeric key of a platform tagged WithDomain
@@ -10,6 +15,14 @@ import "odp/internal/wire"
 // and this is the rollup that answers it without 1,000 separate records.
 // Untagged platforms are skipped; non-numeric values (the "domain" tag
 // itself, codec names) don't sum and are dropped.
+//
+// Sums keep the widest kind seen: all-unsigned counters stay uint64,
+// a signed negative anywhere makes the sum int64, and any float64
+// operand (registry gauges, derived quantiles) makes it float64 —
+// nothing truncates silently. Latency quantile keys (*_p50/_p90/_p99)
+// are then recomputed from the domain-summed "_hist." buckets, because
+// the p99 of a domain is a property of the merged distribution, not the
+// sum of its members' p99s.
 func GatherDomains(platforms ...*Platform) wire.Record {
 	out := wire.Record{}
 	for _, p := range platforms {
@@ -23,38 +36,95 @@ func GatherDomains(platforms ...*Platform) wire.Record {
 			if _, ok := numeric(v); !ok {
 				continue
 			}
+			if domainQuantileKey(k) {
+				continue // recomputed from the merged buckets below
+			}
 			key := prefix + k
 			out[key] = addNumeric(out[key], v)
 		}
 	}
+	for base, s := range obs.HistogramKeys(out) {
+		out[base+"_p50"] = s.Quantile(0.50)
+		out[base+"_p90"] = s.Quantile(0.90)
+		out[base+"_p99"] = s.Quantile(0.99)
+	}
 	return out
 }
 
-// numeric widens a Gather value to uint64 when it is a countable number.
-// Gather records carry uint64 (obs.Fold), int64 (registry counters) and
-// the occasional int; floats don't appear and negatives mean a bug, so
-// both report non-numeric rather than wrapping.
-func numeric(v interface{}) (uint64, bool) {
+// numeric normalises a Gather value to one of the three summable kinds —
+// uint64, int64 or float64 — reporting false for everything else.
+// Negative integers and floats are legitimate (deltas, gauges,
+// quantiles); rejecting or wrapping them would silently corrupt rollups.
+func numeric(v wire.Value) (wire.Value, bool) {
 	switch n := v.(type) {
 	case uint64:
 		return n, true
 	case int64:
-		if n < 0 {
-			return 0, false
-		}
-		return uint64(n), true
+		return n, true
 	case int:
-		if n < 0 {
-			return 0, false
-		}
-		return uint64(n), true
+		return int64(n), true
+	case float64:
+		return n, true
 	}
-	return 0, false
+	return nil, false
 }
 
-// addNumeric sums v into an accumulator that may not exist yet.
-func addNumeric(acc, v interface{}) uint64 {
-	a, _ := numeric(acc)
-	b, _ := numeric(v)
-	return a + b
+// addNumeric sums v into an accumulator that may not exist yet,
+// promoting the result to the widest kind involved: uint64 while both
+// sides are unsigned, int64 once a signed value appears, float64 once a
+// float does. Promotion never narrows back, so one negative or
+// fractional sample keeps the key honest for the rest of the fold.
+func addNumeric(acc, v wire.Value) wire.Value {
+	a, aok := numeric(acc)
+	b, bok := numeric(v)
+	if !aok {
+		a = uint64(0)
+	}
+	if !bok {
+		b = uint64(0)
+	}
+	if af, ok := a.(float64); ok {
+		return af + toFloat(b)
+	}
+	if bf, ok := b.(float64); ok {
+		return toFloat(a) + bf
+	}
+	if au, ok := a.(uint64); ok {
+		if bu, ok := b.(uint64); ok {
+			return au + bu
+		}
+	}
+	return toSigned(a) + toSigned(b)
+}
+
+// toFloat widens an already-normalised numeric to float64.
+func toFloat(v wire.Value) float64 {
+	switch n := v.(type) {
+	case uint64:
+		return float64(n)
+	case int64:
+		return float64(n)
+	case float64:
+		return n
+	}
+	return 0
+}
+
+// toSigned widens an already-normalised integer to int64.
+func toSigned(v wire.Value) int64 {
+	switch n := v.(type) {
+	case uint64:
+		return int64(n)
+	case int64:
+		return n
+	}
+	return 0
+}
+
+// domainQuantileKey reports whether key is a derived quantile: the
+// rollup recomputes those from merged buckets instead of summing them.
+func domainQuantileKey(key string) bool {
+	return strings.HasSuffix(key, "_p50") ||
+		strings.HasSuffix(key, "_p90") ||
+		strings.HasSuffix(key, "_p99")
 }

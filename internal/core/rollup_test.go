@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"odp/internal/obs"
+	"odp/internal/wire"
+)
+
+// TestAddNumericWidening tables the rollup's promotion rules: unsigned
+// stays unsigned, a signed negative promotes to int64, a float promotes
+// to float64, and nothing truncates on the way.
+func TestAddNumericWidening(t *testing.T) {
+	cases := []struct {
+		name   string
+		acc, v wire.Value
+		want   wire.Value
+	}{
+		{"uint+uint stays uint", uint64(3), uint64(4), uint64(7)},
+		{"missing acc", nil, uint64(5), uint64(5)},
+		{"missing acc float", nil, 2.5, 2.5},
+		{"missing acc negative", nil, int64(-3), int64(-3)},
+		{"uint+negative promotes signed", uint64(10), int64(-3), int64(7)},
+		{"negative+uint promotes signed", int64(-3), uint64(10), int64(7)},
+		{"sum below zero", int64(-10), uint64(4), int64(-6)},
+		{"int widens like int64", uint64(1), int(2), int64(3)},
+		{"uint+float promotes float", uint64(2), 0.5, 2.5},
+		{"float+uint promotes float", 0.5, uint64(2), 2.5},
+		{"float+float", 1.25, 2.25, 3.5},
+		{"float+negative", 1.5, int64(-2), -0.5},
+		{"non-numeric v ignored", uint64(3), "text", uint64(3)},
+		{"non-numeric acc ignored", "text", uint64(3), uint64(3)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := addNumeric(c.acc, c.v); got != c.want {
+				t.Fatalf("addNumeric(%v, %v) = %v (%T), want %v (%T)",
+					c.acc, c.v, got, got, c.want, c.want)
+			}
+		})
+	}
+}
+
+func TestNumericKinds(t *testing.T) {
+	if _, ok := numeric(-5); !ok {
+		t.Fatal("negative int rejected")
+	}
+	if _, ok := numeric(int64(-5)); !ok {
+		t.Fatal("negative int64 rejected")
+	}
+	if v, ok := numeric(1.5); !ok || v != 1.5 {
+		t.Fatalf("float64 = %v, %v", v, ok)
+	}
+	if _, ok := numeric("s"); ok {
+		t.Fatal("string accepted")
+	}
+	if _, ok := numeric(nil); ok {
+		t.Fatal("nil accepted")
+	}
+}
+
+// TestGatherDomainsWidensAndRecomputesQuantiles rolls two platforms of
+// one domain up and checks: float64 gauges sum as floats, negative
+// deltas survive signed, all-unsigned counters stay uint64, and the
+// domain's latency quantiles are recomputed from the merged buckets
+// rather than summed per node.
+func TestGatherDomainsWidensAndRecomputesQuantiles(t *testing.T) {
+	e := newCoreEnv(t)
+	a := e.platform("a", WithDomain("edge"))
+	b := e.platform("b", WithDomain("edge"))
+	c := e.platform("c") // untagged: skipped
+
+	var fast, slow obs.Histogram
+	for i := 0; i < 90; i++ {
+		fast.Observe(2 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		slow.Observe(40 * time.Millisecond)
+	}
+	a.AddStatsSource(func(rec wire.Record) {
+		obs.FoldLatency(rec, "stage", fast.Snapshot())
+		rec["app.gauge"] = 1.25
+		rec["app.drift"] = int64(-3)
+	})
+	b.AddStatsSource(func(rec wire.Record) {
+		obs.FoldLatency(rec, "stage", slow.Snapshot())
+		rec["app.gauge"] = 2.25
+		rec["app.drift"] = int64(1)
+	})
+	c.AddStatsSource(func(rec wire.Record) { rec["app.gauge"] = 100.0 })
+
+	out := GatherDomains(a, b, c)
+
+	if got := out["domain.edge.platforms"]; got != uint64(2) {
+		t.Fatalf("platforms = %v", got)
+	}
+	if got := out["domain.edge.app.gauge"]; got != 3.5 {
+		t.Fatalf("float gauge sum = %v (%T)", got, out["domain.edge.app.gauge"])
+	}
+	if got := out["domain.edge.app.drift"]; got != int64(-2) {
+		t.Fatalf("signed sum = %v (%T)", got, out["domain.edge.app.drift"])
+	}
+	if got := out["domain.edge.stage_count"]; got != uint64(100) {
+		t.Fatalf("merged count = %v", got)
+	}
+	if _, ok := out["domain.c.app.gauge"]; ok {
+		t.Fatal("untagged platform rolled up")
+	}
+
+	// Node a holds the 90 fast samples, node b the 10 slow ones. The
+	// merged population's p50 must land in the fast bucket — a naive sum
+	// of per-node p50s (2µs + 40ms) could not — and its p99 in the slow
+	// one.
+	p50, ok := out["domain.edge.stage_p50"].(float64)
+	if !ok {
+		t.Fatalf("p50 missing: %v", out["domain.edge.stage_p50"])
+	}
+	if p50 > 4 {
+		t.Fatalf("merged p50 = %vµs, want within the fast bucket", p50)
+	}
+	p99, ok := out["domain.edge.stage_p99"].(float64)
+	if !ok || p99 < 1000 {
+		t.Fatalf("merged p99 = %v, want the slow observation's bucket", p99)
+	}
+}

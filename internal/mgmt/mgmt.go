@@ -169,6 +169,14 @@ type Agent struct {
 	// spans, when set, produces the node's recent span ring for the
 	// "spans" op; an untraced node answers with an empty list.
 	spans func() wire.List
+	// series, when set, produces the metrics time-series view (rates
+	// derived from the recorder's snapshot ring) for the "series" op; a
+	// node without a recorder answers with an empty record.
+	series func() wire.Record
+	// blackbox, when set, produces the flight recorder's retained breach
+	// reports for the "blackbox" op; a node without a flight recorder
+	// answers with an empty list.
+	blackbox func() wire.List
 }
 
 // ErrUnknownParam reports an unregistered parameter.
@@ -211,6 +219,21 @@ func (a *Agent) SetSpans(fn func() wire.List) {
 	a.mu.Unlock()
 }
 
+// SetSeries installs the time-series producer behind the "series" op.
+func (a *Agent) SetSeries(fn func() wire.Record) {
+	a.mu.Lock()
+	a.series = fn
+	a.mu.Unlock()
+}
+
+// SetBlackbox installs the breach-report producer behind the "blackbox"
+// op.
+func (a *Agent) SetBlackbox(fn func() wire.List) {
+	a.mu.Lock()
+	a.blackbox = fn
+	a.mu.Unlock()
+}
+
 func (a *Agent) dispatch(_ context.Context, op string, args []wire.Value) (string, []wire.Value, error) {
 	switch op {
 	case "stats":
@@ -231,6 +254,22 @@ func (a *Agent) dispatch(_ context.Context, op string, args []wire.Value) (strin
 			return "ok", []wire.Value{wire.List{}}, nil
 		}
 		return "ok", []wire.Value{spans()}, nil
+	case "series":
+		a.mu.Lock()
+		series := a.series
+		a.mu.Unlock()
+		if series == nil {
+			return "ok", []wire.Value{wire.Record{}}, nil
+		}
+		return "ok", []wire.Value{series()}, nil
+	case "blackbox":
+		a.mu.Lock()
+		blackbox := a.blackbox
+		a.mu.Unlock()
+		if blackbox == nil {
+			return "ok", []wire.Value{wire.List{}}, nil
+		}
+		return "ok", []wire.Value{blackbox()}, nil
 	case "events":
 		evs := a.registry.Events()
 		list := make(wire.List, len(evs))

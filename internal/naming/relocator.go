@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"odp/internal/capsule"
+	"odp/internal/clock"
 	"odp/internal/obs"
 	"odp/internal/rpc"
 	"odp/internal/types"
@@ -103,8 +104,14 @@ type Binder struct {
 	// decision is taken here and the stub span brackets the whole
 	// invocation, relocation retries included.
 	obs *obs.Collector
+	// clk stamps the resolve latency histogram (default clock.Real{}).
+	clk clock.Clock
 
 	stats binderCounters
+	// resolveLat is the relocator-consultation latency distribution:
+	// how long location transparency stalls an invocation when the
+	// direct path fails.
+	resolveLat obs.Histogram
 }
 
 // BinderStats counts binder events for the scaling experiment E7.
@@ -133,6 +140,16 @@ func WithBinderObserver(col *obs.Collector) BinderOption {
 	return func(b *Binder) { b.obs = col }
 }
 
+// WithBinderClock sets the clock stamping the resolve latency histogram
+// (default clock.Real{}; the platform injects its own).
+func WithBinderClock(clk clock.Clock) BinderOption {
+	return func(b *Binder) {
+		if clk != nil {
+			b.clk = clk
+		}
+	}
+}
+
 // NewBinder creates a binder that resolves through the relocation service
 // at relocator.
 func NewBinder(c *capsule.Capsule, relocator wire.Ref, opts ...BinderOption) *Binder {
@@ -140,6 +157,7 @@ func NewBinder(c *capsule.Capsule, relocator wire.Ref, opts ...BinderOption) *Bi
 		capsule:   c,
 		relocator: relocator,
 		cache:     make(map[string]wire.Ref),
+		clk:       clock.Real{},
 	}
 	for _, o := range opts {
 		o(b)
@@ -154,6 +172,11 @@ func (b *Binder) Stats() BinderStats {
 		Relocations: b.stats.relocations.Load(),
 		CacheHits:   b.stats.cacheHits.Load(),
 	}
+}
+
+// ResolveLatency snapshots the relocator-consultation latency histogram.
+func (b *Binder) ResolveLatency() obs.HistogramSnapshot {
+	return b.resolveLat.Snapshot()
 }
 
 // Invoke performs an interrogation with relocation recovery.
@@ -215,6 +238,8 @@ func (b *Binder) invokeWith(ctx context.Context, ref wire.Ref, op string, args [
 // send/dispatch spans beneath it.
 func (b *Binder) resolve(ctx context.Context, id string) (wire.Ref, error) {
 	b.stats.relocations.Add(1)
+	began := b.clk.Now()
+	defer func() { b.resolveLat.Observe(b.clk.Since(began)) }()
 	var sp *obs.Span
 	if b.obs != nil {
 		if sp = b.obs.BeginChild(obs.FromContext(ctx), obs.KindResolve, id); sp != nil {

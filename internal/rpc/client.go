@@ -141,6 +141,10 @@ type Client struct {
 	obs *obs.Collector
 
 	stats clientCounters
+	// lat is the send→reply latency distribution: first transmission to
+	// reply delivery, retransmissions included. Unlike spans it is
+	// always on — recording is one atomic increment.
+	lat obs.Histogram
 }
 
 // pendingAck is one deferred acknowledgement awaiting piggybacking.
@@ -221,6 +225,11 @@ func (c *Client) Stats() ClientStats {
 		AcksPiggybacked: c.stats.acksPiggybacked.Load(),
 		PackedUpgrades:  c.stats.packedUpgrades.Load(),
 	}
+}
+
+// CallLatency snapshots the send→reply latency histogram.
+func (c *Client) CallLatency() obs.HistogramSnapshot {
+	return c.lat.Snapshot()
 }
 
 // BatchStats reports the endpoint's write-coalescing counters, when the
@@ -380,6 +389,7 @@ func (c *Client) Call(ctx context.Context, dest, objID, op string, args []wire.V
 			// no other sender exists and the drained channel is safe to
 			// recycle.
 			replyChPool.Put(ch)
+			c.lat.Observe(c.clk.Since(start))
 			// Acknowledge so the server may evict its reply cache. On a
 			// batching endpoint the ack is deferred to piggyback on the
 			// next outgoing batch; otherwise it is sent immediately.

@@ -151,6 +151,10 @@ type Server struct {
 	admissionCfg *AdmissionConfig
 
 	stats serverCounters
+	// dispatchLat is the handler-execution latency distribution,
+	// recorded for every request and announcement. Always on: one
+	// atomic increment per dispatch.
+	dispatchLat obs.Histogram
 }
 
 type callKey struct {
@@ -281,6 +285,11 @@ func (s *Server) Stats() ServerStats {
 		AdmissionRejects: s.stats.admissionRejects.Load(),
 		AdmissionDrops:   s.stats.admissionDrops.Load(),
 	}
+}
+
+// DispatchLatency snapshots the handler-execution latency histogram.
+func (s *Server) DispatchLatency() obs.HistogramSnapshot {
+	return s.dispatchLat.Snapshot()
 }
 
 // Close stops the server and waits for running handlers.
@@ -611,7 +620,9 @@ func (s *Server) execute(from string, version byte, callID uint64, objID, op str
 				ctx = obs.ContextWith(ctx, sp.Context())
 			}
 		}
+		began := s.clk.Now()
 		outcome, results, err = s.handler(ctx, in)
+		s.dispatchLat.Observe(s.clk.Since(began))
 		s.obs.End(sp)
 		*in = Incoming{}
 		incomingPool.Put(in)

@@ -35,6 +35,7 @@ import (
 
 	"odp/internal/capsule"
 	"odp/internal/clock"
+	"odp/internal/obs"
 	"odp/internal/rpc"
 	"odp/internal/types"
 	"odp/internal/wire"
@@ -202,6 +203,10 @@ type Trader struct {
 	rmCount          atomic.Int64
 
 	stats traderCounters
+	// importLat is the end-to-end import latency distribution, federated
+	// hops included: how long service discovery takes from the client's
+	// point of view.
+	importLat obs.Histogram
 
 	ref wire.Ref
 }
@@ -437,6 +442,11 @@ func (t *Trader) Stats() TraderStats {
 	return st
 }
 
+// ImportLatency snapshots the import latency histogram.
+func (t *Trader) ImportLatency() obs.HistogramSnapshot {
+	return t.importLat.Snapshot()
+}
+
 // lookup returns the read view of shard sh per the freshness policy: a
 // current snapshot is served straight from the atomic pointer (the
 // zero-lock hot path); a within-policy stale one is served as-is; only a
@@ -475,6 +485,8 @@ func (t *Trader) Import(ctx context.Context, spec ImportSpec) ([]Offer, error) {
 	}
 	spec.visited = append(spec.visited, t.contextName)
 	t.stats.imports.Add(1)
+	began := t.clk.Now()
+	defer func() { t.importLat.Observe(t.clk.Since(began)) }()
 
 	var matched []Offer
 scan:

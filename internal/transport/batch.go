@@ -220,6 +220,10 @@ type Coalescer struct {
 	obs *obs.Collector
 
 	stats coalCounters
+	// flushDelay is the queue-delay distribution: first enqueue of a
+	// batch to its claim for writing. Direct flushes record ~0; the
+	// max-delay window and flusher scheduling show up here.
+	flushDelay obs.Histogram
 }
 
 // Batcher is implemented by endpoints that coalesce outgoing frames
@@ -462,6 +466,12 @@ func (c *Coalescer) BatchStats() CoalescerStats {
 	return s
 }
 
+// FlushDelay snapshots the batch queue-delay histogram (first enqueue
+// to claim).
+func (c *Coalescer) FlushDelay() obs.HistogramSnapshot {
+	return c.flushDelay.Snapshot()
+}
+
 // PeerBatching reports whether addr has negotiated batching.
 func (c *Coalescer) PeerBatching(addr string) bool {
 	c.mu.Lock()
@@ -593,6 +603,11 @@ func (p *batchPeer) claimLocked() ([]*[]byte, int) {
 	segs, n := p.segs, p.count
 	p.segs = nil
 	p.bytes, p.count = 0, 0
+	if n > 0 {
+		// Queue delay: first enqueue to claim. Observing under p.mu is
+		// one atomic add; the flusher already reads the clock here.
+		p.c.flushDelay.Observe(p.c.clk.Since(p.firstAt))
+	}
 	return segs, n
 }
 

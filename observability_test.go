@@ -180,6 +180,119 @@ func TestSimTracedInterrogation(t *testing.T) {
 	t.Logf("seed=29 span forest (%d bytes):\n%s", len(f1), f1)
 }
 
+// TestE7RelocationSpanTree is the E7 (§5.4) transparency assertion in
+// span-tree form: where the counter form checks Relocations totals, the
+// tree form proves *which invocation* needed the relocator and where the
+// consultation sits in its causal chain. A stationary interface's tree
+// must carry no binder.resolve span at all; after the object re-hosts
+// without leaving a forward, the stale-reference invocation's tree must
+// show the failed send, the binder.resolve consultation (with the
+// lookup's own nested send), and the successful retry — all under one
+// stub root.
+func TestE7RelocationSpanTree(t *testing.T) {
+	ctx := context.Background()
+	s := sim.New(17,
+		sim.WithStrictSettle(),
+		sim.WithDefaultLink(odp.LinkProfile{Latency: 200 * time.Microsecond}),
+	)
+	t.Cleanup(s.Close)
+	home := simPlatform(t, s, "home")
+	away := simPlatform(t, s, "away", odp.WithRelocator(home.RelocRef))
+	client := simPlatform(t, s, "client",
+		odp.WithRelocator(home.RelocRef),
+		odp.WithTracing(odp.TraceSampleEvery(1)))
+
+	ref, err := home.Publish("cell", odp.Object{Servant: &countingServant{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qos := odp.QoS{Timeout: 30 * time.Second, Retransmit: 5 * time.Millisecond}
+	call := func() error {
+		return driveCall(t, s, time.Minute, func() error {
+			_, err := client.Bind(ref).WithQoS(qos).Call(ctx, "add")
+			return err
+		})
+	}
+
+	// 1. Stationary: the object is where the reference says.
+	if err := call(); err != nil {
+		t.Fatalf("stationary call: %v", err)
+	}
+
+	// 2. The object re-hosts WITHOUT a forward (host restart, not a
+	// graceful migration): the old capsule forgets the id, the new host
+	// exports the same identity, and only the relocation service learns
+	// the bumped epoch.
+	home.Capsule.Unexport(ref.ID)
+	moved, err := away.Publish(ref.ID, odp.Object{Servant: &countingServant{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved.Epoch = ref.Epoch + 1
+	home.RelocTable.Register(moved)
+
+	// 3. The same stale reference still works — the binder recovers.
+	if err := call(); err != nil {
+		t.Fatalf("post-move call via stale ref: %v", err)
+	}
+
+	client.Observer().SetSampleEvery(0)
+	spans := fetchSpans(t, s, client, client.Agent.Ref())
+
+	children := make(map[uint64][]odp.Span)
+	for _, sp := range spans {
+		children[sp.ParentID] = append(children[sp.ParentID], sp)
+	}
+	kindsOf := func(parent odp.Span) map[string]int {
+		m := make(map[string]int)
+		for _, c := range children[parent.SpanID] {
+			m[c.Kind]++
+		}
+		return m
+	}
+
+	var stationary, relocated bool
+	for _, sp := range spans {
+		if sp.Kind != "stub" || sp.Name != "add" || sp.ParentID != 0 {
+			continue
+		}
+		kinds := kindsOf(sp)
+		if kinds["binder.resolve"] == 0 {
+			// The stationary tree: sends, but no relocator consultation —
+			// the span-tree form of "no relocator traffic" (§5.4 scaling).
+			if kinds["rpc.send"] > 0 {
+				stationary = true
+			}
+			continue
+		}
+		// The relocated tree: failed send + retry send around exactly one
+		// consultation, and the consultation's own lookup rides the wire
+		// as a nested send beneath it.
+		if kinds["binder.resolve"] != 1 || kinds["rpc.send"] < 2 {
+			t.Fatalf("relocated tree has %d resolves and %d sends, want 1 and >=2:\n%s",
+				kinds["binder.resolve"], kinds["rpc.send"], odp.FormatSpans(spans))
+		}
+		for _, c := range children[sp.SpanID] {
+			if c.Kind != "binder.resolve" {
+				continue
+			}
+			if c.Name != ref.ID {
+				t.Fatalf("resolve span names %q, want the moved ref %q", c.Name, ref.ID)
+			}
+			if kindsOf(c)["rpc.send"] == 0 {
+				t.Fatalf("resolve span has no nested lookup send:\n%s", odp.FormatSpans(spans))
+			}
+		}
+		relocated = true
+	}
+	if !stationary {
+		t.Fatalf("no stationary tree (stub → rpc.send, no binder.resolve) in:\n%s", odp.FormatSpans(spans))
+	}
+	if !relocated {
+		t.Fatalf("no relocated tree (stub → {rpc.send, binder.resolve → rpc.send, rpc.send}) in:\n%s", odp.FormatSpans(spans))
+	}
+}
+
 // TestUnsampledTracingAddsNoAllocsE1 is the hot-path gate behind the
 // "zero overhead until sampled" claim: an E1 remote loopback on
 // platforms carrying the full tracing plumbing with sampling off must

@@ -317,6 +317,52 @@ var (
 	TraceRingSize = obs.WithRingSize
 )
 
+// Latency histograms, the metrics time series and the anomaly flight
+// recorder. Every channel stage that matters records into a zero-alloc
+// log-bucketed histogram; a clock-driven recorder turns Gather
+// snapshots into rates; armed SLO rules capture black-box breach
+// reports served by the management "blackbox" op.
+type (
+	// HistogramSnapshot is a point-in-time latency distribution of one
+	// channel stage (32 log2 microsecond buckets).
+	HistogramSnapshot = obs.HistogramSnapshot
+	// SLORule is one armed service-level objective evaluated against
+	// every recorder sample; build with CeilingRule or StallRule.
+	SLORule = obs.Rule
+	// BreachReport is the flight recorder's black box: the rule that
+	// fired, the breaching window's counter deltas and the last spans.
+	BreachReport = obs.BreachReport
+)
+
+// Recorder and flight-recorder options.
+var (
+	// WithRecorder samples the node's Gather snapshot every interval
+	// into a bounded ring, from which the management "series" op derives
+	// per-second rates.
+	WithRecorder = core.WithRecorder
+	// WithFlightRecorder arms SLO rules against the recorder's samples
+	// (implies WithRecorder).
+	WithFlightRecorder = core.WithFlightRecorder
+	// WithFlightOptions tunes the flight recorder's report ring and span
+	// capture.
+	WithFlightOptions = core.WithFlightOptions
+	// CeilingRule arms a maximum on a Gather key (latency quantiles,
+	// queue depths).
+	CeilingRule = obs.CeilingRule
+	// StallRule arms a zero-progress watchdog on a counter key.
+	StallRule = obs.StallRule
+	// RecorderDepth bounds the recorder's retained samples.
+	RecorderDepth = obs.WithRecorderDepth
+	// FlightDepth bounds the flight recorder's retained reports.
+	FlightDepth = obs.WithFlightDepth
+	// FlightSpanLimit bounds the spans captured per breach report.
+	FlightSpanLimit = obs.WithFlightSpanLimit
+)
+
+// HistogramKeys reassembles the latency histograms folded into a
+// gathered record ("<base>_hist.<i>" keys), keyed by base.
+func HistogramKeys(rec Record) map[string]HistogramSnapshot { return obs.HistogramKeys(rec) }
+
 // SpansFromList decodes a span list fetched from a node's management
 // "spans" operation.
 func SpansFromList(l List) []Span { return obs.SpansFromList(l) }
